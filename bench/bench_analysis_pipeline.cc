@@ -1,0 +1,123 @@
+// E7 — requirement (vi): built-in analysis functions. Cost of turning N job
+// results into diagrams, tables and reports (google-benchmark).
+//
+// Expectation: linear in result count; thousands of results analyze in
+// milliseconds, so interactive result exploration is compute-trivial.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/diagrams.h"
+#include "analysis/metrics.h"
+#include "common/random.h"
+
+namespace chronos::analysis {
+namespace {
+
+std::vector<JobResult> MakeResults(int n) {
+  Rng rng(42);
+  std::vector<JobResult> results;
+  results.reserve(n);
+  const char* engines[] = {"wiredtiger", "mmapv1"};
+  for (int i = 0; i < n; ++i) {
+    JobResult result;
+    result.parameters["engine"] = json::Json(engines[i % 2]);
+    result.parameters["threads"] = json::Json(1 << (i % 5));
+    result.data = json::Json::MakeObject();
+    result.data.Set("throughput", 1000.0 + rng.NextDouble() * 5000);
+    json::Json latency = json::Json::MakeObject();
+    for (const char* op : {"read", "update"}) {
+      json::Json stats = json::Json::MakeObject();
+      stats.Set("p95", rng.NextDouble() * 10000);
+      stats.Set("mean", rng.NextDouble() * 5000);
+      latency.Set(op, std::move(stats));
+    }
+    result.data.Set("latency_us", std::move(latency));
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+model::DiagramDef Def() {
+  model::DiagramDef def;
+  def.name = "Throughput";
+  def.type = model::DiagramType::kLine;
+  def.x_field = "threads";
+  def.y_field = "throughput";
+  def.group_by = "engine";
+  return def;
+}
+
+void BM_BuildDiagram(benchmark::State& state) {
+  auto results = MakeResults(static_cast<int>(state.range(0)));
+  model::DiagramDef def = Def();
+  for (auto _ : state) {
+    auto diagram = BuildDiagram(def, results);
+    benchmark::DoNotOptimize(diagram);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BuildDiagram)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_BuildDiagramDottedPath(benchmark::State& state) {
+  auto results = MakeResults(static_cast<int>(state.range(0)));
+  model::DiagramDef def = Def();
+  def.y_field = "latency_us.read.p95";
+  for (auto _ : state) {
+    auto diagram = BuildDiagram(def, results);
+    benchmark::DoNotOptimize(diagram);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BuildDiagramDottedPath)->Arg(1000);
+
+void BM_RenderHtmlReport(benchmark::State& state) {
+  auto results = MakeResults(1000);
+  auto diagram = BuildDiagram(Def(), results);
+  std::vector<DiagramData> diagrams = {*diagram, *diagram, *diagram};
+  for (auto _ : state) {
+    std::string html = RenderHtmlReport("report", diagrams);
+    benchmark::DoNotOptimize(html);
+  }
+}
+BENCHMARK(BM_RenderHtmlReport);
+
+void BM_DiagramToCsv(benchmark::State& state) {
+  auto diagram = BuildDiagram(Def(), MakeResults(1000));
+  for (auto _ : state) {
+    std::string csv = diagram->ToCsv();
+    benchmark::DoNotOptimize(csv);
+  }
+}
+BENCHMARK(BM_DiagramToCsv);
+
+void BM_MetricsRecordLatency(benchmark::State& state) {
+  MetricsCollector metrics;
+  metrics.StartRun();
+  uint64_t i = 0;
+  for (auto _ : state) {
+    metrics.RecordLatency("read", 100 + (i++ % 1000));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsRecordLatency);
+
+void BM_MetricsToJson(benchmark::State& state) {
+  MetricsCollector metrics;
+  metrics.StartRun();
+  Rng rng(1);
+  for (int i = 0; i < 100000; ++i) {
+    metrics.RecordLatency(i % 2 == 0 ? "read" : "update",
+                          rng.NextUint64(100000));
+  }
+  metrics.EndRun();
+  for (auto _ : state) {
+    json::Json out = metrics.ToJson();
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_MetricsToJson);
+
+}  // namespace
+}  // namespace chronos::analysis
+
+BENCHMARK_MAIN();

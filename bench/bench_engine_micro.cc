@@ -1,0 +1,174 @@
+// E9 — ablation for E1/E2: raw per-operation cost of the two storage
+// engines, single-threaded, no simulated I/O, no network. Separates the
+// engines' CPU cost (compression, tree descent, slot copy) from the
+// concurrency behaviour measured end-to-end.
+//
+// Expectation: mmap wins slightly on raw reads/in-place updates (memcpy
+// into a padded slot); btree pays compression on writes but stores fewer
+// bytes; scans are comparable.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "sue/mokkadb/btree_engine.h"
+#include "sue/mokkadb/mmap_engine.h"
+#include "workload/workload.h"
+
+namespace chronos::mokka {
+namespace {
+
+constexpr int kPopulation = 10000;
+
+std::unique_ptr<StorageEngine> MakeEngine(int kind, bool compression = true) {
+  if (kind == 0) {
+    BTreeEngineOptions options;
+    options.compression = compression;
+    return std::make_unique<BTreeEngine>(options);
+  }
+  MmapEngineOptions options;
+  return std::make_unique<MmapEngine>(options);
+}
+
+std::string MakeDoc(size_t size, Rng* rng) {
+  std::string doc = "{\"_id\":\"x\",\"payload\":\"";
+  while (doc.size() + 2 < size) {
+    doc.push_back(static_cast<char>('a' + rng->NextUint64(26)));
+  }
+  doc += "\"}";
+  return doc;
+}
+
+void Populate(StorageEngine* engine, size_t doc_size) {
+  Rng rng(7);
+  for (int i = 0; i < kPopulation; ++i) {
+    engine->Insert(workload::WorkloadGenerator::KeyForIndex(i),
+                   MakeDoc(doc_size, &rng))
+        .ok();
+  }
+}
+
+// Arg0: engine (0=btree, 1=mmap); Arg1: document bytes.
+void BM_EngineInsert(benchmark::State& state) {
+  Rng rng(1);
+  auto engine = MakeEngine(static_cast<int>(state.range(0)));
+  std::string doc = MakeDoc(static_cast<size_t>(state.range(1)), &rng);
+  uint64_t key = 0;
+  for (auto _ : state) {
+    Status status = engine->Insert(
+        workload::WorkloadGenerator::KeyForIndex(key++), doc);
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(state.range(0) == 0 ? "btree" : "mmap");
+}
+BENCHMARK(BM_EngineInsert)
+    ->Args({0, 128})->Args({1, 128})->Args({0, 1024})->Args({1, 1024});
+
+void BM_EngineGet(benchmark::State& state) {
+  auto engine = MakeEngine(static_cast<int>(state.range(0)));
+  Populate(engine.get(), static_cast<size_t>(state.range(1)));
+  Rng rng(2);
+  for (auto _ : state) {
+    auto doc = engine->Get(workload::WorkloadGenerator::KeyForIndex(
+        rng.NextUint64(kPopulation)));
+    benchmark::DoNotOptimize(doc);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(state.range(0) == 0 ? "btree" : "mmap");
+}
+BENCHMARK(BM_EngineGet)
+    ->Args({0, 128})->Args({1, 128})->Args({0, 1024})->Args({1, 1024});
+
+void BM_EngineUpdate(benchmark::State& state) {
+  auto engine = MakeEngine(static_cast<int>(state.range(0)));
+  Populate(engine.get(), static_cast<size_t>(state.range(1)));
+  Rng rng(3);
+  std::string doc = MakeDoc(static_cast<size_t>(state.range(1)), &rng);
+  for (auto _ : state) {
+    Status status = engine->Update(
+        workload::WorkloadGenerator::KeyForIndex(rng.NextUint64(kPopulation)),
+        doc);
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(state.range(0) == 0 ? "btree" : "mmap");
+}
+BENCHMARK(BM_EngineUpdate)
+    ->Args({0, 128})->Args({1, 128})->Args({0, 1024})->Args({1, 1024});
+
+void BM_EngineScan100(benchmark::State& state) {
+  auto engine = MakeEngine(static_cast<int>(state.range(0)));
+  Populate(engine.get(), 256);
+  Rng rng(4);
+  for (auto _ : state) {
+    int count = 0;
+    engine->Scan(workload::WorkloadGenerator::KeyForIndex(
+                     rng.NextUint64(kPopulation - 100)),
+                 [&count](const std::string&, const std::string&) {
+                   return ++count < 100;
+                 });
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+  state.SetLabel(state.range(0) == 0 ? "btree" : "mmap");
+}
+BENCHMARK(BM_EngineScan100)->Arg(0)->Arg(1);
+
+// Compression ablation: btree insert with compression on/off, compressible
+// vs incompressible payloads.
+void BM_BTreeCompressionAblation(benchmark::State& state) {
+  bool compression = state.range(0) == 1;
+  bool compressible = state.range(1) == 1;
+  auto engine = MakeEngine(0, compression);
+  Rng rng(5);
+  std::string doc;
+  if (compressible) {
+    doc = "{\"_id\":\"x\",\"payload\":\"";
+    while (doc.size() < 1022) doc += "abcabcab";
+    doc += "\"}";
+  } else {
+    doc = MakeDoc(1024, &rng);
+  }
+  uint64_t key = 0;
+  for (auto _ : state) {
+    Status status = engine->Insert(
+        workload::WorkloadGenerator::KeyForIndex(key++), doc);
+    benchmark::DoNotOptimize(status);
+  }
+  EngineStats stats = engine->Stats();
+  state.counters["stored_per_doc"] =
+      key > 0 ? static_cast<double>(stats.stored_bytes) /
+                    static_cast<double>(key)
+              : 0;
+  state.SetLabel(std::string(compression ? "compress" : "raw") + "/" +
+                 (compressible ? "repetitive" : "random"));
+}
+BENCHMARK(BM_BTreeCompressionAblation)
+    ->Args({1, 1})->Args({0, 1})->Args({1, 0})->Args({0, 0});
+
+// The document-move cost in the mmap engine (update beyond slot capacity).
+void BM_MmapUpdateGrowth(benchmark::State& state) {
+  bool grow = state.range(0) == 1;
+  auto engine = MakeEngine(1);
+  Rng rng(6);
+  Populate(engine.get(), 128);
+  std::string same_size = MakeDoc(128, &rng);
+  std::string bigger = MakeDoc(4096, &rng);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    // Alternate grow/shrink so every "grow" iteration is a real move.
+    const std::string& doc =
+        grow ? (i % 2 == 0 ? bigger : same_size) : same_size;
+    Status status = engine->Update(
+        workload::WorkloadGenerator::KeyForIndex(i % kPopulation), doc);
+    ++i;
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetLabel(grow ? "with-moves" : "in-place");
+}
+BENCHMARK(BM_MmapUpdateGrowth)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace chronos::mokka
+
+BENCHMARK_MAIN();

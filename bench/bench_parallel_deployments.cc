@@ -1,0 +1,60 @@
+// E4 — requirement (ii): "parallel executions of benchmarks" on multiple
+// identical deployments. A fixed 24-job evaluation runs against 1, 2, 4 and
+// 8 identical deployments; each job is a synthetic 100 ms evaluation.
+//
+// Expectation: makespan shrinks near-linearly with deployments until the
+// per-job overhead floor: with D deployments and J jobs of length t,
+// makespan -> ceil(J/D) * t.
+
+#include "bench/bench_util.h"
+
+using namespace chronos;
+
+int main() {
+  bench::PrintHeader(
+      "E4", "evaluation makespan vs number of identical deployments");
+
+  constexpr int kJobs = 24;
+  constexpr int kJobMs = 100;
+
+  std::printf("%12s  %12s  %10s  %12s\n", "deployments", "makespan_ms",
+              "speedup", "ideal_ms");
+  double baseline_ms = 0;
+  for (int deployments : {1, 2, 4, 8}) {
+    bench::Toolkit toolkit;
+    toolkit.RegisterNullSystem("SyntheticSuE");
+    toolkit.AddBareDeployments(deployments);
+
+    auto project =
+        toolkit.service()->CreateProject("par", "", toolkit.admin_id());
+    std::vector<json::Json> sweep;
+    for (int i = 0; i < kJobs; ++i) sweep.emplace_back(i);
+    auto experiment = toolkit.service()->CreateExperiment(
+        project->id, toolkit.admin_id(), toolkit.system_id(), "jobs", "",
+        {bench::SweepSetting("index", std::move(sweep))});
+    auto evaluation =
+        toolkit.service()->CreateEvaluation(experiment->id, "run");
+
+    toolkit.StartAgents([](agent::JobContext* context) {
+      SystemClock::Get()->SleepMs(kJobMs);  // The "benchmark".
+      context->SetResultField("ok", true);
+      return Status::Ok();
+    });
+    double makespan_ms = toolkit.AwaitEvaluation(evaluation->id);
+    toolkit.StopAgents();
+
+    auto summary = toolkit.service()->Summarize(evaluation->id);
+    if (summary->state_counts[model::JobState::kFinished] != kJobs) {
+      std::fprintf(stderr, "incomplete evaluation\n");
+      return 1;
+    }
+    if (deployments == 1) baseline_ms = makespan_ms;
+    double ideal_ms =
+        static_cast<double>((kJobs + deployments - 1) / deployments) * kJobMs;
+    std::printf("%12d  %12.0f  %9.2fx  %12.0f\n", deployments, makespan_ms,
+                baseline_ms / makespan_ms, ideal_ms);
+  }
+  std::printf("\nshape expectation: near-linear speedup (the paper's "
+              "rationale for multiple identical deployments).\n");
+  return 0;
+}

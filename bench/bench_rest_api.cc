@@ -1,0 +1,119 @@
+// E6 — Fig. 1: the REST API is the narrow waist between agents and Chronos
+// Control. Measures request throughput and latency of the hot agent
+// endpoints under 1 and 4 concurrent clients.
+//
+// Expectation: thousands of requests/second for the cheap endpoints; the
+// agent-side traffic of even large evaluation fleets (one progress ping per
+// second per job) is far below this ceiling.
+
+#include <thread>
+
+#include "bench/bench_util.h"
+
+using namespace chronos;
+
+namespace {
+
+struct Endpoint {
+  const char* label;
+  std::function<bool(net::HttpClient*)> call;
+};
+
+double MeasureRps(int port, const std::string& token,
+                  const Endpoint& endpoint, int clients, int requests_each,
+                  double* mean_latency_us) {
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  uint64_t start = SystemClock::Get()->MonotonicNanos();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      net::HttpClient client("127.0.0.1", port);
+      client.SetDefaultHeader("X-Session", token);
+      for (int i = 0; i < requests_each; ++i) {
+        if (!endpoint.call(&client)) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  double seconds =
+      static_cast<double>(SystemClock::Get()->MonotonicNanos() - start) / 1e9;
+  int total = clients * requests_each;
+  *mean_latency_us = seconds * 1e6 * clients / total;
+  if (failures.load() > 0) {
+    std::fprintf(stderr, "%d failed requests on %s\n", failures.load(),
+                 endpoint.label);
+  }
+  return static_cast<double>(total) / seconds;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("E6", "REST API throughput (hot agent endpoints)");
+
+  bench::Toolkit toolkit;
+  toolkit.RegisterNullSystem("S");
+  toolkit.AddBareDeployments(1);
+
+  // A running job for the progress endpoint.
+  auto project = toolkit.service()->CreateProject("p", "",
+                                                  toolkit.admin_id());
+  auto experiment = toolkit.service()->CreateExperiment(
+      project->id, toolkit.admin_id(), toolkit.system_id(), "x", "",
+      {bench::FixedSetting("index", json::Json(1))});
+  auto evaluation = toolkit.service()->CreateEvaluation(experiment->id, "r");
+  auto job = toolkit.service()->PollJob(toolkit.deployment_ids()[0]);
+  std::string job_id = (*job)->id;
+
+  auto token = toolkit.service()->Login("admin", "secret");
+  std::string session = *token;
+
+  std::string poll_body =
+      "{\"deployment_id\":\"" + toolkit.deployment_ids()[0] + "\"}";
+  const Endpoint endpoints[] = {
+      {"GET /status (public)",
+       [](net::HttpClient* client) {
+         auto response = client->Get("/api/v1/status");
+         return response.ok() && response->status_code == 200;
+       }},
+      {"GET /jobs/{id} (authd read)",
+       [&job_id](net::HttpClient* client) {
+         auto response = client->Get("/api/v1/jobs/" + job_id);
+         return response.ok() && response->status_code == 200;
+       }},
+      {"POST /agent/poll (empty queue)",
+       [&poll_body](net::HttpClient* client) {
+         auto response = client->Post("/api/v1/agent/poll", poll_body);
+         return response.ok() && response->status_code == 200;
+       }},
+      {"POST /agent/jobs/{id}/progress",
+       [&job_id](net::HttpClient* client) {
+         auto response = client->Post(
+             "/api/v1/agent/jobs/" + job_id + "/progress",
+             "{\"percent\":50}");
+         return response.ok() && response->status_code == 200;
+       }},
+      {"POST /agent/jobs/{id}/log (1 line)",
+       [&job_id](net::HttpClient* client) {
+         auto response =
+             client->Post("/api/v1/agent/jobs/" + job_id + "/log",
+                          "{\"lines\":[\"benchmark log line\"]}");
+         return response.ok() && response->status_code == 200;
+       }},
+  };
+
+  std::printf("%-36s  %8s  %12s  %14s\n", "endpoint", "clients", "req_per_s",
+              "mean_lat_us");
+  for (const Endpoint& endpoint : endpoints) {
+    for (int clients : {1, 4}) {
+      double latency_us = 0;
+      double rps = MeasureRps(toolkit.port(), session, endpoint, clients,
+                              /*requests_each=*/400, &latency_us);
+      std::printf("%-36s  %8d  %12.0f  %14.1f\n", endpoint.label, clients,
+                  rps, latency_us);
+    }
+  }
+  std::printf("\nnote: every request opens a fresh TCP connection "
+              "(Connection: close), matching one-shot agent calls.\n");
+  return 0;
+}

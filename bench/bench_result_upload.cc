@@ -1,0 +1,132 @@
+// E8 — §2.2: result bundles upload "via HTTP or FTP. The latter allows to
+// use a different server or a NAS for storing the results which also
+// reduces the load and storage requirements on the Chronos Control server."
+// Measures bundle upload throughput for both paths across bundle sizes.
+//
+// Expectation: FTP streams raw bytes and wins on large bundles; HTTP
+// carries base64 (+33% bytes) through the control server's JSON path, so
+// its relative cost grows with bundle size — quantifying the paper's
+// offloading rationale.
+
+#include "archive/zip.h"
+#include "bench/bench_util.h"
+#include "common/strings.h"
+#include "net/ftp.h"
+
+using namespace chronos;
+
+int main() {
+  bench::PrintHeader("E8", "result-bundle upload: HTTP vs FTP");
+
+  bench::Toolkit toolkit;
+  toolkit.RegisterNullSystem("S");
+  toolkit.AddBareDeployments(1);
+  auto ftp = net::FtpServer::Start(0, "results", "store");
+  if (!ftp.ok()) return 1;
+
+  auto token = toolkit.service()->Login("admin", "secret");
+
+  // A pool of running jobs to upload results against.
+  auto project = toolkit.service()->CreateProject("p", "",
+                                                  toolkit.admin_id());
+  std::vector<json::Json> sweep;
+  constexpr int kUploadsPerCell = 8;
+  constexpr int kCells = 8;  // 4 sizes x 2 protocols.
+  for (int i = 0; i < kUploadsPerCell * kCells; ++i) sweep.emplace_back(i);
+  auto experiment = toolkit.service()->CreateExperiment(
+      project->id, toolkit.admin_id(), toolkit.system_id(), "x", "",
+      {bench::SweepSetting("index", std::move(sweep))});
+  auto evaluation = toolkit.service()->CreateEvaluation(experiment->id, "r");
+  auto jobs = toolkit.service()->ListJobs(evaluation->id);
+  size_t next_job = 0;
+
+  // Takes the next scheduled job into running state and returns its id.
+  auto take_job = [&]() {
+    // Jobs dispatch one-at-a-time per deployment; finish by upload below
+    // frees the slot, so PollJob always succeeds here.
+    auto job = toolkit.service()->PollJob(toolkit.deployment_ids()[0]);
+    if (!job.ok() || !job->has_value()) return std::string();
+    return (*job)->id;
+  };
+  (void)next_job;
+
+  net::HttpClient http("127.0.0.1", toolkit.port());
+  http.SetDefaultHeader("X-Session", *token);
+
+  std::printf("%10s  %8s  %12s  %12s\n", "bundle_kb", "path", "ms_per_up",
+              "mb_per_s");
+  for (size_t size_kb : {16, 64, 256, 1024}) {
+    // A realistically compressible payload (JSON-ish text).
+    std::string payload;
+    payload.reserve(size_kb * 1024);
+    while (payload.size() < size_kb * 1024) {
+      payload += "{\"ts\":1585526400,\"op\":\"read\",\"latency_us\":";
+      payload += std::to_string(payload.size() % 9973);
+      payload += "}\n";
+    }
+    std::string bundle = archive::ZipFiles({{"trace.jsonl", payload}});
+    double bundle_mb = static_cast<double>(bundle.size()) / (1024 * 1024);
+
+    // --- HTTP path: base64 bundle inline in the result upload ---
+    {
+      std::string encoded = strings::Base64Encode(bundle);
+      uint64_t start = SystemClock::Get()->MonotonicNanos();
+      for (int i = 0; i < kUploadsPerCell; ++i) {
+        std::string job_id = take_job();
+        json::Json body = json::Json::MakeObject();
+        json::Json data = json::Json::MakeObject();
+        data.Set("ok", true);
+        body.Set("data", data);
+        body.Set("zip_base64", encoded);
+        auto response = http.Post("/api/v1/agent/jobs/" + job_id + "/result",
+                                  body.Dump());
+        if (!response.ok() || response->status_code >= 300) {
+          std::fprintf(stderr, "http upload failed\n");
+          return 1;
+        }
+      }
+      double seconds = static_cast<double>(
+                           SystemClock::Get()->MonotonicNanos() - start) /
+                       1e9;
+      std::printf("%10zu  %8s  %12.1f  %12.1f\n", size_kb, "http",
+                  seconds * 1000 / kUploadsPerCell,
+                  bundle_mb * kUploadsPerCell / seconds);
+    }
+
+    // --- FTP path: raw bundle to the result store, tiny JSON to control ---
+    {
+      uint64_t start = SystemClock::Get()->MonotonicNanos();
+      for (int i = 0; i < kUploadsPerCell; ++i) {
+        std::string job_id = take_job();
+        auto client = net::FtpClient::Connect("127.0.0.1", (*ftp)->port(),
+                                              "results", "store");
+        if (!client.ok() ||
+            !(*client)->Store("job-" + job_id + ".zip", bundle).ok()) {
+          std::fprintf(stderr, "ftp upload failed\n");
+          return 1;
+        }
+        (*client)->Quit().ok();
+        json::Json body = json::Json::MakeObject();
+        json::Json data = json::Json::MakeObject();
+        data.Set("bundle_ftp_ref", "job-" + job_id + ".zip");
+        body.Set("data", data);
+        body.Set("zip_base64", std::string());
+        auto response = http.Post("/api/v1/agent/jobs/" + job_id + "/result",
+                                  body.Dump());
+        if (!response.ok() || response->status_code >= 300) {
+          std::fprintf(stderr, "ftp result registration failed\n");
+          return 1;
+        }
+      }
+      double seconds = static_cast<double>(
+                           SystemClock::Get()->MonotonicNanos() - start) /
+                       1e9;
+      std::printf("%10zu  %8s  %12.1f  %12.1f\n", size_kb, "ftp",
+                  seconds * 1000 / kUploadsPerCell,
+                  bundle_mb * kUploadsPerCell / seconds);
+    }
+  }
+  std::printf("\nnote: ftp path includes a fresh login per upload plus the "
+              "result-JSON registration against Chronos Control.\n");
+  return 0;
+}

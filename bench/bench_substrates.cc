@@ -1,0 +1,173 @@
+// E10 — substrate ablation: the primitive costs that bound the end-to-end
+// numbers of E6 (REST) and E8 (uploads): JSON parse/serialize, WAL append,
+// chlz compression, ZIP packing, SHA-256, base64.
+
+#include <benchmark/benchmark.h>
+
+#include "archive/compress.h"
+#include "archive/crc32.h"
+#include "archive/zip.h"
+#include "common/file_util.h"
+#include "common/random.h"
+#include "common/sha256.h"
+#include "common/strings.h"
+#include "json/json.h"
+#include "store/wal.h"
+
+namespace chronos {
+namespace {
+
+std::string MakeJsonText(int fields) {
+  json::Json doc = json::Json::MakeObject();
+  Rng rng(1);
+  for (int i = 0; i < fields; ++i) {
+    switch (i % 4) {
+      case 0:
+        doc.Set("int" + std::to_string(i),
+                static_cast<int64_t>(rng.NextUint64(1000000)));
+        break;
+      case 1:
+        doc.Set("dbl" + std::to_string(i), rng.NextDouble() * 1e6);
+        break;
+      case 2: {
+        std::string s;
+        for (int c = 0; c < 40; ++c) {
+          s.push_back(static_cast<char>('a' + rng.NextUint64(26)));
+        }
+        doc.Set("str" + std::to_string(i), std::move(s));
+        break;
+      }
+      default: {
+        json::Json arr = json::Json::MakeArray();
+        for (int v = 0; v < 8; ++v) {
+          arr.Append(static_cast<int64_t>(rng.NextUint64(100)));
+        }
+        doc.Set("arr" + std::to_string(i), std::move(arr));
+        break;
+      }
+    }
+  }
+  return doc.Dump();
+}
+
+std::string MakeTextPayload(size_t size) {
+  std::string payload;
+  payload.reserve(size);
+  while (payload.size() < size) {
+    payload += "{\"ts\":1585526400,\"op\":\"read\",\"latency_us\":";
+    payload += std::to_string(payload.size() % 9973);
+    payload += "}\n";
+  }
+  payload.resize(size);
+  return payload;
+}
+
+void BM_JsonParse(benchmark::State& state) {
+  std::string text = MakeJsonText(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto parsed = json::Parse(text);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_JsonParse)->Arg(10)->Arg(100);
+
+void BM_JsonDump(benchmark::State& state) {
+  auto doc = json::Parse(MakeJsonText(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    std::string out = doc->Dump();
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_JsonDump)->Arg(10)->Arg(100);
+
+void BM_WalAppend(benchmark::State& state) {
+  bool sync = state.range(0) == 1;
+  file::TempDir dir("walbench");
+  auto wal = store::Wal::Open(dir.path() + "/wal.log");
+  std::string record = MakeJsonText(10);
+  for (auto _ : state) {
+    Status status = (*wal)->Append(record, sync);
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetLabel(sync ? "fsync-per-commit" : "buffered");
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WalAppend)->Arg(0)->Arg(1);
+
+void BM_LzCompress(benchmark::State& state) {
+  std::string payload = MakeTextPayload(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::string compressed = archive::LzCompress(payload);
+    benchmark::DoNotOptimize(compressed);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(payload.size()));
+  state.counters["ratio"] =
+      static_cast<double>(payload.size()) /
+      static_cast<double>(archive::LzCompress(payload).size());
+}
+BENCHMARK(BM_LzCompress)->Arg(1024)->Arg(65536);
+
+void BM_LzDecompress(benchmark::State& state) {
+  std::string compressed =
+      archive::LzCompress(MakeTextPayload(static_cast<size_t>(state.range(0))));
+  for (auto _ : state) {
+    auto out = archive::LzDecompress(compressed);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LzDecompress)->Arg(65536);
+
+void BM_ZipPack(benchmark::State& state) {
+  std::map<std::string, std::string> files;
+  for (int i = 0; i < 10; ++i) {
+    files["file" + std::to_string(i) + ".jsonl"] = MakeTextPayload(16384);
+  }
+  for (auto _ : state) {
+    std::string zipped = archive::ZipFiles(files);
+    benchmark::DoNotOptimize(zipped);
+  }
+  state.SetBytesProcessed(state.iterations() * 10 * 16384);
+}
+BENCHMARK(BM_ZipPack);
+
+void BM_Crc32(benchmark::State& state) {
+  std::string payload = MakeTextPayload(65536);
+  for (auto _ : state) {
+    uint32_t crc = archive::Crc32(payload);
+    benchmark::DoNotOptimize(crc);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(payload.size()));
+}
+BENCHMARK(BM_Crc32);
+
+void BM_Sha256(benchmark::State& state) {
+  std::string payload = MakeTextPayload(4096);
+  for (auto _ : state) {
+    std::string digest = Sha256(payload);
+    benchmark::DoNotOptimize(digest);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(payload.size()));
+}
+BENCHMARK(BM_Sha256);
+
+void BM_Base64Encode(benchmark::State& state) {
+  std::string payload = MakeTextPayload(65536);
+  for (auto _ : state) {
+    std::string encoded = strings::Base64Encode(payload);
+    benchmark::DoNotOptimize(encoded);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(payload.size()));
+}
+BENCHMARK(BM_Base64Encode);
+
+}  // namespace
+}  // namespace chronos
+
+BENCHMARK_MAIN();

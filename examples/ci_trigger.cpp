@@ -1,0 +1,199 @@
+// Build-bot / CI integration over the raw REST API (§2.2: "the API offers
+// methods to, for example, schedule an evaluation which is caused by a
+// successful build of the SuE's build bot").
+//
+// Everything here goes through HTTP only — exactly what an external CI
+// system would do: log in, look up the experiment, POST an evaluation after
+// each "successful build", poll its summary, and fetch the per-build
+// results for regression tracking. Also demonstrates the versioned API: the
+// CI client pins /api/v1 while a newer agent uses /api/v2 simultaneously.
+//
+// Build & run:  ./build/examples/ci_trigger
+
+#include <cstdio>
+
+#include "agent/agent.h"
+#include "common/file_util.h"
+#include "common/logging.h"
+#include "control/rest_api.h"
+#include "net/http.h"
+
+using namespace chronos;
+
+namespace {
+
+// Minimal REST helper the CI script would be built from.
+class RestClient {
+ public:
+  RestClient(int port) : http_("127.0.0.1", port) {}
+
+  bool Login(const std::string& username, const std::string& password) {
+    json::Json body = json::Json::MakeObject();
+    body.Set("username", username);
+    body.Set("password", password);
+    auto response = http_.Post("/api/v1/auth/login", body.Dump());
+    if (!response.ok() || response->status_code != 200) return false;
+    auto parsed = json::Parse(response->body);
+    if (!parsed.ok()) return false;
+    http_.SetDefaultHeader("X-Session", parsed->at("token").as_string());
+    return true;
+  }
+
+  StatusOr<json::Json> Post(const std::string& path, const json::Json& body) {
+    auto response = http_.Post(path, body.Dump());
+    CHRONOS_RETURN_IF_ERROR(response.status());
+    if (response->status_code >= 300) {
+      return Status::Internal("HTTP " +
+                              std::to_string(response->status_code) + ": " +
+                              response->body);
+    }
+    return json::Parse(response->body);
+  }
+
+  StatusOr<json::Json> Get(const std::string& path) {
+    auto response = http_.Get(path);
+    CHRONOS_RETURN_IF_ERROR(response.status());
+    if (response->status_code >= 300) {
+      return Status::Internal("HTTP " +
+                              std::to_string(response->status_code));
+    }
+    return json::Parse(response->body);
+  }
+
+ private:
+  net::HttpClient http_;
+};
+
+}  // namespace
+
+int main() {
+  Logger::Get()->set_min_level(LogLevel::kWarning);
+
+  // --- Hosted Chronos Control (in-process for the example) ---
+  file::TempDir workdir("chronos-ci");
+  auto db = model::MetaDb::Open(workdir.path() + "/meta");
+  control::ControlService service(db->get());
+  service.CreateUser("ci-bot", "hunter22", model::UserRole::kAdmin).ok();
+  auto server = control::ControlServer::Start(&service, 0);
+  int port = (*server)->port();
+
+  // --- One-time setup through REST: system, deployment, project, experiment
+  RestClient ci(port);
+  if (!ci.Login("ci-bot", "hunter22")) {
+    std::fprintf(stderr, "login failed\n");
+    return 1;
+  }
+
+  json::Json system = json::Json::MakeObject();
+  system.Set("name", "BuildBench");
+  json::Json parameters = json::Json::MakeArray();
+  json::Json payload_def = json::Json::MakeObject();
+  payload_def.Set("name", "payload_kb");
+  payload_def.Set("type", "interval");
+  payload_def.Set("min", 1);
+  payload_def.Set("max", 4096);
+  parameters.Append(payload_def);
+  system.Set("parameters", parameters);
+  json::Json diagrams = json::Json::MakeArray();
+  json::Json diagram = json::Json::MakeObject();
+  diagram.Set("name", "Checksum throughput by payload");
+  diagram.Set("type", "line");
+  diagram.Set("x_field", "payload_kb");
+  diagram.Set("y_field", "mb_per_s");
+  diagrams.Append(diagram);
+  system.Set("diagrams", diagrams);
+  auto system_response = ci.Post("/api/v1/systems", system);
+  std::string system_id = system_response->at("id").as_string();
+
+  json::Json deployment = json::Json::MakeObject();
+  deployment.Set("system_id", system_id);
+  deployment.Set("name", "ci-runner-1");
+  auto deployment_response = ci.Post("/api/v1/deployments", deployment);
+  std::string deployment_id = deployment_response->at("id").as_string();
+
+  json::Json project = json::Json::MakeObject();
+  project.Set("name", "nightly perf gate");
+  auto project_response = ci.Post("/api/v1/projects", project);
+
+  json::Json experiment = json::Json::MakeObject();
+  experiment.Set("project_id", project_response->at("id").as_string());
+  experiment.Set("system_id", system_id);
+  experiment.Set("name", "checksum regression");
+  json::Json settings = json::Json::MakeArray();
+  json::Json setting = json::Json::MakeObject();
+  setting.Set("name", "payload_kb");
+  json::Json sweep = json::Json::MakeArray();
+  sweep.Append(64);
+  sweep.Append(256);
+  sweep.Append(1024);
+  setting.Set("sweep", sweep);
+  setting.Set("fixed", nullptr);
+  settings.Append(setting);
+  experiment.Set("settings", settings);
+  auto experiment_response = ci.Post("/api/v1/experiments", experiment);
+  std::string experiment_id = experiment_response->at("id").as_string();
+  std::printf("experiment registered: %s\n", experiment_id.c_str());
+
+  // --- The agent runs persistently on the CI runner (uses API v2) ---
+  agent::AgentOptions options;
+  options.control_port = port;
+  options.api_version = 2;
+  options.username = "ci-bot";
+  options.password = "hunter22";
+  options.deployment_id = deployment_id;
+  options.poll_interval_ms = 50;
+  agent::ChronosAgent runner(options);
+  runner.SetHandler([](agent::JobContext* context) {
+    // The "benchmark": checksum a payload_kb buffer, report MB/s.
+    int64_t payload_kb = context->ParamInt("payload_kb", 64);
+    std::string buffer(static_cast<size_t>(payload_kb) * 1024, 'x');
+    analysis::ScopedTimerUs timer;
+    uint64_t checksum = 0;
+    for (int round = 0; round < 50; ++round) {
+      for (char c : buffer) checksum += static_cast<unsigned char>(c);
+    }
+    double seconds = static_cast<double>(timer.ElapsedUs()) / 1e6;
+    double mb = static_cast<double>(payload_kb) * 50 / 1024.0;
+    context->SetResultField("mb_per_s", seconds > 0 ? mb / seconds : 0.0);
+    context->SetResultField("checksum", static_cast<int64_t>(checksum % 997));
+    context->SetProgress(100);
+    return Status::Ok();
+  });
+  if (!runner.Connect().ok()) return 1;
+  runner.StartAsync();
+
+  // --- Each "green build" schedules an evaluation via REST ---
+  for (int build = 101; build <= 103; ++build) {
+    json::Json evaluation = json::Json::MakeObject();
+    evaluation.Set("experiment_id", experiment_id);
+    evaluation.Set("name", "build #" + std::to_string(build));
+    auto created = ci.Post("/api/v1/evaluations", evaluation);
+    std::string evaluation_id =
+        created->at("evaluation").at("id").as_string();
+    std::printf("build #%d -> evaluation %s\n", build,
+                evaluation_id.c_str());
+
+    // CI waits for the verdict.
+    while (true) {
+      auto summary = ci.Get("/api/v1/evaluations/" + evaluation_id);
+      int64_t finished =
+          summary->at("state_counts").GetIntOr("finished", 0);
+      int64_t total = summary->at("total_jobs").as_int();
+      if (finished == total) break;
+      SystemClock::Get()->SleepMs(100);
+    }
+    auto results = ci.Get("/api/v1/evaluations/" + evaluation_id +
+                          "/results");
+    std::printf("  %zu job results archived for build #%d\n",
+                results->size(), build);
+  }
+  runner.Stop();
+
+  // The history is queryable per experiment — the QA monitoring use case.
+  auto evaluations =
+      ci.Get("/api/v1/experiments/" + experiment_id);
+  std::printf("experiment '%s' retained for QA monitoring\n",
+              evaluations->at("name").as_string().c_str());
+  (*server)->Stop();
+  return 0;
+}

@@ -1,0 +1,178 @@
+// Writing a custom Chronos Agent for a brand-new SuE (§2.2: "Integrating
+// the Chronos Agent library into an existing evaluation client is the only
+// part which requires programming ... this usually narrows down to calling
+// already existing methods of the evaluation client").
+//
+// The SuE here is "SortLab", a pre-existing evaluation client that
+// benchmarks sorting algorithms. The Chronos integration is the ~30 lines
+// inside MakeSortLabHandler: map job parameters to the client's entry
+// point, report progress, and hand back metrics.
+//
+// Build & run:  ./build/examples/custom_agent
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "agent/agent.h"
+#include "common/file_util.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "control/rest_api.h"
+
+using namespace chronos;
+
+namespace sortlab {
+
+// ===== The pre-existing evaluation client (knows nothing of Chronos) =====
+
+struct RunResult {
+  double elapsed_ms = 0;
+  uint64_t comparisons = 0;
+};
+
+RunResult RunSort(const std::string& algorithm, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> data(n);
+  for (uint64_t& v : data) v = rng.NextUint64();
+
+  uint64_t comparisons = 0;
+  auto counting_less = [&comparisons](uint64_t a, uint64_t b) {
+    ++comparisons;
+    return a < b;
+  };
+  analysis::ScopedTimerUs timer;
+  if (algorithm == "std_sort") {
+    std::sort(data.begin(), data.end(), counting_less);
+  } else if (algorithm == "stable_sort") {
+    std::stable_sort(data.begin(), data.end(), counting_less);
+  } else {  // heap_sort
+    std::make_heap(data.begin(), data.end(), counting_less);
+    std::sort_heap(data.begin(), data.end(), counting_less);
+  }
+  RunResult result;
+  result.elapsed_ms = static_cast<double>(timer.ElapsedUs()) / 1000.0;
+  result.comparisons = comparisons;
+  return result;
+}
+
+// ===== The Chronos integration: one handler =====
+
+agent::EvaluationHandler MakeSortLabHandler() {
+  return [](agent::JobContext* context) -> Status {
+    std::string algorithm = context->ParamString("algorithm", "std_sort");
+    size_t n = static_cast<size_t>(context->ParamInt("elements", 100000));
+    int repetitions = static_cast<int>(context->ParamInt("repetitions", 3));
+
+    context->Log("sorting " + std::to_string(n) + " elements with " +
+                 algorithm);
+    context->metrics()->StartRun();
+    double total_ms = 0;
+    uint64_t total_comparisons = 0;
+    for (int rep = 0; rep < repetitions; ++rep) {
+      RunResult result = RunSort(algorithm, n, /*seed=*/1000 + rep);
+      context->metrics()->RecordLatency(
+          "sort", static_cast<uint64_t>(result.elapsed_ms * 1000));
+      total_ms += result.elapsed_ms;
+      total_comparisons += result.comparisons;
+      if (!context->SetProgress(100 * (rep + 1) / repetitions)) {
+        return Status::Aborted("aborted by Chronos");
+      }
+    }
+    context->metrics()->EndRun();
+    context->SetResultField("mean_sort_ms", total_ms / repetitions);
+    context->SetResultField(
+        "comparisons_per_element",
+        static_cast<double>(total_comparisons) /
+            (static_cast<double>(n) * repetitions));
+    return Status::Ok();
+  };
+}
+
+}  // namespace sortlab
+
+int main() {
+  Logger::Get()->set_min_level(LogLevel::kWarning);
+
+  file::TempDir workdir("chronos-sortlab");
+  auto db = model::MetaDb::Open(workdir.path() + "/meta");
+  control::ControlService service(db->get());
+  auto admin = service.CreateUser("admin", "secret", model::UserRole::kAdmin);
+  auto server = control::ControlServer::Start(&service, 0);
+
+  // Register SortLab: its parameters and two diagram types.
+  model::System system;
+  system.name = "SortLab";
+  model::ParameterDef algorithm;
+  algorithm.name = "algorithm";
+  algorithm.type = model::ParameterType::kCheckbox;
+  algorithm.options = {json::Json("std_sort"), json::Json("stable_sort"),
+                       json::Json("heap_sort")};
+  system.parameters.push_back(algorithm);
+  model::ParameterDef elements;
+  elements.name = "elements";
+  elements.type = model::ParameterType::kInterval;
+  elements.min = 1000;
+  elements.max = 10000000;
+  system.parameters.push_back(elements);
+  model::ParameterDef repetitions;
+  repetitions.name = "repetitions";
+  repetitions.type = model::ParameterType::kValue;
+  system.parameters.push_back(repetitions);
+  model::DiagramDef line;
+  line.name = "Sort time (ms) by input size";
+  line.type = model::DiagramType::kLine;
+  line.x_field = "elements";
+  line.y_field = "mean_sort_ms";
+  line.group_by = "algorithm";
+  system.diagrams.push_back(line);
+  model::DiagramDef pie;
+  pie.name = "Comparisons per element (100k inputs)";
+  pie.type = model::DiagramType::kBar;
+  pie.x_field = "elements";
+  pie.y_field = "comparisons_per_element";
+  pie.group_by = "algorithm";
+  system.diagrams.push_back(pie);
+  auto registered = service.RegisterSystem(system);
+
+  model::Deployment deployment;
+  deployment.system_id = registered->id;
+  deployment.name = "local-cpu";
+  auto dep = service.CreateDeployment(deployment);
+
+  // Experiment: algorithms x input sizes.
+  auto project = service.CreateProject("sorting study", "", admin->id);
+  model::ParameterSetting algorithms;
+  algorithms.name = "algorithm";
+  algorithms.sweep = {json::Json("std_sort"), json::Json("stable_sort"),
+                      json::Json("heap_sort")};
+  model::ParameterSetting sizes;
+  sizes.name = "elements";
+  sizes.sweep = {json::Json(50000), json::Json(100000), json::Json(200000)};
+  model::ParameterSetting reps;
+  reps.name = "repetitions";
+  reps.fixed = json::Json(3);
+  auto experiment = service.CreateExperiment(
+      project->id, admin->id, registered->id, "algorithm comparison", "",
+      {algorithms, sizes, reps});
+  auto evaluation = service.CreateEvaluation(experiment->id, "sweep");
+  std::printf("SortLab evaluation: %zu jobs\n",
+              service.ListJobs(evaluation->id).size());
+
+  agent::AgentOptions options;
+  options.control_port = (*server)->port();
+  options.username = "admin";
+  options.password = "secret";
+  options.deployment_id = dep->id;
+  agent::ChronosAgent chronos_agent(options);
+  chronos_agent.SetHandler(sortlab::MakeSortLabHandler());
+  if (!chronos_agent.Connect().ok()) return 1;
+  if (!chronos_agent.Run(/*max_jobs=*/9).ok()) return 1;
+
+  auto diagrams = service.EvaluationDiagrams(evaluation->id);
+  for (const analysis::DiagramData& data : *diagrams) {
+    std::printf("\n%s\n", data.ToTable().c_str());
+  }
+  (*server)->Stop();
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Quickstart: the whole Chronos workflow in one process.
+//
+// 1. Open a Chronos Control metadata store and service.
+// 2. Register a system-under-evaluation (a trivial "sleeper" SuE).
+// 3. Create a project, an experiment with a swept parameter, and an
+//    evaluation — Chronos expands the parameter space into jobs.
+// 4. Run a Chronos agent against the REST API to execute the jobs.
+// 5. Analyze the results as a console table.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "agent/agent.h"
+#include "analysis/diagrams.h"
+#include "common/file_util.h"
+#include "common/logging.h"
+#include "control/rest_api.h"
+
+using namespace chronos;  // Example code; library code never does this.
+
+int main() {
+  Logger::Get()->set_min_level(LogLevel::kWarning);
+
+  // --- 1. Chronos Control: durable store + service + REST server ---
+  file::TempDir workdir("chronos-quickstart");
+  auto db = model::MetaDb::Open(workdir.path() + "/meta");
+  if (!db.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  control::ControlService service(db->get());
+  auto admin = service.CreateUser("admin", "secret", model::UserRole::kAdmin);
+  auto server = control::ControlServer::Start(&service, /*port=*/0);
+  std::printf("Chronos Control listening on 127.0.0.1:%d\n",
+              (*server)->port());
+
+  // --- 2. Register the SuE: parameters + how to visualize results ---
+  model::System system;
+  system.name = "Sleeper";
+  system.description = "Sleeps for work_ms and reports how it went";
+  model::ParameterDef work_ms;
+  work_ms.name = "work_ms";
+  work_ms.type = model::ParameterType::kInterval;
+  work_ms.min = 1;
+  work_ms.max = 1000;
+  system.parameters.push_back(work_ms);
+  model::DiagramDef diagram;
+  diagram.name = "Measured latency by configured work";
+  diagram.type = model::DiagramType::kLine;
+  diagram.x_field = "work_ms";
+  diagram.y_field = "measured_ms";
+  system.diagrams.push_back(diagram);
+  auto registered = service.RegisterSystem(system);
+
+  model::Deployment deployment;
+  deployment.system_id = registered->id;
+  deployment.name = "local";
+  auto dep = service.CreateDeployment(deployment);
+
+  // --- 3. Project -> experiment (sweep work_ms) -> evaluation ---
+  auto project = service.CreateProject("quickstart", "demo", admin->id);
+  model::ParameterSetting sweep;
+  sweep.name = "work_ms";
+  sweep.sweep = {json::Json(10), json::Json(20), json::Json(40)};
+  auto experiment = service.CreateExperiment(
+      project->id, admin->id, registered->id, "sleep sweep", "", {sweep});
+  auto evaluation = service.CreateEvaluation(experiment->id, "run 1");
+  std::printf("Evaluation %s expanded into %zu jobs\n",
+              evaluation->id.c_str(),
+              service.ListJobs(evaluation->id).size());
+
+  // --- 4. A Chronos agent executes the jobs over the REST API ---
+  agent::AgentOptions options;
+  options.control_port = (*server)->port();
+  options.username = "admin";
+  options.password = "secret";
+  options.deployment_id = dep->id;
+  agent::ChronosAgent agent(options);
+  agent.SetHandler([](agent::JobContext* context) {
+    int64_t work_ms = context->ParamInt("work_ms", 0);
+    context->Log("sleeping for " + std::to_string(work_ms) + " ms");
+    analysis::ScopedTimerUs timer;
+    context->metrics()->StartRun();
+    SystemClock::Get()->SleepMs(work_ms);
+    context->metrics()->RecordLatency("sleep", timer.ElapsedUs());
+    context->metrics()->EndRun();
+    context->SetProgress(100);
+    context->SetResultField(
+        "measured_ms", static_cast<double>(timer.ElapsedUs()) / 1000.0);
+    return Status::Ok();
+  });
+  if (!agent.Connect().ok() || !agent.Run(/*max_jobs=*/3).ok()) {
+    std::fprintf(stderr, "agent failed\n");
+    return 1;
+  }
+
+  // --- 5. Analysis: the toolkit's diagram of the evaluation ---
+  auto diagrams = service.EvaluationDiagrams(evaluation->id);
+  for (const analysis::DiagramData& data : *diagrams) {
+    std::printf("\n%s\n", data.ToTable().c_str());
+  }
+  auto summary = service.Summarize(evaluation->id);
+  std::printf("finished jobs: %d/%d\n",
+              summary->state_counts[model::JobState::kFinished],
+              summary->total_jobs);
+  (*server)->Stop();
+  return 0;
+}

@@ -1,0 +1,314 @@
+#include "agent/agent.h"
+
+#include "archive/zip.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "net/ftp.h"
+
+namespace chronos::agent {
+
+namespace {
+
+// Parses a JSON response body; non-2xx responses become error statuses.
+StatusOr<json::Json> CheckedJson(const StatusOr<net::HttpResponse>& response) {
+  CHRONOS_RETURN_IF_ERROR(response.status());
+  if (response->status_code >= 300) {
+    std::string message = "HTTP " + std::to_string(response->status_code);
+    auto body = json::Parse(response->body);
+    if (body.ok()) message += ": " + body->GetStringOr("error", "");
+    if (response->status_code == 401 || response->status_code == 403) {
+      return Status::Unauthenticated(message);
+    }
+    if (response->status_code == 404) return Status::NotFound(message);
+    if (response->status_code == 412) {
+      return Status::FailedPrecondition(message);
+    }
+    return Status::Unavailable(message);
+  }
+  if (response->body.empty()) return json::Json::MakeObject();
+  return json::Parse(response->body);
+}
+
+}  // namespace
+
+JobContext::JobContext(net::HttpClient* http, std::string api_base,
+                       model::Job job, Clock* clock)
+    : http_(http),
+      api_base_(std::move(api_base)),
+      job_(std::move(job)),
+      clock_(clock),
+      metrics_(clock),
+      result_fields_(json::Json::MakeObject()) {}
+
+JobContext::~JobContext() = default;
+
+int64_t JobContext::ParamInt(const std::string& name,
+                             int64_t fallback) const {
+  auto it = job_.parameters.find(name);
+  return it != job_.parameters.end() && it->second.is_number()
+             ? it->second.as_int()
+             : fallback;
+}
+
+double JobContext::ParamDouble(const std::string& name,
+                               double fallback) const {
+  auto it = job_.parameters.find(name);
+  return it != job_.parameters.end() && it->second.is_number()
+             ? it->second.as_double()
+             : fallback;
+}
+
+std::string JobContext::ParamString(const std::string& name,
+                                    const std::string& fallback) const {
+  auto it = job_.parameters.find(name);
+  return it != job_.parameters.end() && it->second.is_string()
+             ? it->second.as_string()
+             : fallback;
+}
+
+bool JobContext::ParamBool(const std::string& name, bool fallback) const {
+  auto it = job_.parameters.find(name);
+  return it != job_.parameters.end() && it->second.is_bool()
+             ? it->second.as_bool()
+             : fallback;
+}
+
+bool JobContext::SetProgress(int percent) {
+  json::Json body = json::Json::MakeObject();
+  body.Set("percent", static_cast<int64_t>(percent));
+  auto response = CheckedJson(http_->Post(
+      api_base_ + "/agent/jobs/" + job_.id + "/progress", body.Dump()));
+  if (!response.ok()) return !aborted_.load();
+  std::string state = response->GetStringOr("state", "running");
+  if (state != "running") {
+    aborted_.store(true);
+    return false;
+  }
+  return true;
+}
+
+void JobContext::Log(const std::string& line) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_log_lines_.push_back(line);
+  }
+  CHRONOS_LOG(kDebug, "agent.job") << job_.id << ": " << line;
+}
+
+void JobContext::SetResultField(const std::string& name, json::Json value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  result_fields_.Set(name, std::move(value));
+}
+
+void JobContext::AddResultFile(const std::string& name,
+                               std::string contents) {
+  std::lock_guard<std::mutex> lock(mu_);
+  result_files_[name] = std::move(contents);
+}
+
+Status JobContext::FlushLogs() {
+  std::vector<std::string> lines;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    lines.swap(pending_log_lines_);
+  }
+  if (lines.empty()) return Status::Ok();
+  json::Json body = json::Json::MakeObject();
+  json::Json array = json::Json::MakeArray();
+  for (const std::string& line : lines) array.Append(line);
+  body.Set("lines", std::move(array));
+  return CheckedJson(http_->Post(api_base_ + "/agent/jobs/" + job_.id + "/log",
+                                 body.Dump()))
+      .status();
+}
+
+Status JobContext::SendHeartbeat() {
+  auto response = CheckedJson(
+      http_->Post(api_base_ + "/agent/jobs/" + job_.id + "/heartbeat", "{}"));
+  if (response.ok() &&
+      response->GetStringOr("state", "running") != "running") {
+    aborted_.store(true);
+  }
+  return response.status();
+}
+
+json::Json JobContext::BuildResultJson() {
+  std::lock_guard<std::mutex> lock(mu_);
+  json::Json result = result_fields_;
+  result.Set("metrics", metrics_.ToJson());
+  // Parameters travel with the result so analysis can group/bucket without
+  // a join.
+  result.Set("parameters", model::AssignmentToJson(job_.parameters));
+  return result;
+}
+
+std::map<std::string, std::string> JobContext::TakeResultFiles() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, std::string> files;
+  files.swap(result_files_);
+  return files;
+}
+
+ChronosAgent::ChronosAgent(AgentOptions options)
+    : options_(std::move(options)) {
+  http_ = std::make_unique<net::HttpClient>(options_.control_host,
+                                            options_.control_port);
+}
+
+ChronosAgent::~ChronosAgent() { Stop(); }
+
+std::string ChronosAgent::ApiBase() const {
+  return "/api/v" + std::to_string(options_.api_version);
+}
+
+Status ChronosAgent::Connect() {
+  json::Json body = json::Json::MakeObject();
+  body.Set("username", options_.username);
+  body.Set("password", options_.password);
+  CHRONOS_ASSIGN_OR_RETURN(
+      json::Json response,
+      CheckedJson(http_->Post(ApiBase() + "/auth/login", body.Dump())));
+  token_ = response.GetStringOr("token", "");
+  if (token_.empty()) return Status::Unauthenticated("login returned no token");
+  http_->SetDefaultHeader("X-Session", token_);
+  return Status::Ok();
+}
+
+StatusOr<bool> ChronosAgent::RunOnce() {
+  if (handler_ == nullptr) {
+    return Status::FailedPrecondition("no evaluation handler registered");
+  }
+  json::Json poll_body = json::Json::MakeObject();
+  poll_body.Set("deployment_id", options_.deployment_id);
+  CHRONOS_ASSIGN_OR_RETURN(
+      json::Json response,
+      CheckedJson(http_->Post(ApiBase() + "/agent/poll", poll_body.Dump())));
+  if (response.at("job").is_null()) return false;
+  CHRONOS_ASSIGN_OR_RETURN(model::Job job,
+                           model::Job::FromJson(response.at("job")));
+  CHRONOS_RETURN_IF_ERROR(ExecuteJob(std::move(job)));
+  return true;
+}
+
+Status ChronosAgent::ExecuteJob(model::Job job) {
+  std::string job_id = job.id;
+  JobContext context(http_.get(), ApiBase(), std::move(job),
+                     SystemClock::Get());
+  CHRONOS_LOG(kInfo, "agent") << "starting job " << job_id;
+  context.Log("agent picked up job (attempt " +
+              std::to_string(context.job().attempt) + ")");
+
+  // Background heartbeat + periodic log shipping while the handler runs.
+  std::atomic<bool> done{false};
+  std::thread keepalive([this, &context, &done] {
+    int64_t since_flush = 0;
+    int64_t since_heartbeat = 0;
+    while (!done.load()) {
+      SystemClock::Get()->SleepMs(50);
+      since_flush += 50;
+      since_heartbeat += 50;
+      if (done.load()) break;
+      if (since_flush >= options_.log_flush_interval_ms) {
+        context.FlushLogs().ok();
+        since_flush = 0;
+      }
+      if (since_heartbeat >= options_.heartbeat_interval_ms) {
+        context.SendHeartbeat().ok();
+        since_heartbeat = 0;
+      }
+    }
+  });
+
+  Status handler_status = handler_(&context);
+  done.store(true);
+  keepalive.join();
+  context.FlushLogs().ok();
+  jobs_executed_.fetch_add(1);
+
+  if (context.IsAborted()) {
+    CHRONOS_LOG(kInfo, "agent") << "job " << job_id << " aborted by server";
+    return Status::Ok();  // Terminal state already set server-side.
+  }
+  if (!handler_status.ok()) {
+    CHRONOS_LOG(kWarning, "agent")
+        << "job " << job_id << " failed: " << handler_status.ToString();
+    json::Json fail_body = json::Json::MakeObject();
+    fail_body.Set("reason", handler_status.ToString());
+    return CheckedJson(http_->Post(
+                           ApiBase() + "/agent/jobs/" + job_id + "/fail",
+                           fail_body.Dump()))
+        .status();
+  }
+  return UploadResult(&context);
+}
+
+Status ChronosAgent::UploadResult(JobContext* context) {
+  const std::string& job_id = context->job().id;
+  json::Json data = context->BuildResultJson();
+
+  // Assemble the zip bundle: handler files + the shipped log.
+  std::map<std::string, std::string> files = context->TakeResultFiles();
+  files["result.json"] = data.DumpPretty();
+  std::string bundle = archive::ZipFiles(files);
+
+  std::string zip_base64;
+  if (!options_.ftp_host.empty()) {
+    // Offload the bundle to the FTP server; reference it in the result.
+    CHRONOS_ASSIGN_OR_RETURN(
+        std::unique_ptr<net::FtpClient> ftp,
+        net::FtpClient::Connect(options_.ftp_host, options_.ftp_port,
+                                options_.ftp_username,
+                                options_.ftp_password));
+    std::string remote_name = "job-" + job_id + ".zip";
+    CHRONOS_RETURN_IF_ERROR(ftp->Store(remote_name, bundle));
+    ftp->Quit().ok();
+    data.Set("bundle_ftp_ref", remote_name);
+  } else {
+    zip_base64 = strings::Base64Encode(bundle);
+  }
+
+  json::Json body = json::Json::MakeObject();
+  body.Set("data", std::move(data));
+  body.Set("zip_base64", zip_base64);
+  Status status =
+      CheckedJson(http_->Post(ApiBase() + "/agent/jobs/" + job_id + "/result",
+                              body.Dump()))
+          .status();
+  if (status.ok()) {
+    CHRONOS_LOG(kInfo, "agent") << "job " << job_id << " finished";
+  }
+  return status;
+}
+
+Status ChronosAgent::Run(int max_jobs) {
+  while (!stop_requested_.load()) {
+    auto ran = RunOnce();
+    if (!ran.ok()) {
+      // Transient control-server trouble: back off and retry.
+      CHRONOS_LOG(kWarning, "agent")
+          << "poll failed: " << ran.status().ToString();
+      SystemClock::Get()->SleepMs(options_.poll_interval_ms * 5);
+      continue;
+    }
+    if (max_jobs > 0 && jobs_executed_.load() >= max_jobs) {
+      return Status::Ok();
+    }
+    if (!*ran) {
+      SystemClock::Get()->SleepMs(options_.poll_interval_ms);
+    }
+  }
+  return Status::Ok();
+}
+
+void ChronosAgent::StartAsync(int max_jobs) {
+  Stop();
+  stop_requested_.store(false);
+  loop_thread_ = std::thread([this, max_jobs] { Run(max_jobs).ok(); });
+}
+
+void ChronosAgent::Stop() {
+  stop_requested_.store(true);
+  if (loop_thread_.joinable()) loop_thread_.join();
+}
+
+}  // namespace chronos::agent

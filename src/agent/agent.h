@@ -1,0 +1,162 @@
+#ifndef CHRONOS_AGENT_AGENT_H_
+#define CHRONOS_AGENT_AGENT_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/metrics.h"
+#include "common/clock.h"
+#include "model/entities.h"
+#include "net/http.h"
+
+namespace chronos::agent {
+
+// Configuration of a Chronos Agent instance. An agent serves exactly one
+// deployment (multiple identical deployments -> run multiple agents, which
+// is how evaluations parallelize).
+struct AgentOptions {
+  std::string control_host = "127.0.0.1";
+  int control_port = 0;
+  int api_version = 2;  // The versioned REST API level to speak.
+  std::string username;
+  std::string password;
+  std::string deployment_id;
+  int64_t poll_interval_ms = 100;
+  int64_t heartbeat_interval_ms = 2000;
+  int64_t log_flush_interval_ms = 1000;
+  // Optional FTP target for result bundles ("allows to use a different
+  // server or a NAS for storing the results"). Empty host = upload the
+  // bundle inline over HTTP.
+  std::string ftp_host;
+  int ftp_port = 0;
+  std::string ftp_username;
+  std::string ftp_password;
+};
+
+// Handed to the evaluation handler while a job runs. Provides progress
+// updates, log shipping, the built-in metrics collector, abort detection,
+// and the result document under construction.
+class JobContext {
+ public:
+  JobContext(net::HttpClient* http, std::string api_base, model::Job job,
+             Clock* clock);
+  ~JobContext();
+
+  JobContext(const JobContext&) = delete;
+  JobContext& operator=(const JobContext&) = delete;
+
+  const model::Job& job() const { return job_; }
+  const model::ParameterAssignment& parameters() const {
+    return job_.parameters;
+  }
+
+  // Convenience typed parameter access with defaults.
+  int64_t ParamInt(const std::string& name, int64_t fallback) const;
+  double ParamDouble(const std::string& name, double fallback) const;
+  std::string ParamString(const std::string& name,
+                          const std::string& fallback) const;
+  bool ParamBool(const std::string& name, bool fallback) const;
+
+  // Pushes a progress percentage to Chronos Control; returns false if the
+  // job is no longer running there (aborted) — the handler should stop.
+  bool SetProgress(int percent);
+
+  // True once Chronos Control reported a non-running state.
+  bool IsAborted() const { return aborted_.load(); }
+
+  // Buffers a log line; the agent ships buffered lines periodically
+  // ("the agent periodically sends the output of the logger").
+  void Log(const std::string& line);
+
+  // Built-in measurement support shipped with the result.
+  analysis::MetricsCollector* metrics() { return &metrics_; }
+
+  // Sets a top-level field of the result JSON document.
+  void SetResultField(const std::string& name, json::Json value);
+
+  // Adds an extra file to the result zip bundle.
+  void AddResultFile(const std::string& name, std::string contents);
+
+  // --- Used by the agent runtime ---
+
+  // Sends buffered log lines; safe to call concurrently.
+  Status FlushLogs();
+  Status SendHeartbeat();
+  json::Json BuildResultJson();
+  std::map<std::string, std::string> TakeResultFiles();
+
+ private:
+  net::HttpClient* http_;
+  std::string api_base_;
+  model::Job job_;
+  Clock* clock_;
+  analysis::MetricsCollector metrics_;
+  std::atomic<bool> aborted_{false};
+
+  std::mutex mu_;
+  std::vector<std::string> pending_log_lines_;
+  json::Json result_fields_;
+  std::map<std::string, std::string> result_files_;
+};
+
+// The handler implements the actual evaluation against the SuE. Returning
+// non-OK marks the job failed with the status message as reason. If the
+// context reports IsAborted, the handler should return Aborted (any status
+// is accepted; the job is already terminal on the server).
+using EvaluationHandler = std::function<Status(JobContext*)>;
+
+// The generic Chronos Agent: logs in, polls Chronos Control for jobs of its
+// deployment, runs the registered handler, streams progress/log/heartbeats,
+// and uploads the result (HTTP, or FTP for the bundle).
+class ChronosAgent {
+ public:
+  explicit ChronosAgent(AgentOptions options);
+  ~ChronosAgent();
+
+  ChronosAgent(const ChronosAgent&) = delete;
+  ChronosAgent& operator=(const ChronosAgent&) = delete;
+
+  void SetHandler(EvaluationHandler handler) {
+    handler_ = std::move(handler);
+  }
+
+  // Logs in to Chronos Control. Must succeed before Run/RunOnce.
+  Status Connect();
+
+  // Polls once; executes at most one job. Returns true iff a job ran.
+  StatusOr<bool> RunOnce();
+
+  // Poll-execute loop until Stop() (or until `max_jobs` executed if > 0).
+  Status Run(int max_jobs = 0);
+
+  // Runs the loop on a background thread until Stop().
+  void StartAsync(int max_jobs = 0);
+  void Stop();
+
+  int jobs_executed() const { return jobs_executed_.load(); }
+  const std::string& session_token() const { return token_; }
+
+ private:
+  std::string ApiBase() const;
+  Status ExecuteJob(model::Job job);
+  Status UploadResult(JobContext* context);
+
+  AgentOptions options_;
+  EvaluationHandler handler_;
+  std::unique_ptr<net::HttpClient> http_;
+  std::string token_;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<int> jobs_executed_{0};
+  std::thread loop_thread_;
+};
+
+}  // namespace chronos::agent
+
+#endif  // CHRONOS_AGENT_AGENT_H_

@@ -1,0 +1,378 @@
+#include "analysis/diagrams.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+#include "json/json.h"
+
+namespace chronos::analysis {
+
+namespace {
+
+std::string FormatValue(double v) {
+  char buf[32];
+  if (std::floor(v) == v && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+  }
+  return buf;
+}
+
+std::string JsonScalarToLabel(const json::Json& v) {
+  if (v.is_string()) return v.as_string();
+  if (v.is_bool()) return v.as_bool() ? "true" : "false";
+  if (v.is_number()) return FormatValue(v.as_double());
+  return v.Dump();
+}
+
+// Numeric-aware label ordering so thread counts sort 1,2,4,...,16 not
+// lexicographically.
+bool LabelLess(const std::string& a, const std::string& b) {
+  double da, db;
+  if (strings::ParseDouble(a, &da) && strings::ParseDouble(b, &db)) {
+    return da < db;
+  }
+  return a < b;
+}
+
+// Escapes text for embedding in HTML/SVG element content.
+std::string HtmlEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+const char* kSeriesColors[] = {"#1f77b4", "#ff7f0e", "#2ca02c", "#d62728",
+                               "#9467bd", "#8c564b", "#e377c2", "#7f7f7f"};
+
+}  // namespace
+
+json::Json DiagramData::ToJson() const {
+  json::Json out = json::Json::MakeObject();
+  out.Set("name", name);
+  out.Set("type", std::string(model::DiagramTypeName(type)));
+  out.Set("x_label", x_label);
+  out.Set("y_label", y_label);
+  json::Json x = json::Json::MakeArray();
+  for (const std::string& v : x_values) x.Append(v);
+  out.Set("x_values", std::move(x));
+  json::Json series_json = json::Json::MakeArray();
+  for (const Series& s : series) {
+    json::Json entry = json::Json::MakeObject();
+    entry.Set("name", s.name);
+    json::Json values = json::Json::MakeArray();
+    for (double v : s.values) values.Append(v);
+    entry.Set("values", std::move(values));
+    series_json.Append(std::move(entry));
+  }
+  out.Set("series", std::move(series_json));
+  return out;
+}
+
+std::string DiagramData::ToCsv() const {
+  std::string out = x_label.empty() ? "series" : x_label;
+  for (const Series& s : series) {
+    out += "," + s.name;
+  }
+  out += "\n";
+  for (size_t i = 0; i < x_values.size(); ++i) {
+    out += x_values[i];
+    for (const Series& s : series) {
+      out += ",";
+      if (i < s.values.size()) out += FormatValue(s.values[i]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string DiagramData::ToTable() const {
+  // Column widths.
+  size_t label_width = std::max<size_t>(x_label.size(), 8);
+  for (const std::string& x : x_values) {
+    label_width = std::max(label_width, x.size());
+  }
+  std::vector<size_t> widths;
+  for (const Series& s : series) {
+    size_t w = std::max<size_t>(s.name.size(), 10);
+    for (double v : s.values) w = std::max(w, FormatValue(v).size());
+    widths.push_back(w);
+  }
+  auto pad = [](const std::string& s, size_t w) {
+    return s.size() >= w ? s : std::string(w - s.size(), ' ') + s;
+  };
+
+  std::string out = name + " (" + std::string(model::DiagramTypeName(type)) +
+                    (y_label.empty() ? "" : ", y=" + y_label) + ")\n";
+  out += pad(x_label.empty() ? "x" : x_label, label_width);
+  for (size_t i = 0; i < series.size(); ++i) {
+    out += "  " + pad(series[i].name, widths[i]);
+  }
+  out += "\n";
+  out += std::string(label_width, '-');
+  for (size_t i = 0; i < series.size(); ++i) {
+    out += "  " + std::string(widths[i], '-');
+  }
+  out += "\n";
+  for (size_t row = 0; row < x_values.size(); ++row) {
+    out += pad(x_values[row], label_width);
+    for (size_t i = 0; i < series.size(); ++i) {
+      std::string cell = row < series[i].values.size()
+                             ? FormatValue(series[i].values[row])
+                             : "-";
+      out += "  " + pad(cell, widths[i]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+json::Json ExtractField(const JobResult& result, const std::string& field) {
+  auto it = result.parameters.find(field);
+  if (it != result.parameters.end()) return it->second;
+  // Dotted path into the result document.
+  const json::Json* node = &result.data;
+  for (const std::string& part : strings::Split(field, '.', true)) {
+    node = &node->at(part);
+  }
+  return *node;
+}
+
+StatusOr<DiagramData> BuildDiagram(const model::DiagramDef& def,
+                                   const std::vector<JobResult>& results) {
+  DiagramData diagram;
+  diagram.name = def.name;
+  diagram.type = def.type;
+  diagram.x_label = def.x_field;
+  diagram.y_label = def.y_field;
+  if (def.y_field.empty()) {
+    return Status::InvalidArgument("diagram '" + def.name +
+                                   "' has no y_field");
+  }
+
+  // group name -> x label -> accumulated values.
+  std::map<std::string, std::map<std::string, std::vector<double>>> groups;
+  std::set<std::string> x_seen;
+  for (const JobResult& result : results) {
+    json::Json y = ExtractField(result, def.y_field);
+    if (!y.is_number()) continue;  // Job without this metric.
+    std::string x = def.x_field.empty()
+                        ? ""
+                        : JsonScalarToLabel(ExtractField(result, def.x_field));
+    std::string group =
+        def.group_by.empty()
+            ? def.y_field
+            : JsonScalarToLabel(ExtractField(result, def.group_by));
+    groups[group][x].push_back(y.as_double());
+    x_seen.insert(x);
+  }
+  if (groups.empty()) {
+    return Status::NotFound("no job result carries metric '" + def.y_field +
+                            "'");
+  }
+
+  diagram.x_values.assign(x_seen.begin(), x_seen.end());
+  std::sort(diagram.x_values.begin(), diagram.x_values.end(), LabelLess);
+
+  for (const auto& [group, buckets] : groups) {
+    Series series;
+    series.name = group;
+    for (const std::string& x : diagram.x_values) {
+      auto it = buckets.find(x);
+      if (it == buckets.end() || it->second.empty()) {
+        series.values.push_back(0);
+        continue;
+      }
+      double sum = 0;
+      for (double v : it->second) sum += v;
+      series.values.push_back(sum / static_cast<double>(it->second.size()));
+    }
+    diagram.series.push_back(std::move(series));
+  }
+  return diagram;
+}
+
+std::string RenderSvg(const DiagramData& diagram, int width, int height) {
+  constexpr int kMarginLeft = 70, kMarginRight = 20, kMarginTop = 30,
+                kMarginBottom = 50;
+  int plot_w = width - kMarginLeft - kMarginRight;
+  int plot_h = height - kMarginTop - kMarginBottom;
+
+  double max_value = 0;
+  for (const Series& s : diagram.series) {
+    for (double v : s.values) max_value = std::max(max_value, v);
+  }
+  if (max_value <= 0) max_value = 1;
+
+  std::string svg = "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" +
+                    std::to_string(width) + "\" height=\"" +
+                    std::to_string(height) + "\">\n";
+  svg += "<text x=\"" + std::to_string(width / 2) +
+         "\" y=\"18\" text-anchor=\"middle\" font-size=\"14\">" +
+         HtmlEscape(diagram.name) + "</text>\n";
+
+  auto x_of = [&](size_t i, size_t n) {
+    if (n <= 1) return kMarginLeft + plot_w / 2;
+    return kMarginLeft +
+           static_cast<int>(static_cast<double>(i) * plot_w / (n - 1));
+  };
+  auto y_of = [&](double v) {
+    return kMarginTop + plot_h -
+           static_cast<int>(v / max_value * plot_h);
+  };
+
+  if (diagram.type == model::DiagramType::kPie) {
+    // Pie over the first value of every series.
+    double total = 0;
+    for (const Series& s : diagram.series) {
+      if (!s.values.empty()) total += std::max(0.0, s.values[0]);
+    }
+    if (total <= 0) total = 1;
+    double cx = width / 2.0, cy = (height + kMarginTop) / 2.0;
+    double radius = std::min(plot_w, plot_h) / 2.2;
+    double angle = -3.14159265 / 2;
+    for (size_t i = 0; i < diagram.series.size(); ++i) {
+      double share = diagram.series[i].values.empty()
+                         ? 0
+                         : std::max(0.0, diagram.series[i].values[0]) / total;
+      double next = angle + share * 2 * 3.14159265;
+      double x1 = cx + radius * std::cos(angle), y1 = cy + radius * std::sin(angle);
+      double x2 = cx + radius * std::cos(next), y2 = cy + radius * std::sin(next);
+      int large = share > 0.5 ? 1 : 0;
+      char path[256];
+      std::snprintf(path, sizeof(path),
+                    "<path d=\"M%.1f,%.1f L%.1f,%.1f A%.1f,%.1f 0 %d 1 "
+                    "%.1f,%.1f Z\" fill=\"%s\"/>\n",
+                    cx, cy, x1, y1, radius, radius, large, x2, y2,
+                    kSeriesColors[i % 8]);
+      svg += path;
+      angle = next;
+    }
+  } else {
+    // Axes.
+    svg += "<line x1=\"" + std::to_string(kMarginLeft) + "\" y1=\"" +
+           std::to_string(kMarginTop) + "\" x2=\"" +
+           std::to_string(kMarginLeft) + "\" y2=\"" +
+           std::to_string(kMarginTop + plot_h) +
+           "\" stroke=\"#333\"/>\n";
+    svg += "<line x1=\"" + std::to_string(kMarginLeft) + "\" y1=\"" +
+           std::to_string(kMarginTop + plot_h) + "\" x2=\"" +
+           std::to_string(kMarginLeft + plot_w) + "\" y2=\"" +
+           std::to_string(kMarginTop + plot_h) + "\" stroke=\"#333\"/>\n";
+    // Y max label.
+    svg += "<text x=\"" + std::to_string(kMarginLeft - 6) + "\" y=\"" +
+           std::to_string(kMarginTop + 4) +
+           "\" text-anchor=\"end\" font-size=\"10\">" +
+           FormatValue(max_value) + "</text>\n";
+    // X labels.
+    for (size_t i = 0; i < diagram.x_values.size(); ++i) {
+      svg += "<text x=\"" +
+             std::to_string(x_of(i, diagram.x_values.size())) + "\" y=\"" +
+             std::to_string(kMarginTop + plot_h + 16) +
+             "\" text-anchor=\"middle\" font-size=\"10\">" +
+             HtmlEscape(diagram.x_values[i]) + "</text>\n";
+    }
+
+    if (diagram.type == model::DiagramType::kLine) {
+      for (size_t s = 0; s < diagram.series.size(); ++s) {
+        std::string points;
+        for (size_t i = 0; i < diagram.series[s].values.size(); ++i) {
+          points += std::to_string(x_of(i, diagram.x_values.size())) + "," +
+                    std::to_string(y_of(diagram.series[s].values[i])) + " ";
+        }
+        svg += "<polyline fill=\"none\" stroke=\"" +
+               std::string(kSeriesColors[s % 8]) +
+               "\" stroke-width=\"2\" points=\"" + points + "\"/>\n";
+      }
+    } else {  // Bar.
+      size_t n = diagram.x_values.size();
+      size_t groups = diagram.series.size();
+      double slot = n > 0 ? static_cast<double>(plot_w) / n : plot_w;
+      double bar_w = groups > 0 ? slot * 0.7 / groups : slot;
+      for (size_t s = 0; s < groups; ++s) {
+        for (size_t i = 0; i < diagram.series[s].values.size() && i < n; ++i) {
+          double x = kMarginLeft + slot * i + slot * 0.15 + bar_w * s;
+          int y = y_of(diagram.series[s].values[i]);
+          char rect[256];
+          std::snprintf(rect, sizeof(rect),
+                        "<rect x=\"%.1f\" y=\"%d\" width=\"%.1f\" "
+                        "height=\"%d\" fill=\"%s\"/>\n",
+                        x, y, bar_w, kMarginTop + plot_h - y,
+                        kSeriesColors[s % 8]);
+          svg += rect;
+        }
+      }
+    }
+  }
+
+  // Legend.
+  int legend_y = kMarginTop;
+  for (size_t s = 0; s < diagram.series.size(); ++s) {
+    char item[256];
+    std::snprintf(item, sizeof(item),
+                  "<rect x=\"%d\" y=\"%d\" width=\"10\" height=\"10\" "
+                  "fill=\"%s\"/><text x=\"%d\" y=\"%d\" font-size=\"10\">",
+                  width - kMarginRight - 110, legend_y,
+                  kSeriesColors[s % 8], width - kMarginRight - 96,
+                  legend_y + 9);
+    svg += item;
+    svg += HtmlEscape(diagram.series[s].name) + "</text>\n";
+    legend_y += 14;
+  }
+  svg += "</svg>\n";
+  return svg;
+}
+
+std::string RenderHtmlReport(const std::string& title,
+                             const std::vector<DiagramData>& diagrams) {
+  std::string html =
+      "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"><title>" +
+      HtmlEscape(title) +
+      "</title>\n<style>body{font-family:sans-serif;margin:24px;}"
+      "table{border-collapse:collapse;margin:12px 0;}"
+      "td,th{border:1px solid #ccc;padding:4px 10px;text-align:right;}"
+      "th{background:#f4f4f4;}pre{background:#f8f8f8;padding:8px;}"
+      "</style></head>\n<body>\n<h1>" +
+      HtmlEscape(title) + "</h1>\n";
+  for (const DiagramData& diagram : diagrams) {
+    html += "<h2>" + HtmlEscape(diagram.name) + "</h2>\n";
+    html += RenderSvg(diagram);
+    // Data table next to the chart.
+    html += "<table><tr><th>" +
+            HtmlEscape(diagram.x_label.empty() ? "x"
+                                                       : diagram.x_label) +
+            "</th>";
+    for (const Series& s : diagram.series) {
+      html += "<th>" + HtmlEscape(s.name) + "</th>";
+    }
+    html += "</tr>\n";
+    for (size_t i = 0; i < diagram.x_values.size(); ++i) {
+      html += "<tr><td>" + HtmlEscape(diagram.x_values[i]) + "</td>";
+      for (const Series& s : diagram.series) {
+        html += "<td>" +
+                (i < s.values.size() ? FormatValue(s.values[i]) : "-") +
+                "</td>";
+      }
+      html += "</tr>\n";
+    }
+    html += "</table>\n";
+  }
+  html += "</body></html>\n";
+  return html;
+}
+
+}  // namespace chronos::analysis

@@ -1,0 +1,67 @@
+#ifndef CHRONOS_ANALYSIS_DIAGRAMS_H_
+#define CHRONOS_ANALYSIS_DIAGRAMS_H_
+
+#include <string>
+#include <vector>
+
+#include "json/json.h"
+#include "model/entities.h"
+
+namespace chronos::analysis {
+
+// One finished job's contribution to the analysis: its parameter assignment
+// and the result JSON the agent uploaded.
+struct JobResult {
+  model::ParameterAssignment parameters;
+  json::Json data;
+};
+
+// A renderable series: one line on a line chart / one bar group on a bar
+// chart / the slices of a pie.
+struct Series {
+  std::string name;  // group_by value, e.g. "wiredtiger".
+  std::vector<double> values;
+};
+
+// Diagram-ready data extracted from a set of job results according to a
+// DiagramDef — exactly what the Chronos web UI renders in "Basic Result
+// Analysis" (Fig. 3d).
+struct DiagramData {
+  std::string name;
+  model::DiagramType type = model::DiagramType::kLine;
+  std::string x_label;
+  std::string y_label;
+  std::vector<std::string> x_values;  // Category labels along the x axis.
+  std::vector<Series> series;
+
+  json::Json ToJson() const;
+
+  // "engine,threads=1,threads=2,...\nwiredtiger,1234.5,..." CSV export.
+  std::string ToCsv() const;
+
+  // Fixed-width console table (the "rows/series the paper reports").
+  std::string ToTable() const;
+};
+
+// Looks up `field` in the job's parameters first, then in the result JSON
+// (supporting one level of dotted nesting, e.g. "latency_us.read.p95").
+json::Json ExtractField(const JobResult& result, const std::string& field);
+
+// Groups the results by `def.group_by`, buckets them by `def.x_field`, and
+// reduces each bucket's `def.y_field` values by arithmetic mean (multiple
+// repetitions of the same point average out).
+StatusOr<DiagramData> BuildDiagram(const model::DiagramDef& def,
+                                   const std::vector<JobResult>& results);
+
+// Renders a standalone HTML report (inline SVG charts, no external assets)
+// for a set of diagrams — the toolkit's result-visualization output.
+std::string RenderHtmlReport(const std::string& title,
+                             const std::vector<DiagramData>& diagrams);
+
+// Renders one diagram as an SVG fragment (exposed for tests).
+std::string RenderSvg(const DiagramData& diagram, int width = 640,
+                      int height = 360);
+
+}  // namespace chronos::analysis
+
+#endif  // CHRONOS_ANALYSIS_DIAGRAMS_H_

@@ -1,0 +1,109 @@
+#include "analysis/metrics.h"
+
+namespace chronos::analysis {
+
+MetricsCollector::MetricsCollector(Clock* clock) : clock_(clock) {}
+
+void MetricsCollector::StartRun() {
+  std::lock_guard<std::mutex> lock(mu_);
+  run_started_ = true;
+  run_ended_ = false;
+  run_start_ns_ = clock_->MonotonicNanos();
+  run_end_ns_ = 0;
+}
+
+void MetricsCollector::EndRun() {
+  std::lock_guard<std::mutex> lock(mu_);
+  run_ended_ = true;
+  run_end_ns_ = clock_->MonotonicNanos();
+}
+
+void MetricsCollector::RecordLatency(const std::string& op,
+                                     uint64_t latency_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = latencies_.find(op);
+  if (it == latencies_.end()) {
+    it = latencies_.emplace(op, std::make_unique<Histogram>()).first;
+  }
+  it->second->Record(latency_us);
+}
+
+void MetricsCollector::Increment(const std::string& counter, uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[counter] += delta;
+}
+
+void MetricsCollector::SetGauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = value;
+}
+
+uint64_t MetricsCollector::TotalOperations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [op, histogram] : latencies_) total += histogram->count();
+  return total;
+}
+
+double MetricsCollector::RuntimeMs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!run_started_) return 0;
+  uint64_t end = run_ended_ ? run_end_ns_ : clock_->MonotonicNanos();
+  if (end < run_start_ns_) return 0;
+  return static_cast<double>(end - run_start_ns_) / 1e6;
+}
+
+double MetricsCollector::Throughput() const {
+  double runtime_ms = RuntimeMs();
+  if (runtime_ms <= 0) return 0;
+  return static_cast<double>(TotalOperations()) / (runtime_ms / 1000.0);
+}
+
+json::Json MetricsCollector::ToJson() const {
+  double runtime_ms = RuntimeMs();
+  uint64_t operations = TotalOperations();
+  std::lock_guard<std::mutex> lock(mu_);
+  json::Json out = json::Json::MakeObject();
+  out.Set("runtime_ms", runtime_ms);
+  out.Set("operations", operations);
+  out.Set("throughput_ops",
+          runtime_ms > 0
+              ? static_cast<double>(operations) / (runtime_ms / 1000.0)
+              : 0.0);
+
+  json::Json latency = json::Json::MakeObject();
+  for (const auto& [op, histogram] : latencies_) {
+    json::Json stats = json::Json::MakeObject();
+    stats.Set("count", histogram->count());
+    stats.Set("mean", histogram->mean());
+    stats.Set("p50", histogram->Percentile(0.5));
+    stats.Set("p95", histogram->Percentile(0.95));
+    stats.Set("p99", histogram->Percentile(0.99));
+    stats.Set("max", histogram->max());
+    stats.Set("stddev", histogram->stddev());
+    latency.Set(op, std::move(stats));
+  }
+  out.Set("latency_us", std::move(latency));
+
+  json::Json counters = json::Json::MakeObject();
+  for (const auto& [name, value] : counters_) counters.Set(name, value);
+  out.Set("counters", std::move(counters));
+
+  json::Json gauges = json::Json::MakeObject();
+  for (const auto& [name, value] : gauges_) gauges.Set(name, value);
+  out.Set("gauges", std::move(gauges));
+  return out;
+}
+
+void MetricsCollector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  latencies_.clear();
+  counters_.clear();
+  gauges_.clear();
+  run_started_ = false;
+  run_ended_ = false;
+  run_start_ns_ = 0;
+  run_end_ns_ = 0;
+}
+
+}  // namespace chronos::analysis

@@ -1,0 +1,75 @@
+#ifndef CHRONOS_ANALYSIS_METRICS_H_
+#define CHRONOS_ANALYSIS_METRICS_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/clock.h"
+#include "common/histogram.h"
+#include "json/json.h"
+
+namespace chronos::analysis {
+
+// Standard run metrics the paper requires the toolkit to provide out of the
+// box ("provide standard metrics for measurements, e.g., execution time").
+// The agent library embeds one collector per job; evaluation clients record
+// per-operation latencies into it and the collector renders the result-JSON
+// metrics block.
+class MetricsCollector {
+ public:
+  explicit MetricsCollector(Clock* clock = SystemClock::Get());
+
+  // Marks the measured interval (excluding setup/warm-up).
+  void StartRun();
+  void EndRun();
+
+  // Records one operation of the named kind with its latency.
+  void RecordLatency(const std::string& op, uint64_t latency_us);
+  // Counts an operation without latency information.
+  void Increment(const std::string& counter, uint64_t delta = 1);
+  // Free-form scalar gauge (e.g. dataset size).
+  void SetGauge(const std::string& name, double value);
+
+  uint64_t TotalOperations() const;
+  double RuntimeMs() const;
+  // Operations per second over the measured interval.
+  double Throughput() const;
+
+  // {"runtime_ms":..,"throughput_ops":..,"operations":..,
+  //  "latency_us":{"read":{"mean":..,"p50":..,"p95":..,"p99":..,"max":..}},
+  //  "counters":{..},"gauges":{..}}
+  json::Json ToJson() const;
+
+  void Reset();
+
+ private:
+  Clock* clock_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Histogram>> latencies_;
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  bool run_started_ = false;
+  bool run_ended_ = false;
+  uint64_t run_start_ns_ = 0;
+  uint64_t run_end_ns_ = 0;
+};
+
+// Stopwatch measuring microseconds, for RecordLatency call sites.
+class ScopedTimerUs {
+ public:
+  explicit ScopedTimerUs(Clock* clock = SystemClock::Get())
+      : clock_(clock), start_ns_(clock->MonotonicNanos()) {}
+  uint64_t ElapsedUs() const {
+    return (clock_->MonotonicNanos() - start_ns_) / 1000;
+  }
+
+ private:
+  Clock* clock_;
+  uint64_t start_ns_;
+};
+
+}  // namespace chronos::analysis
+
+#endif  // CHRONOS_ANALYSIS_METRICS_H_

@@ -1,0 +1,174 @@
+#include "archive/compress.h"
+
+#include <cstring>
+#include <vector>
+
+namespace chronos::archive {
+
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxOffset = 0xFFFF;
+constexpr int kHashBits = 14;
+
+void PutVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+bool GetVarint(std::string_view data, size_t* pos, uint64_t* out) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (*pos < data.size() && shift <= 63) {
+    uint8_t byte = static_cast<uint8_t>(data[*pos]);
+    ++*pos;
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = v;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+// Emits `len` using a 4-bit field: values 0..14 inline, 15 means "15 plus
+// following byte(s)", each continuation byte adding up to 255.
+void PutExtendedLength(std::string* out, size_t len) {
+  len -= 15;  // The 15 was encoded in the token nibble.
+  while (len >= 255) {
+    out->push_back(static_cast<char>(255));
+    len -= 255;
+  }
+  out->push_back(static_cast<char>(len));
+}
+
+bool GetExtendedLength(std::string_view data, size_t* pos, size_t* len) {
+  while (true) {
+    if (*pos >= data.size()) return false;
+    uint8_t byte = static_cast<uint8_t>(data[*pos]);
+    ++*pos;
+    *len += byte;
+    if (byte != 255) return true;
+  }
+}
+
+uint32_t HashBytes(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+}  // namespace
+
+std::string LzCompress(std::string_view input) {
+  std::string out;
+  out.reserve(input.size() / 2 + 16);
+  PutVarint(&out, input.size());
+  if (input.empty()) return out;
+
+  std::vector<int64_t> table(1u << kHashBits, -1);
+  size_t pos = 0;
+  size_t literal_start = 0;
+
+  auto emit = [&](size_t match_pos, size_t match_len) {
+    size_t literal_len = pos - literal_start;
+    size_t lit_nibble = literal_len < 15 ? literal_len : 15;
+    size_t match_nibble;
+    if (match_len == 0) {
+      match_nibble = 0;
+    } else {
+      size_t adjusted = match_len - kMinMatch + 1;  // 1.. means a real match
+      match_nibble = adjusted < 15 ? adjusted : 15;
+    }
+    out.push_back(static_cast<char>((lit_nibble << 4) | match_nibble));
+    if (lit_nibble == 15) PutExtendedLength(&out, literal_len);
+    out.append(input.substr(literal_start, literal_len));
+    if (match_len > 0) {
+      size_t adjusted = match_len - kMinMatch + 1;
+      if (match_nibble == 15) PutExtendedLength(&out, adjusted);
+      size_t offset = pos - match_pos;
+      out.push_back(static_cast<char>(offset & 0xFF));
+      out.push_back(static_cast<char>((offset >> 8) & 0xFF));
+    }
+  };
+
+  while (pos + kMinMatch <= input.size()) {
+    uint32_t h = HashBytes(input.data() + pos);
+    int64_t candidate = table[h];
+    table[h] = static_cast<int64_t>(pos);
+    if (candidate >= 0 && pos - static_cast<size_t>(candidate) <= kMaxOffset &&
+        std::memcmp(input.data() + candidate, input.data() + pos, kMinMatch) ==
+            0) {
+      size_t match_len = kMinMatch;
+      size_t limit = input.size() - pos;
+      while (match_len < limit &&
+             input[candidate + match_len] == input[pos + match_len]) {
+        ++match_len;
+      }
+      emit(static_cast<size_t>(candidate), match_len);
+      pos += match_len;
+      literal_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  pos = input.size();
+  emit(0, 0);  // Flush trailing literals.
+  return out;
+}
+
+StatusOr<std::string> LzDecompress(std::string_view input) {
+  size_t pos = 0;
+  uint64_t original_size = 0;
+  if (!GetVarint(input, &pos, &original_size)) {
+    return Status::Corruption("chlz: truncated size header");
+  }
+  std::string out;
+  out.reserve(original_size);
+  while (out.size() < original_size) {
+    if (pos >= input.size()) return Status::Corruption("chlz: truncated token");
+    uint8_t token = static_cast<uint8_t>(input[pos++]);
+    size_t literal_len = token >> 4;
+    if (literal_len == 15 && !GetExtendedLength(input, &pos, &literal_len)) {
+      return Status::Corruption("chlz: truncated literal length");
+    }
+    if (pos + literal_len > input.size()) {
+      return Status::Corruption("chlz: literal out of range");
+    }
+    out.append(input.substr(pos, literal_len));
+    pos += literal_len;
+
+    size_t match_nibble = token & 0xF;
+    if (match_nibble == 0) continue;  // Literal-only token (stream tail).
+    size_t adjusted = match_nibble;
+    if (adjusted == 15 && !GetExtendedLength(input, &pos, &adjusted)) {
+      return Status::Corruption("chlz: truncated match length");
+    }
+    size_t match_len = adjusted + kMinMatch - 1;
+    if (pos + 2 > input.size()) {
+      return Status::Corruption("chlz: truncated match offset");
+    }
+    size_t offset = static_cast<uint8_t>(input[pos]) |
+                    (static_cast<size_t>(static_cast<uint8_t>(input[pos + 1]))
+                     << 8);
+    pos += 2;
+    if (offset == 0 || offset > out.size()) {
+      return Status::Corruption("chlz: invalid match offset");
+    }
+    // Byte-by-byte copy supports overlapping matches (run-length encoding).
+    size_t src = out.size() - offset;
+    for (size_t i = 0; i < match_len; ++i) {
+      out.push_back(out[src + i]);
+    }
+  }
+  if (out.size() != original_size) {
+    return Status::Corruption("chlz: size mismatch after decode");
+  }
+  return out;
+}
+
+}  // namespace chronos::archive

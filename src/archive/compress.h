@@ -1,0 +1,26 @@
+#ifndef CHRONOS_ARCHIVE_COMPRESS_H_
+#define CHRONOS_ARCHIVE_COMPRESS_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/statusor.h"
+
+namespace chronos::archive {
+
+// Byte-oriented LZ77-family block compressor ("chlz"), in the spirit of
+// snappy/LZ4: greedy hash-table matching, literal runs and back-references,
+// no entropy coding. Used by MokkaDB's btree engine for page compression —
+// mirroring wiredTiger's default snappy block compression.
+//
+// Format: varint original size, then a token stream. Each token byte packs
+// (literal_len:4, match_len:4); extended lengths use continuation bytes;
+// matches carry a 2-byte little-endian offset.
+std::string LzCompress(std::string_view input);
+
+// Returns Corruption on malformed input. Never reads past `input`.
+StatusOr<std::string> LzDecompress(std::string_view input);
+
+}  // namespace chronos::archive
+
+#endif  // CHRONOS_ARCHIVE_COMPRESS_H_

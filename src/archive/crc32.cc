@@ -1,0 +1,33 @@
+#include "archive/crc32.h"
+
+#include <array>
+
+namespace chronos::archive {
+
+namespace {
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data, uint32_t seed) {
+  static const std::array<uint32_t, 256>* table =
+      new std::array<uint32_t, 256>(BuildTable());
+  uint32_t crc = seed ^ 0xFFFFFFFFu;
+  for (unsigned char c : data) {
+    crc = (*table)[(crc ^ c) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace chronos::archive

@@ -1,0 +1,15 @@
+#ifndef CHRONOS_ARCHIVE_CRC32_H_
+#define CHRONOS_ARCHIVE_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace chronos::archive {
+
+// CRC-32 (IEEE 802.3, the polynomial used by ZIP and gzip).
+// `seed` allows incremental computation: pass the previous result.
+uint32_t Crc32(std::string_view data, uint32_t seed = 0);
+
+}  // namespace chronos::archive
+
+#endif  // CHRONOS_ARCHIVE_CRC32_H_

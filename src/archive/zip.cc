@@ -1,0 +1,234 @@
+#include "archive/zip.h"
+
+#include <cstring>
+
+#include "archive/crc32.h"
+
+namespace chronos::archive {
+
+namespace {
+
+constexpr uint32_t kLocalHeaderSig = 0x04034b50;
+constexpr uint32_t kCentralDirSig = 0x02014b50;
+constexpr uint32_t kEndOfCentralDirSig = 0x06054b50;
+constexpr uint16_t kVersion = 20;       // 2.0
+constexpr uint16_t kMethodStored = 0;
+
+void PutU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+  out->push_back(static_cast<char>((v >> 16) & 0xFF));
+  out->push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+uint16_t GetU16(std::string_view data, size_t offset) {
+  return static_cast<uint16_t>(static_cast<unsigned char>(data[offset])) |
+         static_cast<uint16_t>(static_cast<unsigned char>(data[offset + 1]))
+             << 8;
+}
+
+uint32_t GetU32(std::string_view data, size_t offset) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(data[offset])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(data[offset + 1]))
+             << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(data[offset + 2]))
+             << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(data[offset + 3]))
+             << 24;
+}
+
+}  // namespace
+
+Status ZipWriter::Add(const std::string& name, std::string_view contents) {
+  if (name.empty()) return Status::InvalidArgument("empty zip entry name");
+  if (name.size() > 0xFFFF) {
+    return Status::InvalidArgument("zip entry name too long");
+  }
+  if (contents.size() > 0xFFFFFFFFull) {
+    return Status::InvalidArgument("zip entry too large (no zip64 support)");
+  }
+  for (const ZipEntry& entry : entries_) {
+    if (entry.name == name) {
+      return Status::AlreadyExists("duplicate zip entry: " + name);
+    }
+  }
+  entries_.push_back(ZipEntry{name, std::string(contents)});
+  return Status::Ok();
+}
+
+std::string ZipWriter::Finish() const {
+  std::string out;
+  std::vector<uint32_t> offsets;
+  std::vector<uint32_t> crcs;
+  offsets.reserve(entries_.size());
+  crcs.reserve(entries_.size());
+
+  for (const ZipEntry& entry : entries_) {
+    offsets.push_back(static_cast<uint32_t>(out.size()));
+    uint32_t crc = Crc32(entry.contents);
+    crcs.push_back(crc);
+    PutU32(&out, kLocalHeaderSig);
+    PutU16(&out, kVersion);
+    PutU16(&out, 0);  // flags
+    PutU16(&out, kMethodStored);
+    PutU16(&out, 0);  // mod time
+    PutU16(&out, 0);  // mod date
+    PutU32(&out, crc);
+    PutU32(&out, static_cast<uint32_t>(entry.contents.size()));  // compressed
+    PutU32(&out, static_cast<uint32_t>(entry.contents.size()));  // original
+    PutU16(&out, static_cast<uint16_t>(entry.name.size()));
+    PutU16(&out, 0);  // extra length
+    out.append(entry.name);
+    out.append(entry.contents);
+  }
+
+  uint32_t central_start = static_cast<uint32_t>(out.size());
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const ZipEntry& entry = entries_[i];
+    PutU32(&out, kCentralDirSig);
+    PutU16(&out, kVersion);  // version made by
+    PutU16(&out, kVersion);  // version needed
+    PutU16(&out, 0);         // flags
+    PutU16(&out, kMethodStored);
+    PutU16(&out, 0);  // mod time
+    PutU16(&out, 0);  // mod date
+    PutU32(&out, crcs[i]);
+    PutU32(&out, static_cast<uint32_t>(entry.contents.size()));
+    PutU32(&out, static_cast<uint32_t>(entry.contents.size()));
+    PutU16(&out, static_cast<uint16_t>(entry.name.size()));
+    PutU16(&out, 0);  // extra
+    PutU16(&out, 0);  // comment
+    PutU16(&out, 0);  // disk number
+    PutU16(&out, 0);  // internal attrs
+    PutU32(&out, 0);  // external attrs
+    PutU32(&out, offsets[i]);
+    out.append(entry.name);
+  }
+  uint32_t central_size = static_cast<uint32_t>(out.size()) - central_start;
+
+  PutU32(&out, kEndOfCentralDirSig);
+  PutU16(&out, 0);  // disk
+  PutU16(&out, 0);  // central dir disk
+  PutU16(&out, static_cast<uint16_t>(entries_.size()));
+  PutU16(&out, static_cast<uint16_t>(entries_.size()));
+  PutU32(&out, central_size);
+  PutU32(&out, central_start);
+  PutU16(&out, 0);  // comment length
+  return out;
+}
+
+StatusOr<ZipReader> ZipReader::Open(std::string_view data) {
+  // Find end-of-central-directory record; it is the last structure, and we
+  // wrote no archive comment, but tolerate up to 64k of trailing comment as
+  // the spec allows.
+  if (data.size() < 22) return Status::Corruption("zip too small");
+  size_t eocd = std::string_view::npos;
+  size_t scan_limit = data.size() >= 22 + 0xFFFF ? data.size() - 22 - 0xFFFF : 0;
+  for (size_t i = data.size() - 22 + 1; i-- > scan_limit;) {
+    if (GetU32(data, i) == kEndOfCentralDirSig) {
+      eocd = i;
+      break;
+    }
+  }
+  if (eocd == std::string_view::npos) {
+    return Status::Corruption("zip: end of central directory not found");
+  }
+  uint16_t entry_count = GetU16(data, eocd + 10);
+  uint32_t central_size = GetU32(data, eocd + 12);
+  uint32_t central_start = GetU32(data, eocd + 16);
+  if (static_cast<size_t>(central_start) + central_size > data.size()) {
+    return Status::Corruption("zip: central directory out of range");
+  }
+
+  ZipReader reader;
+  size_t pos = central_start;
+  for (uint16_t i = 0; i < entry_count; ++i) {
+    if (pos + 46 > data.size() || GetU32(data, pos) != kCentralDirSig) {
+      return Status::Corruption("zip: bad central directory entry");
+    }
+    uint16_t method = GetU16(data, pos + 10);
+    uint32_t crc = GetU32(data, pos + 16);
+    uint32_t compressed_size = GetU32(data, pos + 20);
+    uint32_t original_size = GetU32(data, pos + 24);
+    uint16_t name_len = GetU16(data, pos + 28);
+    uint16_t extra_len = GetU16(data, pos + 30);
+    uint16_t comment_len = GetU16(data, pos + 32);
+    uint32_t local_offset = GetU32(data, pos + 42);
+    if (pos + 46 + name_len > data.size()) {
+      return Status::Corruption("zip: entry name out of range");
+    }
+    std::string name(data.substr(pos + 46, name_len));
+    pos += 46 + name_len + extra_len + comment_len;
+
+    if (method != kMethodStored) {
+      return Status::Unimplemented("zip: unsupported compression method");
+    }
+    if (compressed_size != original_size) {
+      return Status::Corruption("zip: stored entry size mismatch");
+    }
+    // Read the payload via the local header (its name/extra lengths may
+    // differ from the central directory's).
+    if (static_cast<size_t>(local_offset) + 30 > data.size() ||
+        GetU32(data, local_offset) != kLocalHeaderSig) {
+      return Status::Corruption("zip: bad local header for " + name);
+    }
+    uint16_t local_name_len = GetU16(data, local_offset + 26);
+    uint16_t local_extra_len = GetU16(data, local_offset + 28);
+    size_t payload = static_cast<size_t>(local_offset) + 30 + local_name_len +
+                     local_extra_len;
+    if (payload + original_size > data.size()) {
+      return Status::Corruption("zip: payload out of range for " + name);
+    }
+    std::string contents(data.substr(payload, original_size));
+    if (Crc32(contents) != crc) {
+      return Status::Corruption("zip: CRC mismatch for " + name);
+    }
+    reader.entries_[name] = std::move(contents);
+  }
+  return reader;
+}
+
+std::vector<std::string> ZipReader::EntryNames() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, contents] : entries_) names.push_back(name);
+  return names;
+}
+
+bool ZipReader::Has(const std::string& name) const {
+  return entries_.count(name) > 0;
+}
+
+StatusOr<std::string> ZipReader::Read(const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("zip entry not found: " + name);
+  }
+  return it->second;
+}
+
+std::string ZipFiles(const std::map<std::string, std::string>& files) {
+  ZipWriter writer;
+  for (const auto& [name, contents] : files) {
+    writer.Add(name, contents).ok();
+  }
+  return writer.Finish();
+}
+
+StatusOr<std::map<std::string, std::string>> UnzipFiles(
+    std::string_view data) {
+  CHRONOS_ASSIGN_OR_RETURN(ZipReader reader, ZipReader::Open(data));
+  std::map<std::string, std::string> files;
+  for (const std::string& name : reader.EntryNames()) {
+    CHRONOS_ASSIGN_OR_RETURN(std::string contents, reader.Read(name));
+    files[name] = std::move(contents);
+  }
+  return files;
+}
+
+}  // namespace chronos::archive

@@ -1,0 +1,58 @@
+#ifndef CHRONOS_ARCHIVE_ZIP_H_
+#define CHRONOS_ARCHIVE_ZIP_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace chronos::archive {
+
+// Minimal ZIP (PKWARE APPNOTE) implementation using the "stored"
+// (uncompressed) method, which every unzip tool understands. Chronos uses it
+// for result bundles (one zip per job) and project archives.
+
+struct ZipEntry {
+  std::string name;
+  std::string contents;
+};
+
+// Builds a zip archive in memory.
+class ZipWriter {
+ public:
+  // Adds a file entry. Names use '/' separators; duplicates are rejected.
+  Status Add(const std::string& name, std::string_view contents);
+
+  // Serializes local headers + central directory + end record.
+  std::string Finish() const;
+
+  size_t entry_count() const { return entries_.size(); }
+
+ private:
+  std::vector<ZipEntry> entries_;
+};
+
+// Parses a zip produced by ZipWriter (or any stored-method zip).
+class ZipReader {
+ public:
+  // Validates the central directory and per-entry CRCs.
+  static StatusOr<ZipReader> Open(std::string_view data);
+
+  std::vector<std::string> EntryNames() const;
+  bool Has(const std::string& name) const;
+  StatusOr<std::string> Read(const std::string& name) const;
+  size_t entry_count() const { return entries_.size(); }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+// Convenience: zip a map of name -> contents / unzip into one.
+std::string ZipFiles(const std::map<std::string, std::string>& files);
+StatusOr<std::map<std::string, std::string>> UnzipFiles(std::string_view data);
+
+}  // namespace chronos::archive
+
+#endif  // CHRONOS_ARCHIVE_ZIP_H_

@@ -1,0 +1,317 @@
+#include "clients/mokka_client.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "sue/mokkadb/wire.h"
+
+namespace chronos::clients {
+
+namespace {
+
+using mokka::WireClient;
+using workload::OpType;
+using workload::Operation;
+using workload::WorkloadGenerator;
+
+Status RunOperation(WireClient* client, const std::string& collection,
+                    const Operation& op,
+                    analysis::MetricsCollector* metrics) {
+  analysis::ScopedTimerUs timer;
+  Status status = Status::Ok();
+  switch (op.type) {
+    case OpType::kRead: {
+      auto doc = client->Get(collection, op.key);
+      // A zipfian/latest chooser may point at a key deleted or not yet
+      // inserted; NotFound is part of normal benchmark traffic.
+      if (!doc.ok() && !doc.status().IsNotFound()) status = doc.status();
+      break;
+    }
+    case OpType::kUpdate: {
+      json::Json filter = json::Json::MakeObject();
+      filter.Set("_id", op.key);
+      auto n = client->UpdateOne(collection, filter, op.document);
+      if (!n.ok()) status = n.status();
+      break;
+    }
+    case OpType::kInsert: {
+      auto id = client->Insert(collection, op.document);
+      if (!id.ok() && !id.status().IsAlreadyExists()) status = id.status();
+      break;
+    }
+    case OpType::kScan: {
+      auto docs = client->Scan(collection, op.key, op.scan_length);
+      if (!docs.ok()) status = docs.status();
+      break;
+    }
+    case OpType::kReadModifyWrite: {
+      // Two round trips under one latency measurement, like YCSB-F.
+      auto doc = client->Get(collection, op.key);
+      if (!doc.ok() && !doc.status().IsNotFound()) {
+        status = doc.status();
+        break;
+      }
+      if (doc.ok()) {
+        json::Json filter = json::Json::MakeObject();
+        filter.Set("_id", op.key);
+        auto n = client->UpdateOne(collection, filter, op.document);
+        if (!n.ok()) status = n.status();
+      }
+      break;
+    }
+  }
+  metrics->RecordLatency(std::string(OpTypeName(op.type)),
+                         timer.ElapsedUs());
+  return status;
+}
+
+}  // namespace
+
+StatusOr<json::Json> RunMokkaBenchmark(
+    const MokkaBenchConfig& config, analysis::MetricsCollector* metrics,
+    const std::function<bool(int)>& progress) {
+  if (config.threads < 1) {
+    return Status::InvalidArgument("threads must be >= 1");
+  }
+  auto report = [&progress](int percent) {
+    return progress == nullptr || progress(percent);
+  };
+
+  // --- Phase 1: set-up (create collection, ingest population) ---
+  CHRONOS_ASSIGN_OR_RETURN(std::unique_ptr<WireClient> admin,
+                           WireClient::ConnectEndpoint(config.endpoint));
+  if (config.drop_before_load) admin->Drop(config.collection).ok();
+  CHRONOS_RETURN_IF_ERROR(admin->CreateCollection(
+      config.collection, config.engine, config.engine_options));
+
+  WorkloadGenerator loader(config.spec);
+  std::vector<std::string> keys = loader.LoadKeys();
+  {
+    // Parallel load across the client threads.
+    std::atomic<size_t> cursor{0};
+    std::atomic<bool> load_failed{false};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < config.threads; ++t) {
+      threads.emplace_back([&, t] {
+        auto client = WireClient::ConnectEndpoint(config.endpoint);
+        if (!client.ok()) {
+          load_failed.store(true);
+          return;
+        }
+        WorkloadGenerator documents(config.spec, /*thread_index=*/t + 1000);
+        while (true) {
+          size_t index = cursor.fetch_add(1);
+          if (index >= keys.size() || load_failed.load()) break;
+          json::Json doc = documents.MakeDocument(keys[index]);
+          auto id = (*client)->Insert(config.collection, std::move(doc));
+          if (!id.ok()) {
+            load_failed.store(true);
+            break;
+          }
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    if (load_failed.load()) {
+      return Status::Unavailable("benchmark load phase failed");
+    }
+  }
+  if (!report(20)) return Status::Aborted("cancelled during load");
+
+  // --- Phase 2: warm-up (unmeasured) ---
+  if (config.warmup_ops_per_thread > 0) {
+    std::vector<std::thread> threads;
+    std::atomic<bool> warmup_failed{false};
+    for (int t = 0; t < config.threads; ++t) {
+      threads.emplace_back([&, t] {
+        auto client = WireClient::ConnectEndpoint(config.endpoint);
+        if (!client.ok()) {
+          warmup_failed.store(true);
+          return;
+        }
+        WorkloadGenerator generator(config.spec, /*thread_index=*/t + 2000);
+        analysis::MetricsCollector scratch;
+        for (uint64_t i = 0; i < config.warmup_ops_per_thread; ++i) {
+          RunOperation(client->get(), config.collection,
+                       generator.NextOperation(), &scratch)
+              .ok();
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    if (warmup_failed.load()) {
+      return Status::Unavailable("benchmark warm-up failed");
+    }
+  }
+  if (!report(30)) return Status::Aborted("cancelled during warm-up");
+
+  // --- Phase 3: measured run ---
+  metrics->StartRun();
+  std::atomic<bool> run_failed{false};
+  std::atomic<bool> cancelled{false};
+  std::atomic<uint64_t> completed{0};
+  uint64_t total_ops = config.spec.operation_count *
+                       static_cast<uint64_t>(config.threads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < config.threads; ++t) {
+    threads.emplace_back([&, t] {
+      auto client = WireClient::ConnectEndpoint(config.endpoint);
+      if (!client.ok()) {
+        run_failed.store(true);
+        return;
+      }
+      WorkloadGenerator generator(config.spec, t);
+      // Open-loop pacing for a target rate: operation i is released at
+      // start + i * interval; falling behind is not compensated by bursts.
+      uint64_t interval_ns =
+          config.target_ops_per_sec_per_thread > 0
+              ? static_cast<uint64_t>(1e9 /
+                                      config.target_ops_per_sec_per_thread)
+              : 0;
+      uint64_t pace_start_ns = SystemClock::Get()->MonotonicNanos();
+      for (uint64_t i = 0; i < config.spec.operation_count; ++i) {
+        if (run_failed.load() || cancelled.load()) return;
+        if (interval_ns > 0) {
+          uint64_t release_ns = pace_start_ns + i * interval_ns;
+          uint64_t now_ns = SystemClock::Get()->MonotonicNanos();
+          if (now_ns < release_ns) {
+            SystemClock::Get()->SleepMs(
+                static_cast<int64_t>((release_ns - now_ns) / 1000000));
+          }
+        }
+        Status status = RunOperation(client->get(), config.collection,
+                                     generator.NextOperation(), metrics);
+        if (!status.ok()) {
+          run_failed.store(true);
+          return;
+        }
+        completed.fetch_add(1);
+      }
+    });
+  }
+  // Progress reporting from the coordinating thread (30% -> 95%).
+  while (true) {
+    uint64_t done = completed.load();
+    bool all_done = done >= total_ops || run_failed.load();
+    int percent =
+        30 + static_cast<int>(65.0 * static_cast<double>(done) /
+                              static_cast<double>(total_ops == 0 ? 1
+                                                                 : total_ops));
+    if (!report(percent)) cancelled.store(true);
+    if (all_done || cancelled.load()) break;
+    SystemClock::Get()->SleepMs(20);
+  }
+  for (std::thread& thread : threads) thread.join();
+  metrics->EndRun();
+  if (cancelled.load()) return Status::Aborted("cancelled during run");
+  if (run_failed.load()) {
+    return Status::Unavailable("benchmark run phase failed");
+  }
+
+  // Dataset shape for the record.
+  auto count = admin->Count(config.collection, json::Json());
+  json::Json summary = json::Json::MakeObject();
+  summary.Set("engine", config.engine);
+  summary.Set("threads", static_cast<int64_t>(config.threads));
+  summary.Set("records", config.spec.record_count);
+  summary.Set("operations_total", completed.load());
+  summary.Set("throughput", metrics->Throughput());
+  summary.Set("runtime_ms", metrics->RuntimeMs());
+  if (count.ok()) summary.Set("final_document_count", *count);
+  auto stats = admin->Stats();
+  if (stats.ok()) summary.Set("engine_stats", stats->at(config.collection));
+  report(100);
+  return summary;
+}
+
+StatusOr<MokkaBenchConfig> ConfigFromParameters(
+    const model::ParameterAssignment& parameters,
+    const std::string& endpoint) {
+  MokkaBenchConfig config;
+  config.endpoint = endpoint;
+  auto get = [&parameters](const std::string& name) -> const json::Json* {
+    auto it = parameters.find(name);
+    return it == parameters.end() ? nullptr : &it->second;
+  };
+
+  if (const json::Json* engine = get("engine")) {
+    config.engine = engine->as_string();
+  }
+  if (const json::Json* threads = get("threads")) {
+    config.threads = static_cast<int>(threads->as_int());
+  }
+  if (const json::Json* records = get("records")) {
+    config.spec.record_count = static_cast<uint64_t>(records->as_int());
+  }
+  if (const json::Json* operations = get("operations")) {
+    config.spec.operation_count =
+        static_cast<uint64_t>(operations->as_int());
+  }
+  if (const json::Json* workload_name = get("workload")) {
+    CHRONOS_ASSIGN_OR_RETURN(workload::WorkloadSpec preset,
+                             workload::WorkloadSpec::Preset(
+                                 workload_name->as_string()));
+    preset.record_count = config.spec.record_count;
+    preset.operation_count = config.spec.operation_count;
+    config.spec = preset;
+  }
+  if (const json::Json* ratio = get("ratio")) {
+    CHRONOS_RETURN_IF_ERROR(config.spec.ApplyRatio(ratio->as_string()));
+  }
+  if (const json::Json* distribution = get("distribution")) {
+    CHRONOS_ASSIGN_OR_RETURN(
+        config.spec.distribution,
+        workload::ParseDistributionKind(distribution->as_string()));
+  }
+  if (const json::Json* field_count = get("field_count")) {
+    config.spec.field_count = static_cast<int>(field_count->as_int());
+  }
+  if (const json::Json* field_length = get("field_length")) {
+    config.spec.field_length = static_cast<int>(field_length->as_int());
+  }
+  if (const json::Json* warmup = get("warmup_ops")) {
+    config.warmup_ops_per_thread = static_cast<uint64_t>(warmup->as_int());
+  }
+  if (const json::Json* read_io = get("io_read_us")) {
+    config.engine_options.Set("read_io_us", read_io->as_int());
+  }
+  if (const json::Json* write_io = get("io_write_us")) {
+    config.engine_options.Set("write_io_us", write_io->as_int());
+  }
+  if (config.threads < 1 || config.threads > 256) {
+    return Status::InvalidArgument("threads out of range");
+  }
+  return config;
+}
+
+agent::EvaluationHandler MakeMokkaEvaluationHandler(std::string endpoint) {
+  return [endpoint](agent::JobContext* context) -> Status {
+    CHRONOS_ASSIGN_OR_RETURN(
+        MokkaBenchConfig config,
+        ConfigFromParameters(context->parameters(), endpoint));
+    context->Log("benchmark config: engine=" + config.engine + " threads=" +
+                 std::to_string(config.threads) + " records=" +
+                 std::to_string(config.spec.record_count) + " ops=" +
+                 std::to_string(config.spec.operation_count));
+    CHRONOS_ASSIGN_OR_RETURN(
+        json::Json summary,
+        RunMokkaBenchmark(config, context->metrics(),
+                          [context](int percent) {
+                            return context->SetProgress(percent);
+                          }));
+    // Promote headline metrics to top-level result fields so diagram
+    // definitions can reference them directly.
+    context->SetResultField("throughput",
+                            summary.at("throughput"));
+    context->SetResultField("runtime_ms", summary.at("runtime_ms"));
+    context->SetResultField("engine", summary.at("engine"));
+    context->SetResultField("summary", summary);
+    context->AddResultFile("summary.json", summary.DumpPretty());
+    context->Log("benchmark complete: " +
+                 summary.at("throughput").Dump() + " ops/s");
+    return Status::Ok();
+  };
+}
+
+}  // namespace chronos::clients

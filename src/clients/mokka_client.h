@@ -1,0 +1,63 @@
+#ifndef CHRONOS_CLIENTS_MOKKA_CLIENT_H_
+#define CHRONOS_CLIENTS_MOKKA_CLIENT_H_
+
+#include <functional>
+#include <string>
+
+#include "agent/agent.h"
+#include "analysis/metrics.h"
+#include "common/statusor.h"
+#include "workload/workload.h"
+
+namespace chronos::clients {
+
+// Benchmark configuration the MokkaDB evaluation client executes against one
+// deployment — the C++ twin of the paper's MongoDB Chronos agent.
+struct MokkaBenchConfig {
+  std::string endpoint;                 // "host:port" of the MokkaDB server.
+  std::string collection = "usertable";
+  std::string engine = "btree";         // btree|wiredtiger|mmap|mmapv1.
+  // Engine tuning forwarded to MakeStorageEngine; io_read_us/io_write_us
+  // model storage latency so the engines' locking granularity shows even on
+  // few-core hosts (see DESIGN.md, substitutions).
+  json::Json engine_options;
+  int threads = 1;                      // Concurrent client threads.
+  workload::WorkloadSpec spec;          // Population + operation mix.
+  uint64_t warmup_ops_per_thread = 0;   // Unmeasured warm-up phase.
+  bool drop_before_load = true;
+  // Offered load per client thread (YCSB's -target). 0 = closed loop at
+  // full speed. With a target, each thread paces operations to the given
+  // rate, so latency is measured under controlled load.
+  double target_ops_per_sec_per_thread = 0;
+};
+
+// Runs the full evaluation workflow from the paper's §1 against a MokkaDB
+// deployment: (1) set up — (re)create the collection with the requested
+// storage engine and ingest the benchmark population; (2) warm up; (3) run
+// the measured operation mix on `threads` connections. Latencies land in
+// `metrics` per operation type; the returned JSON summarizes throughput and
+// dataset shape.
+//
+// `progress` (optional) receives 0..100 and may return false to request
+// cancellation (abort support).
+StatusOr<json::Json> RunMokkaBenchmark(
+    const MokkaBenchConfig& config, analysis::MetricsCollector* metrics,
+    const std::function<bool(int)>& progress = {});
+
+// Builds MokkaBenchConfig from a Chronos job's parameters:
+//   engine (string), threads (int), records (int), operations (int),
+//   workload (preset a..f) OR ratio ("read:95,update:5"),
+//   distribution (uniform|zipfian|...), field_count, field_length,
+//   warmup_ops.
+StatusOr<MokkaBenchConfig> ConfigFromParameters(
+    const model::ParameterAssignment& parameters,
+    const std::string& endpoint);
+
+// The ready-made evaluation handler for a Chronos agent serving a MokkaDB
+// deployment at `endpoint`: builds the config from the job parameters, runs
+// the benchmark, reports progress, and fills the result document.
+agent::EvaluationHandler MakeMokkaEvaluationHandler(std::string endpoint);
+
+}  // namespace chronos::clients
+
+#endif  // CHRONOS_CLIENTS_MOKKA_CLIENT_H_

@@ -1,0 +1,43 @@
+#include "clients/mokka_provisioner.h"
+
+namespace chronos::clients {
+
+LocalMokkaProvisioner::~LocalMokkaProvisioner() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [handle, running] : running_) {
+    running.server->Stop();
+  }
+}
+
+StatusOr<control::DeploymentProvisioner::Instance>
+LocalMokkaProvisioner::Launch(const json::Json& spec) {
+  std::string engine = spec.GetStringOr("default_engine", "btree");
+  auto database = std::make_unique<mokka::Database>(engine);
+  CHRONOS_ASSIGN_OR_RETURN(std::unique_ptr<mokka::WireServer> server,
+                           mokka::WireServer::Start(database.get(), 0));
+  Instance instance;
+  instance.endpoint = server->endpoint();
+  std::lock_guard<std::mutex> lock(mu_);
+  instance.handle = "mokka-" + std::to_string(next_handle_++);
+  running_[instance.handle] =
+      Running{std::move(database), std::move(server)};
+  return instance;
+}
+
+Status LocalMokkaProvisioner::Terminate(const std::string& handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = running_.find(handle);
+  if (it == running_.end()) {
+    return Status::NotFound("no running instance: " + handle);
+  }
+  it->second.server->Stop();
+  running_.erase(it);
+  return Status::Ok();
+}
+
+size_t LocalMokkaProvisioner::running_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_.size();
+}
+
+}  // namespace chronos::clients

@@ -1,0 +1,41 @@
+#ifndef CHRONOS_CLIENTS_MOKKA_PROVISIONER_H_
+#define CHRONOS_CLIENTS_MOKKA_PROVISIONER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "control/provisioner.h"
+#include "sue/mokkadb/wire.h"
+
+namespace chronos::clients {
+
+// Reference DeploymentProvisioner: launches MokkaDB instances in-process
+// (the "on-premise cluster" of a single machine). Spec options:
+//   {"default_engine": "btree"|"mmap"}   — database default engine.
+class LocalMokkaProvisioner : public control::DeploymentProvisioner {
+ public:
+  LocalMokkaProvisioner() = default;
+  ~LocalMokkaProvisioner() override;
+
+  std::string_view name() const override { return "local-mokka"; }
+
+  StatusOr<Instance> Launch(const json::Json& spec) override;
+  Status Terminate(const std::string& handle) override;
+
+  size_t running_count() const;
+
+ private:
+  struct Running {
+    std::unique_ptr<mokka::Database> database;
+    std::unique_ptr<mokka::WireServer> server;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Running> running_;
+  int next_handle_ = 1;
+};
+
+}  // namespace chronos::clients
+
+#endif  // CHRONOS_CLIENTS_MOKKA_PROVISIONER_H_

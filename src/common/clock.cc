@@ -1,0 +1,40 @@
+#include "common/clock.h"
+
+#include <chrono>
+#include <ctime>
+#include <thread>
+
+namespace chronos {
+
+TimestampMs SystemClock::NowMs() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+uint64_t SystemClock::MonotonicNanos() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void SystemClock::SleepMs(int64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+SystemClock* SystemClock::Get() {
+  static SystemClock* clock = new SystemClock();
+  return clock;
+}
+
+std::string FormatTimestamp(TimestampMs ts_ms) {
+  std::time_t secs = static_cast<std::time_t>(ts_ms / 1000);
+  std::tm tm_utc{};
+  gmtime_r(&secs, &tm_utc);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%d %H:%M:%S", &tm_utc);
+  return buf;
+}
+
+}  // namespace chronos

@@ -1,0 +1,64 @@
+#ifndef CHRONOS_COMMON_CLOCK_H_
+#define CHRONOS_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace chronos {
+
+// Milliseconds since the Unix epoch.
+using TimestampMs = int64_t;
+
+// Abstract time source. Production code uses SystemClock; scheduler and
+// reliability tests use SimulatedClock to drive heartbeat timeouts
+// deterministically.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  virtual TimestampMs NowMs() const = 0;
+
+  // Monotonic nanoseconds, for measuring durations.
+  virtual uint64_t MonotonicNanos() const = 0;
+
+  // Blocks the calling thread for ~`ms` (no-op advance for simulated clocks).
+  virtual void SleepMs(int64_t ms) = 0;
+};
+
+// Wall-clock implementation backed by std::chrono.
+class SystemClock : public Clock {
+ public:
+  TimestampMs NowMs() const override;
+  uint64_t MonotonicNanos() const override;
+  void SleepMs(int64_t ms) override;
+
+  // Shared process-wide instance.
+  static SystemClock* Get();
+};
+
+// Manually advanced clock for deterministic tests.
+class SimulatedClock : public Clock {
+ public:
+  explicit SimulatedClock(TimestampMs start_ms = 0) : now_ms_(start_ms) {}
+
+  TimestampMs NowMs() const override { return now_ms_.load(); }
+  uint64_t MonotonicNanos() const override {
+    return static_cast<uint64_t>(now_ms_.load()) * 1000000ull;
+  }
+  void SleepMs(int64_t ms) override { AdvanceMs(ms); }
+
+  void AdvanceMs(int64_t ms) { now_ms_.fetch_add(ms); }
+  void SetMs(TimestampMs ms) { now_ms_.store(ms); }
+
+ private:
+  std::atomic<TimestampMs> now_ms_;
+};
+
+// Formats a timestamp as "YYYY-MM-DD HH:MM:SS" (UTC).
+std::string FormatTimestamp(TimestampMs ts_ms);
+
+}  // namespace chronos
+
+#endif  // CHRONOS_COMMON_CLOCK_H_

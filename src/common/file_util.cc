@@ -1,0 +1,94 @@
+#include "common/file_util.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "common/uuid.h"
+
+namespace chronos::file {
+
+namespace fs = std::filesystem;
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  return contents;
+}
+
+Status WriteFile(const std::string& path, std::string_view contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Status AppendFile(const std::string& path, std::string_view contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) return Status::IoError("cannot open for append: " + path);
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  out.flush();
+  if (!out) return Status::IoError("append failed: " + path);
+  return Status::Ok();
+}
+
+bool Exists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec);
+}
+
+Status MakeDirs(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) return Status::IoError("mkdir failed: " + path + ": " + ec.message());
+  return Status::Ok();
+}
+
+Status RemoveAll(const std::string& path) {
+  std::error_code ec;
+  fs::remove_all(path, ec);
+  if (ec) {
+    return Status::IoError("remove failed: " + path + ": " + ec.message());
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<std::string>> ListDir(const std::string& dir) {
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) return Status::IoError("opendir failed: " + dir + ": " + ec.message());
+  std::vector<std::string> names;
+  for (const auto& entry : it) {
+    names.push_back(entry.path().filename().string());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+StatusOr<std::string> MakeTempDir(const std::string& prefix) {
+  std::error_code ec;
+  fs::path base = fs::temp_directory_path(ec);
+  if (ec) return Status::IoError("no temp dir: " + ec.message());
+  fs::path dir = base / (prefix + "-" + GenerateUuid());
+  fs::create_directories(dir, ec);
+  if (ec) return Status::IoError("mkdir failed: " + ec.message());
+  return dir.string();
+}
+
+TempDir::TempDir(const std::string& prefix) {
+  auto dir = MakeTempDir(prefix);
+  path_ = dir.ok() ? *dir : std::string();
+}
+
+TempDir::~TempDir() {
+  if (!path_.empty()) RemoveAll(path_).ok();
+}
+
+}  // namespace chronos::file

@@ -1,0 +1,44 @@
+#ifndef CHRONOS_COMMON_FILE_UTIL_H_
+#define CHRONOS_COMMON_FILE_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace chronos::file {
+
+StatusOr<std::string> ReadFile(const std::string& path);
+Status WriteFile(const std::string& path, std::string_view contents);
+Status AppendFile(const std::string& path, std::string_view contents);
+
+bool Exists(const std::string& path);
+Status MakeDirs(const std::string& path);
+Status RemoveAll(const std::string& path);
+
+// Lexicographically sorted file names (not paths) directly inside `dir`.
+StatusOr<std::vector<std::string>> ListDir(const std::string& dir);
+
+// Creates a unique empty directory under the system temp dir; the returned
+// path has `prefix` in its final component.
+StatusOr<std::string> MakeTempDir(const std::string& prefix);
+
+// RAII wrapper removing a directory tree on destruction. Used by tests.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& prefix = "chronos");
+  ~TempDir();
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace chronos::file
+
+#endif  // CHRONOS_COMMON_FILE_UTIL_H_

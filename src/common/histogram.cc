@@ -1,0 +1,131 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace chronos {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+int Histogram::BucketFor(uint64_t value) {
+  if (value < (1u << kSubBucketBits)) return static_cast<int>(value);
+  // Position of the highest set bit determines the power-of-two "decade";
+  // the next kSubBucketBits bits select the linear sub-bucket.
+  int msb = 63 - __builtin_clzll(value);
+  int shift = msb - kSubBucketBits;
+  int sub = static_cast<int>((value >> shift) & ((1 << kSubBucketBits) - 1));
+  int bucket = (shift + 1) * (1 << kSubBucketBits) + sub;
+  return std::min(bucket, kNumBuckets - 1);
+}
+
+uint64_t Histogram::BucketUpperBound(int bucket) {
+  if (bucket < (1 << kSubBucketBits)) return static_cast<uint64_t>(bucket);
+  int shift = bucket / (1 << kSubBucketBits) - 1;
+  int sub = bucket % (1 << kSubBucketBits);
+  uint64_t base = (1ull << (shift + kSubBucketBits));
+  uint64_t width = 1ull << shift;
+  return base + width * (sub + 1) - 1;
+}
+
+void Histogram::Record(uint64_t value) { RecordMany(value, 1); }
+
+void Histogram::RecordMany(uint64_t value, uint64_t count) {
+  if (count == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  buckets_[BucketFor(value)] += count;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  count_ += count;
+  sum_ += static_cast<double>(value) * count;
+  sum_sq_ += static_cast<double>(value) * value * count;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  std::vector<uint64_t> other_buckets;
+  uint64_t o_count, o_min, o_max;
+  double o_sum, o_sum_sq;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    other_buckets = other.buckets_;
+    o_count = other.count_;
+    o_min = other.min_;
+    o_max = other.max_;
+    o_sum = other.sum_;
+    o_sum_sq = other.sum_sq_;
+  }
+  if (o_count == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other_buckets[i];
+  if (count_ == 0 || o_min < min_) min_ = o_min;
+  if (count_ == 0 || o_max > max_) max_ = o_max;
+  count_ += o_count;
+  sum_ += o_sum;
+  sum_sq_ += o_sum_sq;
+}
+
+uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+uint64_t Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+
+uint64_t Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::stddev() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) return 0.0;
+  double mean = sum_ / static_cast<double>(count_);
+  double var = sum_sq_ / static_cast<double>(count_) - mean * mean;
+  return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+uint64_t Histogram::Percentile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * count_));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) return std::min(BucketUpperBound(i), max_);
+  }
+  return max_;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = 0;
+  max_ = 0;
+  sum_ = 0;
+  sum_sq_ = 0;
+}
+
+std::string Histogram::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.1f p50=%llu p95=%llu p99=%llu max=%llu",
+                static_cast<unsigned long long>(count()), mean(),
+                static_cast<unsigned long long>(Percentile(0.5)),
+                static_cast<unsigned long long>(Percentile(0.95)),
+                static_cast<unsigned long long>(Percentile(0.99)),
+                static_cast<unsigned long long>(max()));
+  return buf;
+}
+
+}  // namespace chronos

@@ -1,0 +1,57 @@
+#ifndef CHRONOS_COMMON_HISTOGRAM_H_
+#define CHRONOS_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace chronos {
+
+// Log-bucketed latency histogram (HdrHistogram-style, base-2 buckets with
+// linear sub-buckets). Records values in arbitrary units (the toolkit uses
+// microseconds). Thread-safe.
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(uint64_t value);
+  void RecordMany(uint64_t value, uint64_t count);
+
+  // Merges `other` into this histogram.
+  void Merge(const Histogram& other);
+
+  uint64_t count() const;
+  uint64_t min() const;
+  uint64_t max() const;
+  double mean() const;
+  double stddev() const;
+
+  // q in [0, 1]; returns an upper bound of the bucket containing the
+  // quantile. Percentile(0.5) is the median.
+  uint64_t Percentile(double q) const;
+
+  void Reset();
+
+  // "count=... mean=... p50=... p95=... p99=... max=..."
+  std::string Summary() const;
+
+ private:
+  static constexpr int kSubBucketBits = 5;  // 32 linear sub-buckets/decade.
+  static constexpr int kNumBuckets = 64 * (1 << kSubBucketBits);
+
+  static int BucketFor(uint64_t value);
+  static uint64_t BucketUpperBound(int bucket);
+
+  mutable std::mutex mu_;
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+  double sum_ = 0;
+  double sum_sq_ = 0;
+};
+
+}  // namespace chronos
+
+#endif  // CHRONOS_COMMON_HISTOGRAM_H_

@@ -1,0 +1,94 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace chronos {
+
+std::string_view LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+std::string LogRecord::Format() const {
+  std::string out = FormatTimestamp(timestamp_ms);
+  out += " [";
+  out += LogLevelName(level);
+  out += "] ";
+  out += component;
+  out += ": ";
+  out += message;
+  return out;
+}
+
+Logger* Logger::Get() {
+  static Logger* logger = new Logger();
+  return logger;
+}
+
+void Logger::Log(LogLevel level, std::string component, std::string message) {
+  if (level < min_level_) return;
+  LogRecord record;
+  record.timestamp_ms = SystemClock::Get()->NowMs();
+  record.level = level;
+  record.component = std::move(component);
+  record.message = std::move(message);
+
+  std::vector<std::pair<int, LogSink>> sinks_copy;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sinks_copy = sinks_;
+    if (stderr_enabled_) {
+      std::fprintf(stderr, "%s\n", record.Format().c_str());
+    }
+  }
+  for (auto& [id, sink] : sinks_copy) sink(record);
+}
+
+int Logger::AddSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int id = next_sink_id_++;
+  sinks_.emplace_back(id, std::move(sink));
+  return id;
+}
+
+void Logger::RemoveSink(int id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = sinks_.begin(); it != sinks_.end(); ++it) {
+    if (it->first == id) {
+      sinks_.erase(it);
+      return;
+    }
+  }
+}
+
+CaptureLogSink::CaptureLogSink() {
+  sink_id_ = Logger::Get()->AddSink([this](const LogRecord& record) {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.push_back(record);
+  });
+}
+
+CaptureLogSink::~CaptureLogSink() { Logger::Get()->RemoveSink(sink_id_); }
+
+std::vector<LogRecord> CaptureLogSink::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LogRecord> out;
+  out.swap(records_);
+  return out;
+}
+
+size_t CaptureLogSink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+}  // namespace chronos

@@ -1,0 +1,106 @@
+#ifndef CHRONOS_COMMON_LOGGING_H_
+#define CHRONOS_COMMON_LOGGING_H_
+
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace chronos {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+std::string_view LogLevelName(LogLevel level);
+
+struct LogRecord {
+  TimestampMs timestamp_ms = 0;
+  LogLevel level = LogLevel::kInfo;
+  std::string component;
+  std::string message;
+
+  // "2020-03-30 10:00:00 [INFO] component: message"
+  std::string Format() const;
+};
+
+// A sink consumes formatted log records. The agent library registers a
+// capture sink so log output can be shipped to Chronos Control periodically,
+// mirroring the paper's "agent periodically sends the output of the logger".
+using LogSink = std::function<void(const LogRecord&)>;
+
+// Process-wide logger with pluggable sinks. Thread-safe.
+class Logger {
+ public:
+  static Logger* Get();
+
+  void Log(LogLevel level, std::string component, std::string message);
+
+  // Returns an id that can be passed to RemoveSink.
+  int AddSink(LogSink sink);
+  void RemoveSink(int id);
+
+  void set_min_level(LogLevel level) { min_level_ = level; }
+  LogLevel min_level() const { return min_level_; }
+
+  // When false (default in tests), records are not written to stderr but
+  // still reach registered sinks.
+  void set_stderr_enabled(bool enabled) { stderr_enabled_ = enabled; }
+
+ private:
+  Logger() = default;
+
+  std::mutex mu_;
+  std::vector<std::pair<int, LogSink>> sinks_;
+  int next_sink_id_ = 1;
+  LogLevel min_level_ = LogLevel::kInfo;
+  bool stderr_enabled_ = true;
+};
+
+// In-memory sink that buffers records; Drain() hands them off and clears the
+// buffer. Used by the agent's log shipping loop and by tests.
+class CaptureLogSink {
+ public:
+  // Registers with the global logger on construction, unregisters on
+  // destruction.
+  CaptureLogSink();
+  ~CaptureLogSink();
+
+  CaptureLogSink(const CaptureLogSink&) = delete;
+  CaptureLogSink& operator=(const CaptureLogSink&) = delete;
+
+  std::vector<LogRecord> Drain();
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<LogRecord> records_;
+  int sink_id_;
+};
+
+namespace log_internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogMessage() { Logger::Get()->Log(level_, component_, stream_.str()); }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+#define CHRONOS_LOG(level, component)                                       \
+  ::chronos::log_internal::LogMessage(::chronos::LogLevel::level, component) \
+      .stream()
+
+}  // namespace chronos
+
+#endif  // CHRONOS_COMMON_LOGGING_H_

@@ -1,0 +1,62 @@
+#ifndef CHRONOS_COMMON_RANDOM_H_
+#define CHRONOS_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace chronos {
+
+// Small, fast, seedable PRNG (xoshiro256**). Deterministic across platforms,
+// which the workload generator and property tests rely on.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the full state.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9E3779B97F4A7C15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      state_[i] = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t NextUint64() {
+    uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextUint64(uint64_t bound) { return NextUint64() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t NextInt64(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    NextUint64(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() {
+    return (NextUint64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool NextBool(double p_true = 0.5) { return NextDouble() < p_true; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace chronos
+
+#endif  // CHRONOS_COMMON_RANDOM_H_

@@ -1,0 +1,106 @@
+#include "common/sha256.h"
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace chronos {
+
+namespace {
+
+constexpr uint32_t kRoundConstants[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+uint32_t Rotr(uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
+
+}  // namespace
+
+std::string Sha256(std::string_view data) {
+  uint32_t h[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+                   0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+
+  // Padded message: data || 0x80 || zeros || 64-bit big-endian bit length.
+  std::string padded(data);
+  uint64_t bit_length = static_cast<uint64_t>(data.size()) * 8;
+  padded.push_back(static_cast<char>(0x80));
+  while (padded.size() % 64 != 56) padded.push_back('\0');
+  for (int i = 7; i >= 0; --i) {
+    padded.push_back(static_cast<char>((bit_length >> (i * 8)) & 0xFF));
+  }
+
+  for (size_t block = 0; block < padded.size(); block += 64) {
+    uint32_t w[64];
+    for (int t = 0; t < 16; ++t) {
+      w[t] = static_cast<uint32_t>(
+                 static_cast<unsigned char>(padded[block + t * 4]))
+                 << 24 |
+             static_cast<uint32_t>(
+                 static_cast<unsigned char>(padded[block + t * 4 + 1]))
+                 << 16 |
+             static_cast<uint32_t>(
+                 static_cast<unsigned char>(padded[block + t * 4 + 2]))
+                 << 8 |
+             static_cast<uint32_t>(
+                 static_cast<unsigned char>(padded[block + t * 4 + 3]));
+    }
+    for (int t = 16; t < 64; ++t) {
+      uint32_t s0 = Rotr(w[t - 15], 7) ^ Rotr(w[t - 15], 18) ^ (w[t - 15] >> 3);
+      uint32_t s1 = Rotr(w[t - 2], 17) ^ Rotr(w[t - 2], 19) ^ (w[t - 2] >> 10);
+      w[t] = w[t - 16] + s0 + w[t - 7] + s1;
+    }
+
+    uint32_t a = h[0], b = h[1], c = h[2], d = h[3];
+    uint32_t e = h[4], f = h[5], g = h[6], hh = h[7];
+    for (int t = 0; t < 64; ++t) {
+      uint32_t s1 = Rotr(e, 6) ^ Rotr(e, 11) ^ Rotr(e, 25);
+      uint32_t ch = (e & f) ^ (~e & g);
+      uint32_t temp1 = hh + s1 + ch + kRoundConstants[t] + w[t];
+      uint32_t s0 = Rotr(a, 2) ^ Rotr(a, 13) ^ Rotr(a, 22);
+      uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      uint32_t temp2 = s0 + maj;
+      hh = g;
+      g = f;
+      f = e;
+      e = d + temp1;
+      d = c;
+      c = b;
+      b = a;
+      a = temp1 + temp2;
+    }
+    h[0] += a;
+    h[1] += b;
+    h[2] += c;
+    h[3] += d;
+    h[4] += e;
+    h[5] += f;
+    h[6] += g;
+    h[7] += hh;
+  }
+
+  std::string digest;
+  digest.reserve(32);
+  for (uint32_t word : h) {
+    digest.push_back(static_cast<char>((word >> 24) & 0xFF));
+    digest.push_back(static_cast<char>((word >> 16) & 0xFF));
+    digest.push_back(static_cast<char>((word >> 8) & 0xFF));
+    digest.push_back(static_cast<char>(word & 0xFF));
+  }
+  return digest;
+}
+
+std::string Sha256Hex(std::string_view data) {
+  return strings::HexEncode(Sha256(data));
+}
+
+}  // namespace chronos

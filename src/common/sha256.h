@@ -1,0 +1,17 @@
+#ifndef CHRONOS_COMMON_SHA256_H_
+#define CHRONOS_COMMON_SHA256_H_
+
+#include <string>
+#include <string_view>
+
+namespace chronos {
+
+// FIPS 180-4 SHA-256. Returns the 32-byte digest as raw bytes.
+std::string Sha256(std::string_view data);
+
+// Lowercase hex digest.
+std::string Sha256Hex(std::string_view data);
+
+}  // namespace chronos
+
+#endif  // CHRONOS_COMMON_SHA256_H_

@@ -1,0 +1,133 @@
+#ifndef CHRONOS_COMMON_STATUS_H_
+#define CHRONOS_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace chronos {
+
+// Canonical error space used across the whole toolkit. Library code never
+// throws; every fallible operation returns a Status or a StatusOr<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kFailedPrecondition = 4,
+  kPermissionDenied = 5,
+  kUnauthenticated = 6,
+  kAborted = 7,
+  kDeadlineExceeded = 8,
+  kUnavailable = 9,
+  kIoError = 10,
+  kCorruption = 11,
+  kInternal = 12,
+  kUnimplemented = 13,
+  kResourceExhausted = 14,
+};
+
+// Human-readable name of a code, e.g. "NOT_FOUND".
+std::string_view StatusCodeToString(StatusCode code);
+
+// Value-type status: a code plus an optional message. The OK status carries
+// no message and is cheap to copy.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status Unauthenticated(std::string msg) {
+    return Status(StatusCode::kUnauthenticated, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsIoError() const { return code_ == StatusCode::kIoError; }
+
+  // "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// Evaluates an expression returning Status; returns it from the enclosing
+// function if not OK.
+#define CHRONOS_RETURN_IF_ERROR(expr)                \
+  do {                                               \
+    ::chronos::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+}  // namespace chronos
+
+#endif  // CHRONOS_COMMON_STATUS_H_

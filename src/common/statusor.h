@@ -1,0 +1,81 @@
+#ifndef CHRONOS_COMMON_STATUSOR_H_
+#define CHRONOS_COMMON_STATUSOR_H_
+
+#include <cassert>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace chronos {
+
+// Holds either a value of type T or a non-OK Status explaining why the value
+// is absent. Mirrors absl::StatusOr. Accessing the value of a non-OK
+// StatusOr aborts the process (library code must check ok() first).
+template <typename T>
+class StatusOr {
+ public:
+  // Implicit construction from a value or an error status keeps call sites
+  // terse: `return value;` / `return Status::NotFound(...);`.
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::Ok()), value_(std::move(value)) {}
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+    if (status_.ok()) std::abort();
+  }
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) noexcept = default;
+  StatusOr& operator=(StatusOr&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckHasValue();
+    return *value_;
+  }
+  T& value() & {
+    CheckHasValue();
+    return *value_;
+  }
+  T&& value() && {
+    CheckHasValue();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  template <typename U>
+  T value_or(U&& fallback) const& {
+    return ok() ? *value_ : static_cast<T>(std::forward<U>(fallback));
+  }
+
+ private:
+  void CheckHasValue() const {
+    if (!value_.has_value()) std::abort();
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Assigns the value of a StatusOr expression to `lhs`, or returns its status.
+#define CHRONOS_ASSIGN_OR_RETURN(lhs, expr)           \
+  auto CHRONOS_CONCAT_(_sor_, __LINE__) = (expr);     \
+  if (!CHRONOS_CONCAT_(_sor_, __LINE__).ok())         \
+    return CHRONOS_CONCAT_(_sor_, __LINE__).status(); \
+  lhs = std::move(CHRONOS_CONCAT_(_sor_, __LINE__)).value()
+
+#define CHRONOS_CONCAT_IMPL_(a, b) a##b
+#define CHRONOS_CONCAT_(a, b) CHRONOS_CONCAT_IMPL_(a, b)
+
+}  // namespace chronos
+
+#endif  // CHRONOS_COMMON_STATUSOR_H_

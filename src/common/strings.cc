@@ -1,0 +1,244 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+namespace chronos::strings {
+
+namespace {
+
+constexpr char kBase64Chars[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+int Base64Value(char c) {
+  if (c >= 'A' && c <= 'Z') return c - 'A';
+  if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+  if (c >= '0' && c <= '9') return c - '0' + 52;
+  if (c == '+') return 62;
+  if (c == '/') return 63;
+  return -1;
+}
+
+bool IsUnreserved(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_' ||
+         c == '.' || c == '~';
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::vector<std::string> Split(std::string_view input, char sep,
+                               bool skip_empty) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = input.find(sep, start);
+    std::string_view token = pos == std::string_view::npos
+                                 ? input.substr(start)
+                                 : input.substr(start, pos - start);
+    if (!skip_empty || !token.empty()) out.emplace_back(token);
+    if (pos == std::string_view::npos) break;
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t begin = 0;
+  while (begin < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  size_t end = s.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = std::tolower(static_cast<unsigned char>(c));
+  return out;
+}
+
+std::string ToUpper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = std::toupper(static_cast<unsigned char>(c));
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string HexEncode(std::string_view bytes) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    out.push_back(kHex[c >> 4]);
+    out.push_back(kHex[c & 0xF]);
+  }
+  return out;
+}
+
+std::string Base64Encode(std::string_view bytes) {
+  std::string out;
+  out.reserve((bytes.size() + 2) / 3 * 4);
+  size_t i = 0;
+  while (i + 3 <= bytes.size()) {
+    uint32_t v = (static_cast<unsigned char>(bytes[i]) << 16) |
+                 (static_cast<unsigned char>(bytes[i + 1]) << 8) |
+                 static_cast<unsigned char>(bytes[i + 2]);
+    out.push_back(kBase64Chars[(v >> 18) & 0x3F]);
+    out.push_back(kBase64Chars[(v >> 12) & 0x3F]);
+    out.push_back(kBase64Chars[(v >> 6) & 0x3F]);
+    out.push_back(kBase64Chars[v & 0x3F]);
+    i += 3;
+  }
+  size_t rest = bytes.size() - i;
+  if (rest == 1) {
+    uint32_t v = static_cast<unsigned char>(bytes[i]) << 16;
+    out.push_back(kBase64Chars[(v >> 18) & 0x3F]);
+    out.push_back(kBase64Chars[(v >> 12) & 0x3F]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rest == 2) {
+    uint32_t v = (static_cast<unsigned char>(bytes[i]) << 16) |
+                 (static_cast<unsigned char>(bytes[i + 1]) << 8);
+    out.push_back(kBase64Chars[(v >> 18) & 0x3F]);
+    out.push_back(kBase64Chars[(v >> 12) & 0x3F]);
+    out.push_back(kBase64Chars[(v >> 6) & 0x3F]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+bool Base64Decode(std::string_view encoded, std::string* out) {
+  out->clear();
+  if (encoded.size() % 4 != 0) return false;
+  out->reserve(encoded.size() / 4 * 3);
+  for (size_t i = 0; i < encoded.size(); i += 4) {
+    int vals[4];
+    int pad = 0;
+    for (int j = 0; j < 4; ++j) {
+      char c = encoded[i + j];
+      if (c == '=') {
+        // Padding is only valid in the last group's final positions.
+        if (i + 4 != encoded.size() || j < 2) return false;
+        vals[j] = 0;
+        ++pad;
+      } else {
+        if (pad > 0) return false;  // Data after padding.
+        vals[j] = Base64Value(c);
+        if (vals[j] < 0) return false;
+      }
+    }
+    uint32_t v = (vals[0] << 18) | (vals[1] << 12) | (vals[2] << 6) | vals[3];
+    out->push_back(static_cast<char>((v >> 16) & 0xFF));
+    if (pad < 2) out->push_back(static_cast<char>((v >> 8) & 0xFF));
+    if (pad < 1) out->push_back(static_cast<char>(v & 0xFF));
+  }
+  return true;
+}
+
+std::string UrlEncode(std::string_view s) {
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (IsUnreserved(c)) {
+      out.push_back(c);
+    } else {
+      out.push_back('%');
+      out.push_back(kHex[static_cast<unsigned char>(c) >> 4]);
+      out.push_back(kHex[static_cast<unsigned char>(c) & 0xF]);
+    }
+  }
+  return out;
+}
+
+bool UrlDecode(std::string_view s, std::string* out) {
+  out->clear();
+  out->reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (c == '%') {
+      if (i + 2 >= s.size()) return false;
+      int hi = HexDigit(s[i + 1]);
+      int lo = HexDigit(s[i + 2]);
+      if (hi < 0 || lo < 0) return false;
+      out->push_back(static_cast<char>((hi << 4) | lo));
+      i += 2;
+    } else if (c == '+') {
+      out->push_back(' ');
+    } else {
+      out->push_back(c);
+    }
+  }
+  return true;
+}
+
+bool ParseUint64(std::string_view s, uint64_t* out) {
+  if (s.empty()) return false;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+bool ParseInt64(std::string_view s, int64_t* out) {
+  if (s.empty()) return false;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+bool ParseDouble(std::string_view s, double* out) {
+  if (s.empty()) return false;
+  // std::from_chars for double is not reliably available pre-gcc11 for all
+  // formats; strtod on a NUL-terminated copy is portable and strict enough.
+  std::string buf(s);
+  char* end = nullptr;
+  *out = std::strtod(buf.c_str(), &end);
+  return end == buf.c_str() + buf.size();
+}
+
+std::string PadNumber(uint64_t value, int width) {
+  std::string digits = std::to_string(value);
+  if (static_cast<int>(digits.size()) >= width) return digits;
+  return std::string(width - digits.size(), '0') + digits;
+}
+
+}  // namespace chronos::strings

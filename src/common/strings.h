@@ -1,0 +1,53 @@
+#ifndef CHRONOS_COMMON_STRINGS_H_
+#define CHRONOS_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace chronos::strings {
+
+// Splits `input` on `sep`. An empty input yields a single empty token unless
+// `skip_empty` is set. Never merges adjacent separators unless `skip_empty`.
+std::vector<std::string> Split(std::string_view input, char sep,
+                               bool skip_empty = false);
+
+// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+std::string ToLower(std::string_view s);
+std::string ToUpper(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// Case-insensitive ASCII equality (header names etc.).
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+// Lowercase hex encoding of arbitrary bytes.
+std::string HexEncode(std::string_view bytes);
+
+// RFC 4648 base64 (with padding). Decode returns false on malformed input.
+std::string Base64Encode(std::string_view bytes);
+bool Base64Decode(std::string_view encoded, std::string* out);
+
+// Percent-encoding for URL path/query components.
+std::string UrlEncode(std::string_view s);
+// Decodes %XX sequences and '+' as space; returns false on truncated escapes.
+bool UrlDecode(std::string_view s, std::string* out);
+
+// Parses a non-negative decimal integer; rejects trailing garbage.
+bool ParseUint64(std::string_view s, uint64_t* out);
+bool ParseInt64(std::string_view s, int64_t* out);
+bool ParseDouble(std::string_view s, double* out);
+
+// Fixed-width zero-padded decimal, e.g. PadNumber(7, 3) == "007".
+std::string PadNumber(uint64_t value, int width);
+
+}  // namespace chronos::strings
+
+#endif  // CHRONOS_COMMON_STRINGS_H_

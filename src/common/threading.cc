@@ -1,0 +1,32 @@
+#include "common/threading.h"
+
+namespace chronos {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] {
+      while (auto task = queue_.Pop()) {
+        (*task)();
+      }
+    });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::Submit(std::function<void()> task) {
+  return queue_.Push(std::move(task));
+}
+
+void ThreadPool::Shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    queue_.Close();
+    for (auto& worker : workers_) {
+      if (worker.joinable()) worker.join();
+    }
+  });
+}
+
+}  // namespace chronos

@@ -1,0 +1,68 @@
+#include "common/uuid.h"
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <mutex>
+
+#include "common/random.h"
+
+namespace chronos {
+
+namespace {
+
+uint64_t MixedSeed() {
+  static std::atomic<uint64_t> counter{0};
+  uint64_t t = static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  return t ^ (counter.fetch_add(1) * 0x2545F4914F6CDD1Dull);
+}
+
+}  // namespace
+
+std::string GenerateUuid() {
+  static std::mutex mu;
+  static Rng rng(MixedSeed());
+  uint64_t hi, lo;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    hi = rng.NextUint64();
+    lo = rng.NextUint64();
+  }
+  // Set version (4) and variant (10xx) bits.
+  hi = (hi & 0xFFFFFFFFFFFF0FFFull) | 0x0000000000004000ull;
+  lo = (lo & 0x3FFFFFFFFFFFFFFFull) | 0x8000000000000000ull;
+
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(36);
+  auto append_hex = [&out](uint64_t v, int nibbles) {
+    for (int i = nibbles - 1; i >= 0; --i) {
+      out.push_back(kHex[(v >> (i * 4)) & 0xF]);
+    }
+  };
+  append_hex(hi >> 32, 8);
+  out.push_back('-');
+  append_hex((hi >> 16) & 0xFFFF, 4);
+  out.push_back('-');
+  append_hex(hi & 0xFFFF, 4);
+  out.push_back('-');
+  append_hex(lo >> 48, 4);
+  out.push_back('-');
+  append_hex(lo & 0xFFFFFFFFFFFFull, 12);
+  return out;
+}
+
+bool IsValidUuid(std::string_view s) {
+  if (s.size() != 36) return false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (i == 8 || i == 13 || i == 18 || i == 23) {
+      if (s[i] != '-') return false;
+    } else if (!std::isxdigit(static_cast<unsigned char>(s[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace chronos

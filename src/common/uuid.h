@@ -1,0 +1,18 @@
+#ifndef CHRONOS_COMMON_UUID_H_
+#define CHRONOS_COMMON_UUID_H_
+
+#include <string>
+#include <string_view>
+
+namespace chronos {
+
+// Returns a random (version 4) UUID as a lowercase hyphenated string,
+// e.g. "de305d54-75b4-431b-adb2-eb6b9e546014". Thread-safe.
+std::string GenerateUuid();
+
+// True iff `s` has the canonical 8-4-4-4-12 hex layout.
+bool IsValidUuid(std::string_view s);
+
+}  // namespace chronos
+
+#endif  // CHRONOS_COMMON_UUID_H_

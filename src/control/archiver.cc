@@ -1,0 +1,100 @@
+#include "control/archiver.h"
+
+#include "archive/zip.h"
+#include "common/strings.h"
+#include "common/uuid.h"
+
+namespace chronos::control {
+
+StatusOr<std::string> BuildProjectArchive(ControlService* service,
+                                          const std::string& project_id,
+                                          const std::string& user_id) {
+  CHRONOS_ASSIGN_OR_RETURN(model::Project project,
+                           service->GetProject(project_id, user_id));
+  archive::ZipWriter writer;
+  CHRONOS_RETURN_IF_ERROR(
+      writer.Add("project.json", project.ToJson().DumpPretty()));
+
+  for (const model::Experiment& experiment :
+       service->ListExperiments(project_id)) {
+    std::string experiment_dir = "experiments/" + experiment.id + "/";
+    CHRONOS_RETURN_IF_ERROR(writer.Add(experiment_dir + "experiment.json",
+                                       experiment.ToJson().DumpPretty()));
+    // The system definition travels with the archive so results stay
+    // interpretable even if the registry changes later.
+    auto system = service->GetSystem(experiment.system_id);
+    if (system.ok()) {
+      CHRONOS_RETURN_IF_ERROR(writer.Add(experiment_dir + "system.json",
+                                         system->ToJson().DumpPretty()));
+    }
+    for (const model::Evaluation& evaluation :
+         service->ListEvaluations(experiment.id)) {
+      std::string eval_dir = experiment_dir + "evaluations/" + evaluation.id +
+                             "/";
+      CHRONOS_RETURN_IF_ERROR(writer.Add(eval_dir + "evaluation.json",
+                                         evaluation.ToJson().DumpPretty()));
+      for (const model::Job& job : service->ListJobs(evaluation.id)) {
+        std::string job_dir = eval_dir + "jobs/" + job.id + "/";
+        CHRONOS_RETURN_IF_ERROR(
+            writer.Add(job_dir + "job.json", job.ToJson().DumpPretty()));
+        std::string log = service->JobLog(job.id);
+        if (!log.empty()) {
+          CHRONOS_RETURN_IF_ERROR(writer.Add(job_dir + "job.log", log));
+        }
+        auto result = service->GetResult(job.id);
+        if (result.ok()) {
+          CHRONOS_RETURN_IF_ERROR(writer.Add(job_dir + "result.json",
+                                             result->data.DumpPretty()));
+          if (!result->zip_base64.empty()) {
+            std::string bundle;
+            if (strings::Base64Decode(result->zip_base64, &bundle)) {
+              CHRONOS_RETURN_IF_ERROR(
+                  writer.Add(job_dir + "bundle.zip", bundle));
+            }
+          }
+        }
+      }
+    }
+  }
+  return writer.Finish();
+}
+
+StatusOr<int> ImportProjectArchive(ControlService* service,
+                                   const std::string& archive_bytes,
+                                   const std::string& new_owner_id) {
+  CHRONOS_ASSIGN_OR_RETURN(archive::ZipReader reader,
+                           archive::ZipReader::Open(archive_bytes));
+  CHRONOS_ASSIGN_OR_RETURN(std::string project_json,
+                           reader.Read("project.json"));
+  CHRONOS_ASSIGN_OR_RETURN(json::Json project_doc,
+                           json::Parse(project_json));
+  CHRONOS_ASSIGN_OR_RETURN(model::Project project,
+                           model::Project::FromJson(project_doc));
+
+  CHRONOS_ASSIGN_OR_RETURN(
+      model::Project imported,
+      service->CreateProject(project.name + " (imported)",
+                             project.description, new_owner_id));
+  int count = 1;
+
+  // Re-create experiments (the definitions; run history stays in the
+  // archive for offline inspection).
+  for (const std::string& name : reader.EntryNames()) {
+    if (!strings::StartsWith(name, "experiments/") ||
+        !strings::EndsWith(name, "/experiment.json")) {
+      continue;
+    }
+    CHRONOS_ASSIGN_OR_RETURN(std::string text, reader.Read(name));
+    auto doc = json::Parse(text);
+    if (!doc.ok()) continue;
+    auto experiment = model::Experiment::FromJson(*doc);
+    if (!experiment.ok()) continue;
+    auto created = service->CreateExperiment(
+        imported.id, new_owner_id, experiment->system_id, experiment->name,
+        experiment->description, experiment->settings);
+    if (created.ok()) ++count;
+  }
+  return count;
+}
+
+}  // namespace chronos::control

@@ -1,0 +1,29 @@
+#ifndef CHRONOS_CONTROL_ARCHIVER_H_
+#define CHRONOS_CONTROL_ARCHIVER_H_
+
+#include <string>
+
+#include "common/statusor.h"
+#include "control/control_service.h"
+
+namespace chronos::control {
+
+// Builds a self-contained ZIP archive of a project: its definition, all
+// experiments, evaluations, jobs (with parameters and timelines), and every
+// result (JSON inline, the result bundle as a nested zip entry). This is the
+// paper's requirement (iv): "archiving the results of the evaluations as
+// well as of all parameter settings which have led to these results".
+StatusOr<std::string> BuildProjectArchive(ControlService* service,
+                                          const std::string& project_id,
+                                          const std::string& user_id);
+
+// Restores (re-inserts) a previously exported archive into the metadata
+// store under fresh "imported" ids — used to inspect archived evaluations.
+// Returns the number of entities imported.
+StatusOr<int> ImportProjectArchive(ControlService* service,
+                                   const std::string& archive_bytes,
+                                   const std::string& new_owner_id);
+
+}  // namespace chronos::control
+
+#endif  // CHRONOS_CONTROL_ARCHIVER_H_

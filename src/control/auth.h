@@ -1,0 +1,58 @@
+#ifndef CHRONOS_CONTROL_AUTH_H_
+#define CHRONOS_CONTROL_AUTH_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "model/entities.h"
+
+namespace chronos::control {
+
+// Salted password hashing (SHA-256, iterated). Chronos Control stores only
+// (salt, hash).
+std::string HashPassword(const std::string& password, const std::string& salt);
+std::string GenerateSalt();
+bool VerifyPassword(const std::string& password, const std::string& salt,
+                    const std::string& hash);
+
+// In-memory session tokens ("advanced session management" of the web UI).
+// Tokens are opaque UUIDs handed out at login and carried in the X-Session
+// header.
+class SessionManager {
+ public:
+  explicit SessionManager(Clock* clock = SystemClock::Get(),
+                          int64_t ttl_ms = 12 * 3600 * 1000)
+      : clock_(clock), ttl_ms_(ttl_ms) {}
+
+  // Creates a session for the user and returns the token.
+  std::string CreateSession(const std::string& user_id);
+
+  // Resolves a token to its user id; expired/unknown tokens fail with
+  // Unauthenticated.
+  StatusOr<std::string> Resolve(const std::string& token);
+
+  Status Invalidate(const std::string& token);
+
+  // Drops expired sessions; returns how many were removed.
+  int Sweep();
+
+  size_t active_sessions() const;
+
+ private:
+  struct Session {
+    std::string user_id;
+    TimestampMs expires_at;
+  };
+
+  Clock* clock_;
+  int64_t ttl_ms_;
+  mutable std::mutex mu_;
+  std::map<std::string, Session> sessions_;
+};
+
+}  // namespace chronos::control
+
+#endif  // CHRONOS_CONTROL_AUTH_H_

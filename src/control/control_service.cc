@@ -1,0 +1,647 @@
+#include "control/control_service.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/uuid.h"
+
+namespace chronos::control {
+
+using model::Job;
+using model::JobState;
+
+namespace {
+
+// Six-digit zero-padded job sequence, so lexicographic id order equals
+// creation order within an evaluation.
+std::string PadSequence(int sequence) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%06d", sequence);
+  return buf;
+}
+
+}  // namespace
+
+json::Json EvaluationSummary::ToJson() const {
+  json::Json out = json::Json::MakeObject();
+  out.Set("evaluation", evaluation.ToJson());
+  json::Json counts = json::Json::MakeObject();
+  for (const auto& [state, count] : state_counts) {
+    counts.Set(std::string(model::JobStateName(state)),
+               static_cast<int64_t>(count));
+  }
+  out.Set("state_counts", std::move(counts));
+  out.Set("total_jobs", static_cast<int64_t>(total_jobs));
+  out.Set("overall_progress_percent",
+          static_cast<int64_t>(overall_progress_percent));
+  return out;
+}
+
+ControlService::ControlService(model::MetaDb* db, Clock* clock,
+                               ControlServiceOptions options)
+    : db_(db), clock_(clock), options_(options), sessions_(clock) {
+  // Resume the event sequence past anything already persisted.
+  int64_t max_seq = 0;
+  for (const model::JobEvent& event : db_->job_events().All()) {
+    max_seq = std::max(max_seq, event.seq);
+  }
+  event_seq_.store(max_seq + 1);
+}
+
+// --- Users & sessions ---
+
+StatusOr<model::User> ControlService::CreateUser(const std::string& username,
+                                                 const std::string& password,
+                                                 model::UserRole role) {
+  if (username.empty()) {
+    return Status::InvalidArgument("username must not be empty");
+  }
+  if (password.size() < 4) {
+    return Status::InvalidArgument("password too short");
+  }
+  if (!db_->users().FindBy("username", json::Json(username)).empty()) {
+    return Status::AlreadyExists("username taken: " + username);
+  }
+  model::User user;
+  user.id = GenerateUuid();
+  user.username = username;
+  user.salt = GenerateSalt();
+  user.password_hash = HashPassword(password, user.salt);
+  user.role = role;
+  user.created_at = clock_->NowMs();
+  CHRONOS_RETURN_IF_ERROR(db_->users().Insert(user));
+  return user;
+}
+
+StatusOr<std::string> ControlService::Login(const std::string& username,
+                                            const std::string& password) {
+  auto users = db_->users().FindBy("username", json::Json(username));
+  if (users.empty()) {
+    return Status::Unauthenticated("unknown user or wrong password");
+  }
+  const model::User& user = users[0];
+  if (!VerifyPassword(password, user.salt, user.password_hash)) {
+    return Status::Unauthenticated("unknown user or wrong password");
+  }
+  return sessions_.CreateSession(user.id);
+}
+
+Status ControlService::Logout(const std::string& token) {
+  return sessions_.Invalidate(token);
+}
+
+StatusOr<model::User> ControlService::Authenticate(const std::string& token) {
+  CHRONOS_ASSIGN_OR_RETURN(std::string user_id, sessions_.Resolve(token));
+  auto user = db_->users().Get(user_id);
+  if (!user.ok()) return Status::Unauthenticated("session user vanished");
+  return user;
+}
+
+std::vector<model::User> ControlService::ListUsers() {
+  return db_->users().All();
+}
+
+// --- Projects ---
+
+StatusOr<model::Project> ControlService::CreateProject(
+    const std::string& name, const std::string& description,
+    const std::string& owner_id) {
+  if (name.empty()) return Status::InvalidArgument("project name empty");
+  if (!db_->users().Exists(owner_id)) {
+    return Status::NotFound("owner not found: " + owner_id);
+  }
+  model::Project project;
+  project.id = GenerateUuid();
+  project.name = name;
+  project.description = description;
+  project.owner_id = owner_id;
+  project.member_ids = {owner_id};
+  project.created_at = clock_->NowMs();
+  CHRONOS_RETURN_IF_ERROR(db_->projects().Insert(project));
+  return project;
+}
+
+StatusOr<model::Project> ControlService::GetProject(
+    const std::string& project_id, const std::string& user_id) {
+  CHRONOS_ASSIGN_OR_RETURN(model::Project project,
+                           db_->projects().Get(project_id));
+  // Admins see everything; members see their projects.
+  auto user = db_->users().Get(user_id);
+  bool is_admin = user.ok() && user->role == model::UserRole::kAdmin;
+  if (!is_admin && !project.HasMember(user_id)) {
+    return Status::PermissionDenied("not a member of project " + project_id);
+  }
+  return project;
+}
+
+std::vector<model::Project> ControlService::ListProjects(
+    const std::string& user_id) {
+  auto user = db_->users().Get(user_id);
+  bool is_admin = user.ok() && user->role == model::UserRole::kAdmin;
+  std::vector<model::Project> visible;
+  for (model::Project& project : db_->projects().All()) {
+    if (is_admin || project.HasMember(user_id)) {
+      visible.push_back(std::move(project));
+    }
+  }
+  return visible;
+}
+
+Status ControlService::AddProjectMember(const std::string& project_id,
+                                        const std::string& acting_user_id,
+                                        const std::string& new_member_id) {
+  CHRONOS_ASSIGN_OR_RETURN(model::Project project,
+                           GetProject(project_id, acting_user_id));
+  if (!db_->users().Exists(new_member_id)) {
+    return Status::NotFound("user not found: " + new_member_id);
+  }
+  if (project.HasMember(new_member_id)) {
+    return Status::AlreadyExists("already a member");
+  }
+  project.member_ids.push_back(new_member_id);
+  return db_->projects().Update(project);
+}
+
+Status ControlService::SetProjectArchived(const std::string& project_id,
+                                          const std::string& user_id,
+                                          bool archived) {
+  CHRONOS_ASSIGN_OR_RETURN(model::Project project,
+                           GetProject(project_id, user_id));
+  project.archived = archived;
+  return db_->projects().Update(project);
+}
+
+// --- Systems & deployments ---
+
+StatusOr<model::System> ControlService::RegisterSystem(model::System system) {
+  if (system.name.empty()) {
+    return Status::InvalidArgument("system name empty");
+  }
+  if (system.id.empty()) system.id = GenerateUuid();
+  CHRONOS_RETURN_IF_ERROR(db_->systems().Insert(system));
+  return system;
+}
+
+StatusOr<model::System> ControlService::GetSystem(
+    const std::string& system_id) {
+  return db_->systems().Get(system_id);
+}
+
+std::vector<model::System> ControlService::ListSystems() {
+  return db_->systems().All();
+}
+
+Status ControlService::UpdateSystem(const model::System& system) {
+  return db_->systems().Update(system);
+}
+
+StatusOr<model::Deployment> ControlService::CreateDeployment(
+    model::Deployment deployment) {
+  if (!db_->systems().Exists(deployment.system_id)) {
+    return Status::NotFound("system not found: " + deployment.system_id);
+  }
+  if (deployment.id.empty()) deployment.id = GenerateUuid();
+  CHRONOS_RETURN_IF_ERROR(db_->deployments().Insert(deployment));
+  return deployment;
+}
+
+std::vector<model::Deployment> ControlService::ListDeployments(
+    const std::string& system_id) {
+  if (system_id.empty()) return db_->deployments().All();
+  return db_->deployments().FindBy("system_id", json::Json(system_id));
+}
+
+Status ControlService::SetDeploymentActive(const std::string& deployment_id,
+                                           bool active) {
+  CHRONOS_ASSIGN_OR_RETURN(model::Deployment deployment,
+                           db_->deployments().Get(deployment_id));
+  deployment.active = active;
+  return db_->deployments().Update(deployment);
+}
+
+Status ControlService::DeleteDeployment(const std::string& deployment_id) {
+  return db_->deployments().Delete(deployment_id);
+}
+
+// --- Experiments ---
+
+StatusOr<model::Experiment> ControlService::CreateExperiment(
+    const std::string& project_id, const std::string& user_id,
+    const std::string& system_id, const std::string& name,
+    const std::string& description,
+    std::vector<model::ParameterSetting> settings) {
+  CHRONOS_ASSIGN_OR_RETURN(model::Project project,
+                           GetProject(project_id, user_id));
+  if (project.archived) {
+    return Status::FailedPrecondition("project is archived");
+  }
+  CHRONOS_ASSIGN_OR_RETURN(model::System system, GetSystem(system_id));
+  // Validate every setting against the system's parameter declarations.
+  for (const model::ParameterSetting& setting : settings) {
+    const model::ParameterDef* def = system.FindParameter(setting.name);
+    if (def == nullptr) {
+      return Status::InvalidArgument("system '" + system.name +
+                                     "' declares no parameter '" +
+                                     setting.name + "'");
+    }
+    CHRONOS_RETURN_IF_ERROR(model::ValidateSetting(*def, setting));
+  }
+  model::Experiment experiment;
+  experiment.id = GenerateUuid();
+  experiment.project_id = project_id;
+  experiment.system_id = system_id;
+  experiment.name = name;
+  experiment.description = description;
+  experiment.settings = std::move(settings);
+  experiment.created_at = clock_->NowMs();
+  CHRONOS_RETURN_IF_ERROR(db_->experiments().Insert(experiment));
+  return experiment;
+}
+
+StatusOr<model::Experiment> ControlService::GetExperiment(
+    const std::string& experiment_id) {
+  return db_->experiments().Get(experiment_id);
+}
+
+std::vector<model::Experiment> ControlService::ListExperiments(
+    const std::string& project_id) {
+  return db_->experiments().FindBy("project_id", json::Json(project_id));
+}
+
+Status ControlService::SetExperimentArchived(const std::string& experiment_id,
+                                             bool archived) {
+  CHRONOS_ASSIGN_OR_RETURN(model::Experiment experiment,
+                           db_->experiments().Get(experiment_id));
+  experiment.archived = archived;
+  return db_->experiments().Update(experiment);
+}
+
+// --- Evaluations & jobs ---
+
+StatusOr<model::Evaluation> ControlService::CreateEvaluation(
+    const std::string& experiment_id, const std::string& name,
+    int repetitions) {
+  if (repetitions < 1 || repetitions > 1000) {
+    return Status::InvalidArgument("repetitions out of range [1, 1000]");
+  }
+  CHRONOS_ASSIGN_OR_RETURN(model::Experiment experiment,
+                           GetExperiment(experiment_id));
+  if (experiment.archived) {
+    return Status::FailedPrecondition("experiment is archived");
+  }
+  CHRONOS_ASSIGN_OR_RETURN(
+      std::vector<model::ParameterAssignment> assignments,
+      model::ExpandParameterSpace(experiment.settings));
+  if (repetitions > 1) {
+    std::vector<model::ParameterAssignment> repeated;
+    repeated.reserve(assignments.size() * repetitions);
+    for (const model::ParameterAssignment& assignment : assignments) {
+      for (int r = 0; r < repetitions; ++r) repeated.push_back(assignment);
+    }
+    assignments = std::move(repeated);
+  }
+
+  model::Evaluation evaluation;
+  evaluation.id = GenerateUuid();
+  evaluation.experiment_id = experiment_id;
+  evaluation.name = name.empty() ? experiment.name + " run" : name;
+  evaluation.created_at = clock_->NowMs();
+  CHRONOS_RETURN_IF_ERROR(db_->evaluations().Insert(evaluation));
+
+  int sequence = 0;
+  for (model::ParameterAssignment& assignment : assignments) {
+    Job job;
+    // Sequence-prefixed ids keep Scan order == creation order.
+    job.id = evaluation.id + "-" + PadSequence(sequence++);
+    job.evaluation_id = evaluation.id;
+    job.experiment_id = experiment_id;
+    job.system_id = experiment.system_id;
+    job.state = JobState::kScheduled;
+    job.parameters = std::move(assignment);
+    job.created_at = clock_->NowMs();
+    CHRONOS_RETURN_IF_ERROR(db_->jobs().Insert(job));
+    RecordEvent(job.id, "state", "job created (scheduled)");
+  }
+  return evaluation;
+}
+
+StatusOr<model::Evaluation> ControlService::GetEvaluation(
+    const std::string& evaluation_id) {
+  return db_->evaluations().Get(evaluation_id);
+}
+
+std::vector<model::Evaluation> ControlService::ListEvaluations(
+    const std::string& experiment_id) {
+  return db_->evaluations().FindBy("experiment_id",
+                                   json::Json(experiment_id));
+}
+
+StatusOr<EvaluationSummary> ControlService::Summarize(
+    const std::string& evaluation_id) {
+  EvaluationSummary summary;
+  CHRONOS_ASSIGN_OR_RETURN(summary.evaluation, GetEvaluation(evaluation_id));
+  int progress_sum = 0;
+  for (const Job& job : ListJobs(evaluation_id)) {
+    summary.state_counts[job.state]++;
+    ++summary.total_jobs;
+    progress_sum += job.state == JobState::kFinished ? 100
+                                                     : job.progress_percent;
+  }
+  summary.overall_progress_percent =
+      summary.total_jobs == 0 ? 0 : progress_sum / summary.total_jobs;
+  return summary;
+}
+
+StatusOr<Job> ControlService::GetJob(const std::string& job_id) {
+  return db_->jobs().Get(job_id);
+}
+
+std::vector<Job> ControlService::ListJobs(
+    const std::string& evaluation_id, std::optional<JobState> state) {
+  std::vector<Job> jobs =
+      db_->jobs().FindBy("evaluation_id", json::Json(evaluation_id));
+  if (state.has_value()) {
+    jobs.erase(std::remove_if(jobs.begin(), jobs.end(),
+                              [&](const Job& job) {
+                                return job.state != *state;
+                              }),
+               jobs.end());
+  }
+  std::sort(jobs.begin(), jobs.end(),
+            [](const Job& a, const Job& b) { return a.id < b.id; });
+  return jobs;
+}
+
+Status ControlService::TransitionJob(
+    const std::string& job_id, JobState to,
+    const std::function<void(Job*)>& mutate) {
+  // Optimistic retry loop around the read-check-write.
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    CHRONOS_ASSIGN_OR_RETURN(auto snapshot,
+                             db_->jobs().GetWithVersion(job_id));
+    auto [job, version] = snapshot;
+    CHRONOS_RETURN_IF_ERROR(model::CheckTransition(job.state, to));
+    JobState from = job.state;
+    job.state = to;
+    if (mutate) mutate(&job);
+    Status status = db_->jobs().UpdateIfVersion(job, version);
+    if (status.ok()) {
+      RecordEvent(job_id, "state",
+                  std::string(model::JobStateName(from)) + " -> " +
+                      std::string(model::JobStateName(to)));
+      return Status::Ok();
+    }
+    if (!status.IsFailedPrecondition()) return status;
+    // Lost the race; re-read and re-validate.
+  }
+  return Status::Aborted("job transition contention on " + job_id);
+}
+
+Status ControlService::AbortJob(const std::string& job_id) {
+  TimestampMs now = clock_->NowMs();
+  return TransitionJob(job_id, JobState::kAborted, [now](Job* job) {
+    job->finished_at = now;
+  });
+}
+
+Status ControlService::RescheduleJob(const std::string& job_id) {
+  TimestampMs now = clock_->NowMs();
+  return TransitionJob(job_id, JobState::kScheduled, [now](Job* job) {
+    job->attempt += 1;
+    job->deployment_id.clear();
+    job->progress_percent = 0;
+    job->failure_reason.clear();
+    job->started_at = 0;
+    job->finished_at = 0;
+    job->last_heartbeat_at = 0;
+    (void)now;
+  });
+}
+
+// --- Agent-facing dispatch ---
+
+StatusOr<std::optional<Job>> ControlService::PollJob(
+    const std::string& deployment_id) {
+  CHRONOS_ASSIGN_OR_RETURN(model::Deployment deployment,
+                           db_->deployments().Get(deployment_id));
+  if (!deployment.active) {
+    return Status::FailedPrecondition("deployment is inactive");
+  }
+  // One job at a time per deployment.
+  auto running = db_->jobs().FindIf([&](const json::Json& row) {
+    return row.GetStringOr("state", "") == "running" &&
+           row.GetStringOr("deployment_id", "") == deployment_id;
+  });
+  if (!running.empty()) return std::optional<Job>();
+
+  // Oldest scheduled job for this system. Job ids embed the evaluation
+  // sequence, so sorting by (created_at, id) is deterministic.
+  std::vector<Job> candidates = db_->jobs().FindIf([&](const json::Json& row) {
+    return row.GetStringOr("state", "") == "scheduled" &&
+           row.GetStringOr("system_id", "") == deployment.system_id;
+  });
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Job& a, const Job& b) {
+              if (a.created_at != b.created_at) {
+                return a.created_at < b.created_at;
+              }
+              return a.id < b.id;
+            });
+
+  TimestampMs now = clock_->NowMs();
+  for (Job& candidate : candidates) {
+    Status status = TransitionJob(
+        candidate.id, JobState::kRunning, [&](Job* job) {
+          job->deployment_id = deployment_id;
+          job->started_at = now;
+          job->last_heartbeat_at = now;
+        });
+    if (status.ok()) {
+      return std::optional<Job>(*GetJob(candidate.id));
+    }
+    // Another agent won this job (or it was aborted); try the next.
+  }
+  return std::optional<Job>();
+}
+
+StatusOr<JobState> ControlService::ReportProgress(const std::string& job_id,
+                                                  int percent) {
+  percent = std::clamp(percent, 0, 100);
+  CHRONOS_ASSIGN_OR_RETURN(auto snapshot, db_->jobs().GetWithVersion(job_id));
+  auto [job, version] = snapshot;
+  if (job.state != JobState::kRunning) {
+    // Not an error: the agent learns the job was aborted/failed meanwhile.
+    return job.state;
+  }
+  job.progress_percent = percent;
+  job.last_heartbeat_at = clock_->NowMs();
+  Status status = db_->jobs().UpdateIfVersion(job, version);
+  if (!status.ok() && !status.IsFailedPrecondition()) return status;
+  RecordEvent(job_id, "progress", std::to_string(percent) + "%");
+  return JobState::kRunning;
+}
+
+StatusOr<JobState> ControlService::Heartbeat(const std::string& job_id) {
+  CHRONOS_ASSIGN_OR_RETURN(auto snapshot, db_->jobs().GetWithVersion(job_id));
+  auto [job, version] = snapshot;
+  if (job.state != JobState::kRunning) return job.state;
+  job.last_heartbeat_at = clock_->NowMs();
+  db_->jobs().UpdateIfVersion(job, version).ok();  // Racy loss is harmless.
+  return JobState::kRunning;
+}
+
+Status ControlService::AppendLog(const std::string& job_id,
+                                 const std::vector<std::string>& lines) {
+  if (!db_->jobs().Exists(job_id)) {
+    return Status::NotFound("job not found: " + job_id);
+  }
+  for (const std::string& line : lines) {
+    RecordEvent(job_id, "log", line);
+  }
+  return Status::Ok();
+}
+
+Status ControlService::UploadResult(const std::string& job_id,
+                                    json::Json data,
+                                    const std::string& zip_base64) {
+  CHRONOS_ASSIGN_OR_RETURN(Job job, GetJob(job_id));
+  if (job.state != JobState::kRunning) {
+    return Status::FailedPrecondition(
+        "result upload for job in state " +
+        std::string(model::JobStateName(job.state)));
+  }
+  model::Result result;
+  result.id = GenerateUuid();
+  result.job_id = job_id;
+  result.data = std::move(data);
+  result.zip_base64 = zip_base64;
+  result.uploaded_at = clock_->NowMs();
+  CHRONOS_RETURN_IF_ERROR(db_->results().Insert(result));
+
+  TimestampMs now = clock_->NowMs();
+  return TransitionJob(job_id, JobState::kFinished, [now](Job* job_ptr) {
+    job_ptr->finished_at = now;
+    job_ptr->progress_percent = 100;
+  });
+}
+
+Status ControlService::FailJob(const std::string& job_id,
+                               const std::string& reason) {
+  TimestampMs now = clock_->NowMs();
+  CHRONOS_RETURN_IF_ERROR(
+      TransitionJob(job_id, JobState::kFailed, [&](Job* job) {
+        job->failure_reason = reason;
+        job->finished_at = now;
+      }));
+  if (options_.auto_reschedule) {
+    auto job = GetJob(job_id);
+    if (job.ok() && job->attempt < options_.max_attempts) {
+      Status status = RescheduleJob(job_id);
+      if (status.ok()) {
+        RecordEvent(job_id, "note",
+                    "auto-rescheduled after failure: " + reason);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+// --- Job detail views ---
+
+std::vector<model::JobEvent> ControlService::JobEvents(
+    const std::string& job_id) {
+  std::vector<model::JobEvent> events =
+      db_->job_events().FindBy("job_id", json::Json(job_id));
+  std::sort(events.begin(), events.end(),
+            [](const model::JobEvent& a, const model::JobEvent& b) {
+              return a.seq < b.seq;
+            });
+  return events;
+}
+
+std::string ControlService::JobLog(const std::string& job_id) {
+  std::string log;
+  for (const model::JobEvent& event : JobEvents(job_id)) {
+    if (event.kind == "log") {
+      log += event.message;
+      log += '\n';
+    }
+  }
+  return log;
+}
+
+StatusOr<model::Result> ControlService::GetResult(const std::string& job_id) {
+  auto results = db_->results().FindBy("job_id", json::Json(job_id));
+  if (results.empty()) {
+    return Status::NotFound("no result for job " + job_id);
+  }
+  return results[0];
+}
+
+// --- Failure handling ---
+
+int ControlService::CheckHeartbeats() {
+  TimestampMs now = clock_->NowMs();
+  TimestampMs cutoff = now - options_.heartbeat_timeout_ms;
+  int failed = 0;
+  for (const Job& job : db_->jobs().FindIf([&](const json::Json& row) {
+         return row.GetStringOr("state", "") == "running" &&
+                row.GetIntOr("last_heartbeat_at", 0) < cutoff;
+       })) {
+    Status status =
+        FailJob(job.id, "heartbeat timeout (agent presumed dead)");
+    if (status.ok()) ++failed;
+  }
+  return failed;
+}
+
+// --- Analysis ---
+
+StatusOr<std::vector<analysis::JobResult>> ControlService::CollectResults(
+    const std::string& evaluation_id) {
+  CHRONOS_RETURN_IF_ERROR(GetEvaluation(evaluation_id).status());
+  std::vector<analysis::JobResult> results;
+  for (const Job& job : ListJobs(evaluation_id, JobState::kFinished)) {
+    auto result = GetResult(job.id);
+    if (!result.ok()) continue;
+    analysis::JobResult entry;
+    entry.parameters = job.parameters;
+    entry.data = result->data;
+    results.push_back(std::move(entry));
+  }
+  return results;
+}
+
+StatusOr<std::vector<analysis::DiagramData>>
+ControlService::EvaluationDiagrams(const std::string& evaluation_id) {
+  CHRONOS_ASSIGN_OR_RETURN(model::Evaluation evaluation,
+                           GetEvaluation(evaluation_id));
+  CHRONOS_ASSIGN_OR_RETURN(model::Experiment experiment,
+                           GetExperiment(evaluation.experiment_id));
+  CHRONOS_ASSIGN_OR_RETURN(model::System system,
+                           GetSystem(experiment.system_id));
+  CHRONOS_ASSIGN_OR_RETURN(std::vector<analysis::JobResult> results,
+                           CollectResults(evaluation_id));
+  std::vector<analysis::DiagramData> diagrams;
+  for (const model::DiagramDef& def : system.diagrams) {
+    auto diagram = analysis::BuildDiagram(def, results);
+    if (diagram.ok()) diagrams.push_back(std::move(diagram).value());
+  }
+  return diagrams;
+}
+
+void ControlService::RecordEvent(const std::string& job_id,
+                                 const std::string& kind,
+                                 const std::string& message) {
+  model::JobEvent event;
+  event.id = GenerateUuid();
+  event.job_id = job_id;
+  event.seq = event_seq_.fetch_add(1);
+  event.timestamp_ms = clock_->NowMs();
+  event.kind = kind;
+  event.message = message;
+  db_->job_events().Insert(event).ok();
+}
+
+}  // namespace chronos::control

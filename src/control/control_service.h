@@ -1,0 +1,185 @@
+#ifndef CHRONOS_CONTROL_CONTROL_SERVICE_H_
+#define CHRONOS_CONTROL_CONTROL_SERVICE_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/diagrams.h"
+#include "common/clock.h"
+#include "control/auth.h"
+#include "model/repository.h"
+
+namespace chronos::control {
+
+struct ControlServiceOptions {
+  // A running job whose agent misses heartbeats for this long is failed
+  // (requirement iii: automated failure handling).
+  int64_t heartbeat_timeout_ms = 30000;
+  // Failed jobs are automatically rescheduled until this many attempts.
+  int max_attempts = 3;
+  bool auto_reschedule = true;
+};
+
+// Per-evaluation state tallies for monitoring views.
+struct EvaluationSummary {
+  model::Evaluation evaluation;
+  std::map<model::JobState, int> state_counts;
+  int total_jobs = 0;
+  int overall_progress_percent = 0;  // Mean progress over jobs.
+
+  json::Json ToJson() const;
+};
+
+// The business layer of Chronos Control: everything the web UI and the REST
+// API expose, over the durable MetaDb. Thread-safe (serialization is
+// delegated to the store's optimistic versioning where races matter).
+class ControlService {
+ public:
+  ControlService(model::MetaDb* db, Clock* clock = SystemClock::Get(),
+                 ControlServiceOptions options = {});
+
+  // --- Users & sessions ---
+
+  StatusOr<model::User> CreateUser(const std::string& username,
+                                   const std::string& password,
+                                   model::UserRole role);
+  StatusOr<std::string> Login(const std::string& username,
+                              const std::string& password);
+  Status Logout(const std::string& token);
+  StatusOr<model::User> Authenticate(const std::string& token);
+  std::vector<model::User> ListUsers();
+
+  // --- Projects (access checks at project level, per the paper) ---
+
+  StatusOr<model::Project> CreateProject(const std::string& name,
+                                         const std::string& description,
+                                         const std::string& owner_id);
+  StatusOr<model::Project> GetProject(const std::string& project_id,
+                                      const std::string& user_id);
+  std::vector<model::Project> ListProjects(const std::string& user_id);
+  Status AddProjectMember(const std::string& project_id,
+                          const std::string& acting_user_id,
+                          const std::string& new_member_id);
+  Status SetProjectArchived(const std::string& project_id,
+                            const std::string& user_id, bool archived);
+
+  // --- Systems & deployments ---
+
+  StatusOr<model::System> RegisterSystem(model::System system);
+  StatusOr<model::System> GetSystem(const std::string& system_id);
+  std::vector<model::System> ListSystems();
+  Status UpdateSystem(const model::System& system);
+
+  StatusOr<model::Deployment> CreateDeployment(model::Deployment deployment);
+  std::vector<model::Deployment> ListDeployments(
+      const std::string& system_id = "");
+  Status SetDeploymentActive(const std::string& deployment_id, bool active);
+  Status DeleteDeployment(const std::string& deployment_id);
+
+  // --- Experiments ---
+
+  StatusOr<model::Experiment> CreateExperiment(
+      const std::string& project_id, const std::string& user_id,
+      const std::string& system_id, const std::string& name,
+      const std::string& description,
+      std::vector<model::ParameterSetting> settings);
+  StatusOr<model::Experiment> GetExperiment(const std::string& experiment_id);
+  std::vector<model::Experiment> ListExperiments(
+      const std::string& project_id);
+  Status SetExperimentArchived(const std::string& experiment_id,
+                               bool archived);
+
+  // --- Evaluations & jobs ---
+
+  // Expands the experiment's parameter space into one job per assignment.
+  // `repetitions` > 1 creates that many jobs per assignment ("certain
+  // evaluations need to be repeated multiple times", §3); the analysis
+  // averages repeated points.
+  StatusOr<model::Evaluation> CreateEvaluation(
+      const std::string& experiment_id, const std::string& name,
+      int repetitions = 1);
+  StatusOr<model::Evaluation> GetEvaluation(const std::string& evaluation_id);
+  std::vector<model::Evaluation> ListEvaluations(
+      const std::string& experiment_id);
+  StatusOr<EvaluationSummary> Summarize(const std::string& evaluation_id);
+
+  StatusOr<model::Job> GetJob(const std::string& job_id);
+  std::vector<model::Job> ListJobs(const std::string& evaluation_id,
+                                   std::optional<model::JobState> state = {});
+  // User actions from the job page: abort scheduled/running, reschedule
+  // failed.
+  Status AbortJob(const std::string& job_id);
+  Status RescheduleJob(const std::string& job_id);
+
+  // --- Agent-facing dispatch ---
+
+  // Hands the oldest scheduled job matching the deployment's system to the
+  // calling agent, transitioning it to running. Returns nullopt when no
+  // work is available or the deployment is already busy. Safe under
+  // concurrent polls (optimistic versioning; losers retry internally).
+  StatusOr<std::optional<model::Job>> PollJob(
+      const std::string& deployment_id);
+
+  // Progress/heartbeat/log from the running agent. The returned state lets
+  // the agent observe aborts.
+  StatusOr<model::JobState> ReportProgress(const std::string& job_id,
+                                           int percent);
+  StatusOr<model::JobState> Heartbeat(const std::string& job_id);
+  Status AppendLog(const std::string& job_id,
+                   const std::vector<std::string>& lines);
+
+  // Terminal reports.
+  Status UploadResult(const std::string& job_id, json::Json data,
+                      const std::string& zip_base64);
+  Status FailJob(const std::string& job_id, const std::string& reason);
+
+  // --- Job detail views ---
+
+  std::vector<model::JobEvent> JobEvents(const std::string& job_id);
+  std::string JobLog(const std::string& job_id);
+  StatusOr<model::Result> GetResult(const std::string& job_id);
+
+  // --- Failure handling (requirement iii) ---
+
+  // Fails running jobs with stale heartbeats; auto-reschedules while
+  // attempts remain. Returns the number of jobs failed. Called periodically
+  // by HeartbeatMonitor and directly by tests.
+  int CheckHeartbeats();
+
+  // --- Analysis ---
+
+  StatusOr<std::vector<analysis::JobResult>> CollectResults(
+      const std::string& evaluation_id);
+  // Builds every diagram declared by the experiment's system over the
+  // evaluation's finished jobs.
+  StatusOr<std::vector<analysis::DiagramData>> EvaluationDiagrams(
+      const std::string& evaluation_id);
+
+  model::MetaDb* db() { return db_; }
+  SessionManager* sessions() { return &sessions_; }
+  Clock* clock() { return clock_; }
+  const ControlServiceOptions& options() const { return options_; }
+
+ private:
+  // Applies a checked state transition with optimistic retry. `mutate` may
+  // adjust more fields after the state is set.
+  Status TransitionJob(const std::string& job_id, model::JobState to,
+                       const std::function<void(model::Job*)>& mutate);
+  void RecordEvent(const std::string& job_id, const std::string& kind,
+                   const std::string& message);
+
+  model::MetaDb* db_;
+  Clock* clock_;
+  ControlServiceOptions options_;
+  SessionManager sessions_;
+  // Next event sequence number; seeded past any persisted events on
+  // construction so ordering survives control-server restarts.
+  std::atomic<int64_t> event_seq_;
+};
+
+}  // namespace chronos::control
+
+#endif  // CHRONOS_CONTROL_CONTROL_SERVICE_H_

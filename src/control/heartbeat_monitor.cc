@@ -1,0 +1,38 @@
+#include "control/heartbeat_monitor.h"
+
+namespace chronos::control {
+
+HeartbeatMonitor::HeartbeatMonitor(ControlService* service,
+                                   int64_t interval_ms)
+    : service_(service), interval_ms_(interval_ms) {}
+
+HeartbeatMonitor::~HeartbeatMonitor() { Stop(); }
+
+void HeartbeatMonitor::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (thread_.joinable()) return;
+  stop_requested_ = false;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void HeartbeatMonitor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void HeartbeatMonitor::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    lock.unlock();
+    jobs_failed_.fetch_add(service_->CheckHeartbeats());
+    lock.lock();
+    cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                 [this] { return stop_requested_; });
+  }
+}
+
+}  // namespace chronos::control

@@ -1,0 +1,44 @@
+#ifndef CHRONOS_CONTROL_HEARTBEAT_MONITOR_H_
+#define CHRONOS_CONTROL_HEARTBEAT_MONITOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "control/control_service.h"
+
+namespace chronos::control {
+
+// Background reliability sweep (requirement iii): periodically fails running
+// jobs whose agents stopped heartbeating; the service auto-reschedules them
+// while attempts remain.
+class HeartbeatMonitor {
+ public:
+  HeartbeatMonitor(ControlService* service, int64_t interval_ms = 5000);
+  ~HeartbeatMonitor();
+
+  HeartbeatMonitor(const HeartbeatMonitor&) = delete;
+  HeartbeatMonitor& operator=(const HeartbeatMonitor&) = delete;
+
+  void Start();
+  void Stop();
+
+  // Total jobs failed by this monitor since Start.
+  int64_t jobs_failed() const { return jobs_failed_.load(); }
+
+ private:
+  void Loop();
+
+  ControlService* service_;
+  int64_t interval_ms_;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  std::atomic<int64_t> jobs_failed_{0};
+};
+
+}  // namespace chronos::control
+
+#endif  // CHRONOS_CONTROL_HEARTBEAT_MONITOR_H_

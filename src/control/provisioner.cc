@@ -1,0 +1,96 @@
+#include "control/provisioner.h"
+
+namespace chronos::control {
+
+Status ProvisioningManager::RegisterProvisioner(
+    DeploymentProvisioner* provisioner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string name(provisioner->name());
+  if (provisioners_.count(name) > 0) {
+    return Status::AlreadyExists("provisioner registered: " + name);
+  }
+  provisioners_[name] = provisioner;
+  return Status::Ok();
+}
+
+std::vector<std::string> ProvisioningManager::ProvisionerNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(provisioners_.size());
+  for (const auto& [name, provisioner] : provisioners_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+StatusOr<model::Deployment> ProvisioningManager::ProvisionDeployment(
+    const std::string& provisioner_name, const std::string& system_id,
+    const std::string& deployment_name, const json::Json& spec) {
+  DeploymentProvisioner* provisioner = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = provisioners_.find(provisioner_name);
+    if (it == provisioners_.end()) {
+      return Status::NotFound("no provisioner: " + provisioner_name);
+    }
+    provisioner = it->second;
+  }
+  CHRONOS_ASSIGN_OR_RETURN(DeploymentProvisioner::Instance instance,
+                           provisioner->Launch(spec));
+
+  model::Deployment deployment;
+  deployment.system_id = system_id;
+  deployment.name = deployment_name.empty()
+                        ? provisioner_name + "-" + instance.handle
+                        : deployment_name;
+  deployment.environment = provisioner_name;
+  deployment.endpoint = instance.endpoint;
+  auto created = service_->CreateDeployment(std::move(deployment));
+  if (!created.ok()) {
+    // Roll the instance back rather than leak it.
+    provisioner->Terminate(instance.handle).ok();
+    return created.status();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    provisioned_[created->id] = Record{provisioner, instance.handle};
+  }
+  return created;
+}
+
+Status ProvisioningManager::TeardownDeployment(
+    const std::string& deployment_id) {
+  Record record;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = provisioned_.find(deployment_id);
+    if (it == provisioned_.end()) {
+      return Status::NotFound("deployment was not provisioned here: " +
+                              deployment_id);
+    }
+    record = it->second;
+    provisioned_.erase(it);
+  }
+  CHRONOS_RETURN_IF_ERROR(record.provisioner->Terminate(record.handle));
+  return service_->DeleteDeployment(deployment_id);
+}
+
+int ProvisioningManager::TeardownAll() {
+  std::vector<std::string> ids;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [id, record] : provisioned_) ids.push_back(id);
+  }
+  int count = 0;
+  for (const std::string& id : ids) {
+    if (TeardownDeployment(id).ok()) ++count;
+  }
+  return count;
+}
+
+size_t ProvisioningManager::active_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return provisioned_.size();
+}
+
+}  // namespace chronos::control

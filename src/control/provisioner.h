@@ -1,0 +1,82 @@
+#ifndef CHRONOS_CONTROL_PROVISIONER_H_
+#define CHRONOS_CONTROL_PROVISIONER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "control/control_service.h"
+
+namespace chronos::control {
+
+// The paper's §5 future work, implemented: "Future releases of Chronos will
+// be extended with the functionality for setting up the infrastructure of
+// an SuE automatically, for example, in an on-premise cluster or in the
+// Cloud."
+//
+// A DeploymentProvisioner knows how to start and stop instances of one SuE
+// family. Chronos Control routes provision/teardown requests (v2 API) to
+// the provisioner registered for the system.
+
+class DeploymentProvisioner {
+ public:
+  virtual ~DeploymentProvisioner() = default;
+
+  // Human-readable backend name ("local", "k8s", ...).
+  virtual std::string_view name() const = 0;
+
+  // Launches one SuE instance per `spec` and returns its network endpoint
+  // plus a provisioner-private handle used for teardown.
+  struct Instance {
+    std::string endpoint;
+    std::string handle;
+  };
+  virtual StatusOr<Instance> Launch(const json::Json& spec) = 0;
+
+  virtual Status Terminate(const std::string& handle) = 0;
+};
+
+// Orchestrates provisioners against the control service: launching an
+// instance registers it as a deployment; tearing a deployment down
+// terminates the instance and removes the deployment.
+class ProvisioningManager {
+ public:
+  explicit ProvisioningManager(ControlService* service) : service_(service) {}
+
+  // Registers a provisioner under its name(). Not owned.
+  Status RegisterProvisioner(DeploymentProvisioner* provisioner);
+  std::vector<std::string> ProvisionerNames() const;
+
+  // Launches an instance via `provisioner_name` and registers it as an
+  // active deployment of `system_id`.
+  StatusOr<model::Deployment> ProvisionDeployment(
+      const std::string& provisioner_name, const std::string& system_id,
+      const std::string& deployment_name, const json::Json& spec);
+
+  // Terminates the instance behind a provisioned deployment and deletes
+  // the deployment. Fails with NotFound for unknown or unprovisioned
+  // deployments.
+  Status TeardownDeployment(const std::string& deployment_id);
+
+  // Tears down everything this manager provisioned.
+  int TeardownAll();
+
+  size_t active_count() const;
+
+ private:
+  struct Record {
+    DeploymentProvisioner* provisioner;
+    std::string handle;
+  };
+
+  ControlService* service_;
+  mutable std::mutex mu_;
+  std::map<std::string, DeploymentProvisioner*> provisioners_;
+  std::map<std::string, Record> provisioned_;  // deployment_id -> record.
+};
+
+}  // namespace chronos::control
+
+#endif  // CHRONOS_CONTROL_PROVISIONER_H_

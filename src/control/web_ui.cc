@@ -1,0 +1,237 @@
+#include "control/web_ui.h"
+
+#include "analysis/diagrams.h"
+#include "common/strings.h"
+
+namespace chronos::control {
+
+namespace {
+
+using net::HttpRequest;
+using net::HttpResponse;
+
+constexpr char kStyle[] =
+    "body{font-family:sans-serif;margin:24px;max-width:1000px;}"
+    "table{border-collapse:collapse;margin:12px 0;width:100%;}"
+    "td,th{border:1px solid #ccc;padding:4px 10px;text-align:left;}"
+    "th{background:#f4f4f4;}"
+    "a{color:#1f77b4;text-decoration:none;}a:hover{text-decoration:underline;}"
+    ".state{padding:1px 8px;border-radius:8px;color:#fff;font-size:12px;}"
+    ".state-scheduled{background:#888;}.state-running{background:#1f77b4;}"
+    ".state-finished{background:#2ca02c;}.state-failed{background:#d62728;}"
+    ".state-aborted{background:#ff7f0e;}"
+    ".bar{background:#eee;height:14px;width:220px;display:inline-block;}"
+    ".bar>div{background:#1f77b4;height:14px;}"
+    "pre{background:#f8f8f8;padding:8px;overflow-x:auto;}";
+
+std::string Page(const std::string& title, const std::string& body) {
+  return "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"><title>" +
+         HtmlEscape(title) + " - Chronos</title><style>" + kStyle +
+         "</style></head>\n<body>\n<h1>" + HtmlEscape(title) + "</h1>\n" +
+         body + "\n</body></html>\n";
+}
+
+std::string StateBadge(model::JobState state) {
+  std::string name(model::JobStateName(state));
+  return "<span class=\"state state-" + name + "\">" + name + "</span>";
+}
+
+std::string ProgressBar(int percent) {
+  return "<span class=\"bar\"><div style=\"width:" +
+         std::to_string(percent * 220 / 100) + "px\"></div></span> " +
+         std::to_string(percent) + "%";
+}
+
+// Authenticates via ?token=; returns the user or replies 401.
+using UiHandler =
+    std::function<HttpResponse(const HttpRequest&, const model::User&,
+                               const std::string& token_suffix)>;
+
+net::HttpHandler WithUiAuth(ControlService* service, UiHandler handler) {
+  return [service, handler = std::move(handler)](const HttpRequest& request) {
+    auto params = request.QueryParams();
+    std::string token =
+        params.count("token") > 0 ? params.at("token") : std::string();
+    auto user = service->Authenticate(token);
+    if (!user.ok()) {
+      return HttpResponse::Ok(
+          Page("Chronos",
+               "<p>Sign in via <code>POST /api/v1/auth/login</code> and open "
+               "<code>/ui?token=&lt;token&gt;</code>.</p>"),
+          "text/html");
+    }
+    return handler(request, *user, "?token=" + strings::UrlEncode(token));
+  };
+}
+
+}  // namespace
+
+std::string HtmlEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void MountWebUi(net::Router* router, ControlService* service) {
+  // --- Projects overview ---
+  router->Get(
+      "/ui",
+      WithUiAuth(service, [service](const HttpRequest&,
+                                    const model::User& user,
+                                    const std::string& token) {
+        std::string body =
+            "<p>Signed in as <b>" + HtmlEscape(user.username) + "</b> (" +
+            std::string(model::UserRoleName(user.role)) + ")</p>";
+        body += "<table><tr><th>Project</th><th>Description</th>"
+                "<th>Members</th><th>Status</th></tr>\n";
+        for (const model::Project& project :
+             service->ListProjects(user.id)) {
+          body += "<tr><td><a href=\"/ui/projects/" + project.id + token +
+                  "\">" + HtmlEscape(project.name) + "</a></td><td>" +
+                  HtmlEscape(project.description) + "</td><td>" +
+                  std::to_string(project.member_ids.size()) + "</td><td>" +
+                  (project.archived ? "archived" : "active") + "</td></tr>\n";
+        }
+        body += "</table>";
+        return HttpResponse::Ok(Page("Projects", body), "text/html");
+      }));
+
+  // --- Project page: experiments and their evaluations ---
+  router->Get(
+      "/ui/projects/{id}",
+      WithUiAuth(service, [service](const HttpRequest& request,
+                                    const model::User& user,
+                                    const std::string& token) {
+        auto project =
+            service->GetProject(request.path_params.at("id"), user.id);
+        if (!project.ok()) return HttpResponse::FromStatus(project.status());
+        std::string body = "<p><a href=\"/ui" + token +
+                           "\">&larr; projects</a></p>";
+        for (const model::Experiment& experiment :
+             service->ListExperiments(project->id)) {
+          body += "<h2>" + HtmlEscape(experiment.name) + "</h2>";
+          body += "<p>" + HtmlEscape(experiment.description) + "</p>";
+          body += "<table><tr><th>Evaluation</th><th>Jobs</th>"
+                  "<th>Progress</th></tr>\n";
+          for (const model::Evaluation& evaluation :
+               service->ListEvaluations(experiment.id)) {
+            auto summary = service->Summarize(evaluation.id);
+            if (!summary.ok()) continue;
+            body += "<tr><td><a href=\"/ui/evaluations/" + evaluation.id +
+                    token + "\">" + HtmlEscape(evaluation.name) +
+                    "</a></td><td>" + std::to_string(summary->total_jobs) +
+                    "</td><td>" +
+                    ProgressBar(summary->overall_progress_percent) +
+                    "</td></tr>\n";
+          }
+          body += "</table>";
+        }
+        return HttpResponse::Ok(Page("Project: " + project->name, body),
+                                "text/html");
+      }));
+
+  // --- Evaluation page: job table + diagrams (Fig. 3b + 3d) ---
+  router->Get(
+      "/ui/evaluations/{id}",
+      WithUiAuth(service, [service](const HttpRequest& request,
+                                    const model::User&,
+                                    const std::string& token) {
+        const std::string& evaluation_id = request.path_params.at("id");
+        auto summary = service->Summarize(evaluation_id);
+        if (!summary.ok()) return HttpResponse::FromStatus(summary.status());
+
+        std::string body =
+            "<p>Overall progress: " +
+            ProgressBar(summary->overall_progress_percent) + "</p>";
+        body += "<table><tr><th>Job</th><th>State</th><th>Attempt</th>"
+                "<th>Progress</th><th>Parameters</th></tr>\n";
+        for (const model::Job& job : service->ListJobs(evaluation_id)) {
+          body += "<tr><td><a href=\"/ui/jobs/" + job.id + token + "\">" +
+                  job.id.substr(job.id.size() > 6 ? job.id.size() - 6 : 0) +
+                  "</a></td><td>" + StateBadge(job.state) + "</td><td>" +
+                  std::to_string(job.attempt) + "</td><td>" +
+                  ProgressBar(job.progress_percent) + "</td><td><code>" +
+                  HtmlEscape(model::AssignmentToJson(job.parameters).Dump()) +
+                  "</code></td></tr>\n";
+        }
+        body += "</table>";
+
+        // Result analysis inline (Fig. 3d).
+        auto diagrams = service->EvaluationDiagrams(evaluation_id);
+        if (diagrams.ok() && !diagrams->empty()) {
+          body += "<h2>Result analysis</h2>";
+          for (const analysis::DiagramData& diagram : *diagrams) {
+            body += analysis::RenderSvg(diagram);
+          }
+        }
+        return HttpResponse::Ok(
+            Page("Evaluation: " + summary->evaluation.name, body),
+            "text/html");
+      }));
+
+  // --- Job page: status, timeline, log (Fig. 3c) ---
+  router->Get(
+      "/ui/jobs/{id}",
+      WithUiAuth(service, [service](const HttpRequest& request,
+                                    const model::User&,
+                                    const std::string& token) {
+        auto job = service->GetJob(request.path_params.at("id"));
+        if (!job.ok()) return HttpResponse::FromStatus(job.status());
+        std::string body = "<p><a href=\"/ui/evaluations/" +
+                           job->evaluation_id + token +
+                           "\">&larr; evaluation</a></p>";
+        body += "<p>State: " + StateBadge(job->state) +
+                " &nbsp; Attempt: " + std::to_string(job->attempt) +
+                " &nbsp; Progress: " + ProgressBar(job->progress_percent) +
+                "</p>";
+        if (!job->failure_reason.empty()) {
+          body += "<p><b>Failure:</b> " + HtmlEscape(job->failure_reason) +
+                  "</p>";
+        }
+        body += "<h2>Parameters</h2><pre>" +
+                HtmlEscape(
+                    model::AssignmentToJson(job->parameters).DumpPretty()) +
+                "</pre>";
+
+        body += "<h2>Timeline</h2><table><tr><th>Time</th><th>Kind</th>"
+                "<th>Event</th></tr>\n";
+        for (const model::JobEvent& event : service->JobEvents(job->id)) {
+          if (event.kind == "log") continue;  // Shown below.
+          body += "<tr><td>" + FormatTimestamp(event.timestamp_ms) +
+                  "</td><td>" + HtmlEscape(event.kind) + "</td><td>" +
+                  HtmlEscape(event.message) + "</td></tr>\n";
+        }
+        body += "</table>";
+
+        std::string log = service->JobLog(job->id);
+        if (!log.empty()) {
+          body += "<h2>Log</h2><pre>" + HtmlEscape(log) + "</pre>";
+        }
+        auto result = service->GetResult(job->id);
+        if (result.ok()) {
+          body += "<h2>Result</h2><pre>" +
+                  HtmlEscape(result->data.DumpPretty()) + "</pre>";
+        }
+        return HttpResponse::Ok(Page("Job detail", body), "text/html");
+      }));
+}
+
+}  // namespace chronos::control

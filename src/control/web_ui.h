@@ -1,0 +1,28 @@
+#ifndef CHRONOS_CONTROL_WEB_UI_H_
+#define CHRONOS_CONTROL_WEB_UI_H_
+
+#include "control/control_service.h"
+#include "net/router.h"
+
+namespace chronos::control {
+
+// Server-rendered HTML views of the evaluation state — the toolkit's web UI
+// (requirement i: defining, scheduling, monitoring, analyzing). Pure HTML +
+// inline SVG, no scripts, no external assets:
+//
+//   GET /ui?token=...                    projects overview
+//   GET /ui/projects/{id}?token=...      experiments + evaluations
+//   GET /ui/evaluations/{id}?token=...   job table, progress, diagrams
+//   GET /ui/jobs/{id}?token=...          parameters, timeline, log
+//
+// Browsers cannot send the X-Session header, so UI pages authenticate via
+// the `token` query parameter (obtained from POST /api/v1/auth/login) and
+// propagate it through links.
+void MountWebUi(net::Router* router, ControlService* service);
+
+// Escapes text for HTML element content (exposed for tests).
+std::string HtmlEscape(const std::string& text);
+
+}  // namespace chronos::control
+
+#endif  // CHRONOS_CONTROL_WEB_UI_H_

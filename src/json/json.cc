@@ -1,0 +1,561 @@
+#include "json/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace chronos::json {
+
+namespace {
+
+const Json* NullJson() {
+  static const Json* null_value = new Json();
+  return null_value;
+}
+
+void AppendUtf8(std::string* out, uint32_t codepoint) {
+  if (codepoint <= 0x7F) {
+    out->push_back(static_cast<char>(codepoint));
+  } else if (codepoint <= 0x7FF) {
+    out->push_back(static_cast<char>(0xC0 | (codepoint >> 6)));
+    out->push_back(static_cast<char>(0x80 | (codepoint & 0x3F)));
+  } else if (codepoint <= 0xFFFF) {
+    out->push_back(static_cast<char>(0xE0 | (codepoint >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((codepoint >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (codepoint & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (codepoint >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((codepoint >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((codepoint >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (codepoint & 0x3F)));
+  }
+}
+
+// Recursive-descent parser over a string_view with explicit depth limiting.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  StatusOr<Json> ParseDocument() {
+    SkipWhitespace();
+    CHRONOS_ASSIGN_OR_RETURN(Json value, ParseValue(0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<Json> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"': {
+        CHRONOS_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return Json(std::move(s));
+      }
+      case 't':
+        if (ConsumeLiteral("true")) return Json(true);
+        return Error("invalid literal");
+      case 'f':
+        if (ConsumeLiteral("false")) return Json(false);
+        return Error("invalid literal");
+      case 'n':
+        if (ConsumeLiteral("null")) return Json(nullptr);
+        return Error("invalid literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  StatusOr<Json> ParseObject(int depth) {
+    Consume('{');
+    Object object;
+    SkipWhitespace();
+    if (Consume('}')) return Json(std::move(object));
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      CHRONOS_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      SkipWhitespace();
+      CHRONOS_ASSIGN_OR_RETURN(Json value, ParseValue(depth + 1));
+      object[std::move(key)] = std::move(value);
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) break;
+      return Error("expected ',' or '}' in object");
+    }
+    return Json(std::move(object));
+  }
+
+  StatusOr<Json> ParseArray(int depth) {
+    Consume('[');
+    Array array;
+    SkipWhitespace();
+    if (Consume(']')) return Json(std::move(array));
+    while (true) {
+      SkipWhitespace();
+      CHRONOS_ASSIGN_OR_RETURN(Json value, ParseValue(depth + 1));
+      array.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) break;
+      return Error("expected ',' or ']' in array");
+    }
+    return Json(std::move(array));
+  }
+
+  StatusOr<std::string> ParseString() {
+    Consume('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("unterminated escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          CHRONOS_ASSIGN_OR_RETURN(uint32_t unit, ParseHex4());
+          // Surrogate pair handling.
+          if (unit >= 0xD800 && unit <= 0xDBFF) {
+            if (pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+                text_[pos_ + 1] == 'u') {
+              pos_ += 2;
+              CHRONOS_ASSIGN_OR_RETURN(uint32_t low, ParseHex4());
+              if (low < 0xDC00 || low > 0xDFFF) {
+                return Error("invalid low surrogate");
+              }
+              unit = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+            } else {
+              return Error("unpaired high surrogate");
+            }
+          } else if (unit >= 0xDC00 && unit <= 0xDFFF) {
+            return Error("unpaired low surrogate");
+          }
+          AppendUtf8(&out, unit);
+          break;
+        }
+        default:
+          return Error("invalid escape character");
+      }
+    }
+    return out;
+  }
+
+  StatusOr<uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("invalid hex digit in \\u escape");
+      }
+    }
+    return value;
+  }
+
+  StatusOr<Json> ParseNumber() {
+    size_t start = pos_;
+    if (Consume('-')) {
+    }
+    if (pos_ >= text_.size()) return Error("invalid number");
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else if (text_[pos_] >= '1' && text_[pos_] <= '9') {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    } else {
+      return Error("invalid number");
+    }
+    bool is_double = false;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      is_double = true;
+      ++pos_;
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Error("digits required after decimal point");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Error("digits required in exponent");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    std::string_view token = text_.substr(start, pos_ - start);
+    if (!is_double) {
+      int64_t int_value;
+      if (strings::ParseInt64(token, &int_value)) return Json(int_value);
+      // Integer overflow: fall through and represent as double.
+    }
+    double dbl_value;
+    if (!strings::ParseDouble(token, &dbl_value)) {
+      return Error("unparsable number");
+    }
+    return Json(dbl_value);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+void FormatDouble(std::string* out, double value) {
+  if (std::isnan(value) || std::isinf(value)) {
+    // JSON has no NaN/Inf; emit null like most tolerant encoders.
+    out->append("null");
+    return;
+  }
+  // %g trims trailing zeros; 15 significant digits round-trip nearly all
+  // doubles, 17 always does.
+  for (int precision : {15, 17}) {
+    char candidate[32];
+    std::snprintf(candidate, sizeof(candidate), "%.*g", precision, value);
+    double parsed = 0;
+    if (precision == 17 ||
+        (strings::ParseDouble(candidate, &parsed) && parsed == value)) {
+      out->append(candidate);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string_view TypeName(Type type) {
+  switch (type) {
+    case Type::kNull:
+      return "null";
+    case Type::kBool:
+      return "bool";
+    case Type::kInt:
+      return "int";
+    case Type::kDouble:
+      return "double";
+    case Type::kString:
+      return "string";
+    case Type::kArray:
+      return "array";
+    case Type::kObject:
+      return "object";
+  }
+  return "?";
+}
+
+const Json& Json::at(const std::string& key) const {
+  if (is_object()) {
+    auto it = object_.find(key);
+    if (it != object_.end()) return it->second;
+  }
+  return *NullJson();
+}
+
+const Json& Json::at(size_t index) const {
+  if (is_array() && index < array_.size()) return array_[index];
+  return *NullJson();
+}
+
+Json& Json::Set(const std::string& key, Json value) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  object_[key] = std::move(value);
+  return *this;
+}
+
+StatusOr<std::string> Json::GetString(const std::string& key) const {
+  const Json& v = at(key);
+  if (!v.is_string()) {
+    return Status::InvalidArgument("field '" + key + "' is not a string");
+  }
+  return v.as_string();
+}
+
+StatusOr<int64_t> Json::GetInt(const std::string& key) const {
+  const Json& v = at(key);
+  if (!v.is_int()) {
+    return Status::InvalidArgument("field '" + key + "' is not an integer");
+  }
+  return v.as_int();
+}
+
+StatusOr<double> Json::GetDouble(const std::string& key) const {
+  const Json& v = at(key);
+  if (!v.is_number()) {
+    return Status::InvalidArgument("field '" + key + "' is not a number");
+  }
+  return v.as_double();
+}
+
+StatusOr<bool> Json::GetBool(const std::string& key) const {
+  const Json& v = at(key);
+  if (!v.is_bool()) {
+    return Status::InvalidArgument("field '" + key + "' is not a boolean");
+  }
+  return v.as_bool();
+}
+
+std::string Json::GetStringOr(const std::string& key,
+                              const std::string& fallback) const {
+  const Json& v = at(key);
+  return v.is_string() ? v.as_string() : fallback;
+}
+
+int64_t Json::GetIntOr(const std::string& key, int64_t fallback) const {
+  const Json& v = at(key);
+  return v.is_number() ? v.as_int() : fallback;
+}
+
+double Json::GetDoubleOr(const std::string& key, double fallback) const {
+  const Json& v = at(key);
+  return v.is_number() ? v.as_double() : fallback;
+}
+
+bool Json::GetBoolOr(const std::string& key, bool fallback) const {
+  const Json& v = at(key);
+  return v.is_bool() ? v.as_bool() : fallback;
+}
+
+std::string EscapeString(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out.append("\\\"");
+        break;
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '\b':
+        out.append("\\b");
+        break;
+      case '\f':
+        out.append("\\f");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      case '\r':
+        out.append("\\r");
+        break;
+      case '\t':
+        out.append("\\t");
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out.append(buf);
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  return out;
+}
+
+void Json::DumpTo(std::string* out, int indent, int depth) const {
+  auto newline = [&] {
+    if (indent > 0) {
+      out->push_back('\n');
+      out->append(static_cast<size_t>(indent) * (depth + 1), ' ');
+    }
+  };
+  auto newline_close = [&] {
+    if (indent > 0) {
+      out->push_back('\n');
+      out->append(static_cast<size_t>(indent) * depth, ' ');
+    }
+  };
+  switch (type_) {
+    case Type::kNull:
+      out->append("null");
+      break;
+    case Type::kBool:
+      out->append(bool_ ? "true" : "false");
+      break;
+    case Type::kInt:
+      out->append(std::to_string(int_));
+      break;
+    case Type::kDouble:
+      FormatDouble(out, double_);
+      break;
+    case Type::kString:
+      out->push_back('"');
+      out->append(EscapeString(string_));
+      out->push_back('"');
+      break;
+    case Type::kArray: {
+      if (array_.empty()) {
+        out->append("[]");
+        break;
+      }
+      out->push_back('[');
+      bool first = true;
+      for (const Json& item : array_) {
+        if (!first) out->push_back(',');
+        first = false;
+        newline();
+        item.DumpTo(out, indent, depth + 1);
+      }
+      newline_close();
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        out->append("{}");
+        break;
+      }
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : object_) {
+        if (!first) out->push_back(',');
+        first = false;
+        newline();
+        out->push_back('"');
+        out->append(EscapeString(key));
+        out->append(indent > 0 ? "\": " : "\":");
+        value.DumpTo(out, indent, depth + 1);
+      }
+      newline_close();
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(&out, 0, 0);
+  return out;
+}
+
+std::string Json::DumpPretty() const {
+  std::string out;
+  DumpTo(&out, 2, 0);
+  return out;
+}
+
+bool operator==(const Json& a, const Json& b) {
+  if (a.type_ != b.type_) {
+    // int/double cross-comparison on equal numeric value.
+    if (a.is_number() && b.is_number()) {
+      return a.as_double() == b.as_double();
+    }
+    return false;
+  }
+  switch (a.type_) {
+    case Type::kNull:
+      return true;
+    case Type::kBool:
+      return a.bool_ == b.bool_;
+    case Type::kInt:
+      return a.int_ == b.int_;
+    case Type::kDouble:
+      return a.double_ == b.double_;
+    case Type::kString:
+      return a.string_ == b.string_;
+    case Type::kArray:
+      return a.array_ == b.array_;
+    case Type::kObject:
+      return a.object_ == b.object_;
+  }
+  return false;
+}
+
+StatusOr<Json> Parse(std::string_view text) {
+  Parser parser(text);
+  return parser.ParseDocument();
+}
+
+}  // namespace chronos::json

@@ -1,0 +1,164 @@
+#ifndef CHRONOS_JSON_JSON_H_
+#define CHRONOS_JSON_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace chronos::json {
+
+class Json;
+
+using Array = std::vector<Json>;
+// std::map keeps object keys ordered, which makes serialization
+// deterministic — important for archives, tests and the WAL.
+using Object = std::map<std::string, Json>;
+
+enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+std::string_view TypeName(Type type);
+
+// A JSON document value. Integers are kept distinct from doubles so ids and
+// counters round-trip exactly.
+class Json {
+ public:
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}          // NOLINT
+  Json(bool value) : type_(Type::kBool), bool_(value) {}  // NOLINT
+  Json(int value) : type_(Type::kInt), int_(value) {}     // NOLINT
+  Json(int64_t value) : type_(Type::kInt), int_(value) {}  // NOLINT
+  Json(uint64_t value)                                     // NOLINT
+      : type_(Type::kInt), int_(static_cast<int64_t>(value)) {}
+  Json(double value) : type_(Type::kDouble), double_(value) {}  // NOLINT
+  Json(const char* value) : type_(Type::kString), string_(value) {}  // NOLINT
+  Json(std::string value)  // NOLINT
+      : type_(Type::kString), string_(std::move(value)) {}
+  Json(std::string_view value)  // NOLINT
+      : type_(Type::kString), string_(value) {}
+  Json(Array value) : type_(Type::kArray), array_(std::move(value)) {}  // NOLINT
+  Json(Object value)  // NOLINT
+      : type_(Type::kObject), object_(std::move(value)) {}
+
+  static Json MakeObject() { return Json(Object{}); }
+  static Json MakeArray() { return Json(Array{}); }
+
+  Json(const Json&) = default;
+  Json& operator=(const Json&) = default;
+  Json(Json&&) noexcept = default;
+  Json& operator=(Json&&) noexcept = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_int() const { return type_ == Type::kInt; }
+  bool is_double() const { return type_ == Type::kDouble; }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // Typed accessors. Calling the wrong accessor returns a zero value; use
+  // the Get* helpers below for checked access.
+  bool as_bool() const { return is_bool() ? bool_ : false; }
+  int64_t as_int() const {
+    if (is_int()) return int_;
+    if (is_double()) return static_cast<int64_t>(double_);
+    return 0;
+  }
+  double as_double() const {
+    if (is_double()) return double_;
+    if (is_int()) return static_cast<double>(int_);
+    return 0.0;
+  }
+  const std::string& as_string() const {
+    static const std::string* empty = new std::string();
+    return is_string() ? string_ : *empty;
+  }
+  const Array& as_array() const {
+    static const Array* empty = new Array();
+    return is_array() ? array_ : *empty;
+  }
+  Array& as_array_mutable() { return array_; }
+  const Object& as_object() const {
+    static const Object* empty = new Object();
+    return is_object() ? object_ : *empty;
+  }
+  Object& as_object_mutable() { return object_; }
+
+  // --- Object helpers ---
+
+  bool Has(const std::string& key) const {
+    return is_object() && object_.count(key) > 0;
+  }
+
+  // Returns the member or a null Json if missing / not an object.
+  const Json& at(const std::string& key) const;
+
+  // Inserts/replaces a member; turns a null value into an object first.
+  Json& Set(const std::string& key, Json value);
+
+  // Checked member access with type validation.
+  StatusOr<std::string> GetString(const std::string& key) const;
+  StatusOr<int64_t> GetInt(const std::string& key) const;
+  StatusOr<double> GetDouble(const std::string& key) const;
+  StatusOr<bool> GetBool(const std::string& key) const;
+
+  // Unchecked with default.
+  std::string GetStringOr(const std::string& key,
+                          const std::string& fallback) const;
+  int64_t GetIntOr(const std::string& key, int64_t fallback) const;
+  double GetDoubleOr(const std::string& key, double fallback) const;
+  bool GetBoolOr(const std::string& key, bool fallback) const;
+
+  // --- Array helpers ---
+
+  size_t size() const {
+    if (is_array()) return array_.size();
+    if (is_object()) return object_.size();
+    return 0;
+  }
+  const Json& at(size_t index) const;
+  void Append(Json value) {
+    if (type_ == Type::kNull) type_ = Type::kArray;
+    array_.push_back(std::move(value));
+  }
+
+  // Compact serialization (no whitespace). Deterministic: object keys are
+  // emitted in sorted order.
+  std::string Dump() const;
+  // Pretty-printed with 2-space indentation.
+  std::string DumpPretty() const;
+
+  // Deep structural equality.
+  friend bool operator==(const Json& a, const Json& b);
+  friend bool operator!=(const Json& a, const Json& b) { return !(a == b); }
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+// Parses a complete JSON document; trailing non-whitespace is an error.
+// Enforces a nesting depth limit to keep adversarial inputs from overflowing
+// the stack.
+StatusOr<Json> Parse(std::string_view text);
+
+// Escapes a string for embedding in JSON output (without quotes).
+std::string EscapeString(std::string_view s);
+
+}  // namespace chronos::json
+
+#endif  // CHRONOS_JSON_JSON_H_

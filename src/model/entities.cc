@@ -1,0 +1,325 @@
+#include "model/entities.h"
+
+namespace chronos::model {
+
+namespace {
+
+json::Json StringsToJson(const std::vector<std::string>& values) {
+  json::Json out = json::Json::MakeArray();
+  for (const std::string& v : values) out.Append(v);
+  return out;
+}
+
+std::vector<std::string> StringsFromJson(const json::Json& value) {
+  std::vector<std::string> out;
+  for (const json::Json& v : value.as_array()) out.push_back(v.as_string());
+  return out;
+}
+
+}  // namespace
+
+std::string_view UserRoleName(UserRole role) {
+  return role == UserRole::kAdmin ? "admin" : "member";
+}
+
+StatusOr<UserRole> ParseUserRole(std::string_view name) {
+  if (name == "admin") return UserRole::kAdmin;
+  if (name == "member") return UserRole::kMember;
+  return Status::InvalidArgument("unknown role: " + std::string(name));
+}
+
+json::Json User::ToJson() const {
+  json::Json out = json::Json::MakeObject();
+  out.Set("id", id);
+  out.Set("username", username);
+  out.Set("password_hash", password_hash);
+  out.Set("salt", salt);
+  out.Set("role", std::string(UserRoleName(role)));
+  out.Set("created_at", created_at);
+  return out;
+}
+
+StatusOr<User> User::FromJson(const json::Json& value) {
+  User user;
+  CHRONOS_ASSIGN_OR_RETURN(user.id, value.GetString("id"));
+  CHRONOS_ASSIGN_OR_RETURN(user.username, value.GetString("username"));
+  user.password_hash = value.GetStringOr("password_hash", "");
+  user.salt = value.GetStringOr("salt", "");
+  CHRONOS_ASSIGN_OR_RETURN(std::string role_name, value.GetString("role"));
+  CHRONOS_ASSIGN_OR_RETURN(user.role, ParseUserRole(role_name));
+  user.created_at = value.GetIntOr("created_at", 0);
+  return user;
+}
+
+bool Project::HasMember(const std::string& user_id) const {
+  if (user_id == owner_id) return true;
+  for (const std::string& member : member_ids) {
+    if (member == user_id) return true;
+  }
+  return false;
+}
+
+json::Json Project::ToJson() const {
+  json::Json out = json::Json::MakeObject();
+  out.Set("id", id);
+  out.Set("name", name);
+  out.Set("description", description);
+  out.Set("owner_id", owner_id);
+  out.Set("member_ids", StringsToJson(member_ids));
+  out.Set("archived", archived);
+  out.Set("created_at", created_at);
+  return out;
+}
+
+StatusOr<Project> Project::FromJson(const json::Json& value) {
+  Project project;
+  CHRONOS_ASSIGN_OR_RETURN(project.id, value.GetString("id"));
+  CHRONOS_ASSIGN_OR_RETURN(project.name, value.GetString("name"));
+  project.description = value.GetStringOr("description", "");
+  project.owner_id = value.GetStringOr("owner_id", "");
+  project.member_ids = StringsFromJson(value.at("member_ids"));
+  project.archived = value.GetBoolOr("archived", false);
+  project.created_at = value.GetIntOr("created_at", 0);
+  return project;
+}
+
+std::string_view DiagramTypeName(DiagramType type) {
+  switch (type) {
+    case DiagramType::kBar:
+      return "bar";
+    case DiagramType::kLine:
+      return "line";
+    case DiagramType::kPie:
+      return "pie";
+  }
+  return "?";
+}
+
+StatusOr<DiagramType> ParseDiagramType(std::string_view name) {
+  if (name == "bar") return DiagramType::kBar;
+  if (name == "line") return DiagramType::kLine;
+  if (name == "pie") return DiagramType::kPie;
+  return Status::InvalidArgument("unknown diagram type: " + std::string(name));
+}
+
+json::Json DiagramDef::ToJson() const {
+  json::Json out = json::Json::MakeObject();
+  out.Set("name", name);
+  out.Set("type", std::string(DiagramTypeName(type)));
+  out.Set("x_field", x_field);
+  out.Set("y_field", y_field);
+  out.Set("group_by", group_by);
+  return out;
+}
+
+StatusOr<DiagramDef> DiagramDef::FromJson(const json::Json& value) {
+  DiagramDef def;
+  CHRONOS_ASSIGN_OR_RETURN(def.name, value.GetString("name"));
+  CHRONOS_ASSIGN_OR_RETURN(std::string type_name, value.GetString("type"));
+  CHRONOS_ASSIGN_OR_RETURN(def.type, ParseDiagramType(type_name));
+  def.x_field = value.GetStringOr("x_field", "");
+  def.y_field = value.GetStringOr("y_field", "");
+  def.group_by = value.GetStringOr("group_by", "");
+  return def;
+}
+
+const ParameterDef* System::FindParameter(const std::string& name) const {
+  for (const ParameterDef& parameter : parameters) {
+    if (parameter.name == name) return &parameter;
+  }
+  return nullptr;
+}
+
+json::Json System::ToJson() const {
+  json::Json out = json::Json::MakeObject();
+  out.Set("id", id);
+  out.Set("name", name);
+  out.Set("description", description);
+  json::Json params = json::Json::MakeArray();
+  for (const ParameterDef& parameter : parameters) {
+    params.Append(parameter.ToJson());
+  }
+  out.Set("parameters", std::move(params));
+  json::Json diags = json::Json::MakeArray();
+  for (const DiagramDef& diagram : diagrams) diags.Append(diagram.ToJson());
+  out.Set("diagrams", std::move(diags));
+  return out;
+}
+
+StatusOr<System> System::FromJson(const json::Json& value) {
+  System system;
+  CHRONOS_ASSIGN_OR_RETURN(system.id, value.GetString("id"));
+  CHRONOS_ASSIGN_OR_RETURN(system.name, value.GetString("name"));
+  system.description = value.GetStringOr("description", "");
+  for (const json::Json& p : value.at("parameters").as_array()) {
+    CHRONOS_ASSIGN_OR_RETURN(ParameterDef def, ParameterDef::FromJson(p));
+    system.parameters.push_back(std::move(def));
+  }
+  for (const json::Json& d : value.at("diagrams").as_array()) {
+    CHRONOS_ASSIGN_OR_RETURN(DiagramDef def, DiagramDef::FromJson(d));
+    system.diagrams.push_back(std::move(def));
+  }
+  return system;
+}
+
+json::Json Deployment::ToJson() const {
+  json::Json out = json::Json::MakeObject();
+  out.Set("id", id);
+  out.Set("system_id", system_id);
+  out.Set("name", name);
+  out.Set("environment", environment);
+  out.Set("version", version);
+  out.Set("endpoint", endpoint);
+  out.Set("active", active);
+  return out;
+}
+
+StatusOr<Deployment> Deployment::FromJson(const json::Json& value) {
+  Deployment deployment;
+  CHRONOS_ASSIGN_OR_RETURN(deployment.id, value.GetString("id"));
+  CHRONOS_ASSIGN_OR_RETURN(deployment.system_id, value.GetString("system_id"));
+  deployment.name = value.GetStringOr("name", "");
+  deployment.environment = value.GetStringOr("environment", "");
+  deployment.version = value.GetStringOr("version", "");
+  deployment.endpoint = value.GetStringOr("endpoint", "");
+  deployment.active = value.GetBoolOr("active", true);
+  return deployment;
+}
+
+json::Json Experiment::ToJson() const {
+  json::Json out = json::Json::MakeObject();
+  out.Set("id", id);
+  out.Set("project_id", project_id);
+  out.Set("system_id", system_id);
+  out.Set("name", name);
+  out.Set("description", description);
+  json::Json settings_json = json::Json::MakeArray();
+  for (const ParameterSetting& setting : settings) {
+    settings_json.Append(setting.ToJson());
+  }
+  out.Set("settings", std::move(settings_json));
+  out.Set("archived", archived);
+  out.Set("created_at", created_at);
+  return out;
+}
+
+StatusOr<Experiment> Experiment::FromJson(const json::Json& value) {
+  Experiment experiment;
+  CHRONOS_ASSIGN_OR_RETURN(experiment.id, value.GetString("id"));
+  CHRONOS_ASSIGN_OR_RETURN(experiment.project_id,
+                           value.GetString("project_id"));
+  CHRONOS_ASSIGN_OR_RETURN(experiment.system_id, value.GetString("system_id"));
+  CHRONOS_ASSIGN_OR_RETURN(experiment.name, value.GetString("name"));
+  experiment.description = value.GetStringOr("description", "");
+  for (const json::Json& s : value.at("settings").as_array()) {
+    CHRONOS_ASSIGN_OR_RETURN(ParameterSetting setting,
+                             ParameterSetting::FromJson(s));
+    experiment.settings.push_back(std::move(setting));
+  }
+  experiment.archived = value.GetBoolOr("archived", false);
+  experiment.created_at = value.GetIntOr("created_at", 0);
+  return experiment;
+}
+
+json::Json Evaluation::ToJson() const {
+  json::Json out = json::Json::MakeObject();
+  out.Set("id", id);
+  out.Set("experiment_id", experiment_id);
+  out.Set("name", name);
+  out.Set("created_at", created_at);
+  return out;
+}
+
+StatusOr<Evaluation> Evaluation::FromJson(const json::Json& value) {
+  Evaluation evaluation;
+  CHRONOS_ASSIGN_OR_RETURN(evaluation.id, value.GetString("id"));
+  CHRONOS_ASSIGN_OR_RETURN(evaluation.experiment_id,
+                           value.GetString("experiment_id"));
+  evaluation.name = value.GetStringOr("name", "");
+  evaluation.created_at = value.GetIntOr("created_at", 0);
+  return evaluation;
+}
+
+json::Json Job::ToJson() const {
+  json::Json out = json::Json::MakeObject();
+  out.Set("id", id);
+  out.Set("evaluation_id", evaluation_id);
+  out.Set("experiment_id", experiment_id);
+  out.Set("system_id", system_id);
+  out.Set("deployment_id", deployment_id);
+  out.Set("state", std::string(JobStateName(state)));
+  out.Set("parameters", AssignmentToJson(parameters));
+  out.Set("progress_percent", static_cast<int64_t>(progress_percent));
+  out.Set("attempt", static_cast<int64_t>(attempt));
+  out.Set("failure_reason", failure_reason);
+  out.Set("created_at", created_at);
+  out.Set("started_at", started_at);
+  out.Set("finished_at", finished_at);
+  out.Set("last_heartbeat_at", last_heartbeat_at);
+  return out;
+}
+
+StatusOr<Job> Job::FromJson(const json::Json& value) {
+  Job job;
+  CHRONOS_ASSIGN_OR_RETURN(job.id, value.GetString("id"));
+  CHRONOS_ASSIGN_OR_RETURN(job.evaluation_id, value.GetString("evaluation_id"));
+  job.experiment_id = value.GetStringOr("experiment_id", "");
+  job.system_id = value.GetStringOr("system_id", "");
+  job.deployment_id = value.GetStringOr("deployment_id", "");
+  CHRONOS_ASSIGN_OR_RETURN(std::string state_name, value.GetString("state"));
+  CHRONOS_ASSIGN_OR_RETURN(job.state, ParseJobState(state_name));
+  CHRONOS_ASSIGN_OR_RETURN(job.parameters,
+                           AssignmentFromJson(value.at("parameters")));
+  job.progress_percent = static_cast<int>(value.GetIntOr("progress_percent", 0));
+  job.attempt = static_cast<int>(value.GetIntOr("attempt", 1));
+  job.failure_reason = value.GetStringOr("failure_reason", "");
+  job.created_at = value.GetIntOr("created_at", 0);
+  job.started_at = value.GetIntOr("started_at", 0);
+  job.finished_at = value.GetIntOr("finished_at", 0);
+  job.last_heartbeat_at = value.GetIntOr("last_heartbeat_at", 0);
+  return job;
+}
+
+json::Json Result::ToJson() const {
+  json::Json out = json::Json::MakeObject();
+  out.Set("id", id);
+  out.Set("job_id", job_id);
+  out.Set("data", data);
+  out.Set("zip_base64", zip_base64);
+  out.Set("uploaded_at", uploaded_at);
+  return out;
+}
+
+StatusOr<Result> Result::FromJson(const json::Json& value) {
+  Result result;
+  CHRONOS_ASSIGN_OR_RETURN(result.id, value.GetString("id"));
+  CHRONOS_ASSIGN_OR_RETURN(result.job_id, value.GetString("job_id"));
+  result.data = value.at("data");
+  result.zip_base64 = value.GetStringOr("zip_base64", "");
+  result.uploaded_at = value.GetIntOr("uploaded_at", 0);
+  return result;
+}
+
+json::Json JobEvent::ToJson() const {
+  json::Json out = json::Json::MakeObject();
+  out.Set("id", id);
+  out.Set("job_id", job_id);
+  out.Set("seq", seq);
+  out.Set("timestamp_ms", timestamp_ms);
+  out.Set("kind", kind);
+  out.Set("message", message);
+  return out;
+}
+
+StatusOr<JobEvent> JobEvent::FromJson(const json::Json& value) {
+  JobEvent event;
+  CHRONOS_ASSIGN_OR_RETURN(event.id, value.GetString("id"));
+  CHRONOS_ASSIGN_OR_RETURN(event.job_id, value.GetString("job_id"));
+  event.seq = value.GetIntOr("seq", 0);
+  event.timestamp_ms = value.GetIntOr("timestamp_ms", 0);
+  event.kind = value.GetStringOr("kind", "");
+  event.message = value.GetStringOr("message", "");
+  return event;
+}
+
+}  // namespace chronos::model

@@ -1,0 +1,182 @@
+#ifndef CHRONOS_MODEL_ENTITIES_H_
+#define CHRONOS_MODEL_ENTITIES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "json/json.h"
+#include "model/job_state.h"
+#include "model/parameter_space.h"
+
+namespace chronos::model {
+
+// The Chronos data model (§2.1): projects, experiments, evaluations, jobs,
+// systems, and deployments, plus users and results. Every entity carries a
+// UUID id and (de)serializes to the JSON row format of the TableStore.
+
+enum class UserRole { kAdmin, kMember };
+std::string_view UserRoleName(UserRole role);
+StatusOr<UserRole> ParseUserRole(std::string_view name);
+
+struct User {
+  std::string id;
+  std::string username;
+  // Salted hash; never the clear-text password (see control/auth.h).
+  std::string password_hash;
+  std::string salt;
+  UserRole role = UserRole::kMember;
+  TimestampMs created_at = 0;
+
+  json::Json ToJson() const;
+  static StatusOr<User> FromJson(const json::Json& value);
+};
+
+// "A project is an organizational unit which groups experiments and allows
+// multiple users to collaborate." Access permissions live at project level.
+struct Project {
+  std::string id;
+  std::string name;
+  std::string description;
+  std::string owner_id;
+  std::vector<std::string> member_ids;  // Includes the owner.
+  bool archived = false;
+  TimestampMs created_at = 0;
+
+  bool HasMember(const std::string& user_id) const;
+
+  json::Json ToJson() const;
+  static StatusOr<Project> FromJson(const json::Json& value);
+};
+
+// Diagram types the result visualization supports (§2.2): bar, line, pie.
+enum class DiagramType { kBar, kLine, kPie };
+std::string_view DiagramTypeName(DiagramType type);
+StatusOr<DiagramType> ParseDiagramType(std::string_view name);
+
+// Declares how a system's results should be visualized.
+struct DiagramDef {
+  std::string name;
+  DiagramType type = DiagramType::kLine;
+  // Result-JSON field plotted on the x axis (a parameter name) and y axis
+  // (a metric name); series are grouped by `group_by` (e.g. storage engine).
+  std::string x_field;
+  std::string y_field;
+  std::string group_by;
+
+  json::Json ToJson() const;
+  static StatusOr<DiagramDef> FromJson(const json::Json& value);
+};
+
+// "A system is the internal representation of an SuE. For every SuE, it is
+// defined which parameters the SuE expects, how the results are structured,
+// and how they should be visualized."
+struct System {
+  std::string id;
+  std::string name;
+  std::string description;
+  std::vector<ParameterDef> parameters;
+  std::vector<DiagramDef> diagrams;
+
+  const ParameterDef* FindParameter(const std::string& name) const;
+
+  json::Json ToJson() const;
+  static StatusOr<System> FromJson(const json::Json& value);
+};
+
+// "A deployment is an instance of an SuE in a specific environment." Multiple
+// identical deployments parallelize an evaluation.
+struct Deployment {
+  std::string id;
+  std::string system_id;
+  std::string name;
+  std::string environment;  // Free-form ("host-a", "docker", ...).
+  std::string version;      // SuE version under test.
+  std::string endpoint;     // host:port the evaluation client should target.
+  bool active = true;
+
+  json::Json ToJson() const;
+  static StatusOr<Deployment> FromJson(const json::Json& value);
+};
+
+// "An experiment is the definition of an evaluation with all its parameters;
+// when executed, it results in the creation of an evaluation."
+struct Experiment {
+  std::string id;
+  std::string project_id;
+  std::string system_id;
+  std::string name;
+  std::string description;
+  std::vector<ParameterSetting> settings;
+  bool archived = false;
+  TimestampMs created_at = 0;
+
+  json::Json ToJson() const;
+  static StatusOr<Experiment> FromJson(const json::Json& value);
+};
+
+// "An evaluation is the run of an experiment and consists of one or multiple
+// jobs."
+struct Evaluation {
+  std::string id;
+  std::string experiment_id;
+  std::string name;
+  TimestampMs created_at = 0;
+
+  json::Json ToJson() const;
+  static StatusOr<Evaluation> FromJson(const json::Json& value);
+};
+
+// "A job is a subset of an evaluation, e.g., the run of a benchmark for a
+// specific set of parameters and a given DB storage engine."
+struct Job {
+  std::string id;
+  std::string evaluation_id;
+  std::string experiment_id;
+  std::string system_id;
+  std::string deployment_id;  // Assigned when dispatched.
+  JobState state = JobState::kScheduled;
+  ParameterAssignment parameters;
+  int progress_percent = 0;
+  int attempt = 1;
+  std::string failure_reason;
+  TimestampMs created_at = 0;
+  TimestampMs started_at = 0;
+  TimestampMs finished_at = 0;
+  TimestampMs last_heartbeat_at = 0;
+
+  json::Json ToJson() const;
+  static StatusOr<Job> FromJson(const json::Json& value);
+};
+
+// "A result belongs to a job and consists of a JSON and a zip file."
+struct Result {
+  std::string id;
+  std::string job_id;
+  json::Json data;        // The analyzable JSON document.
+  std::string zip_base64; // Raw zip bundle, base64 for row storage.
+  TimestampMs uploaded_at = 0;
+
+  json::Json ToJson() const;
+  static StatusOr<Result> FromJson(const json::Json& value);
+};
+
+// One timeline event attached to a job ("The timeline shows all events
+// associated with this job").
+struct JobEvent {
+  std::string id;
+  std::string job_id;
+  // Monotonic sequence assigned by Chronos Control; orders events recorded
+  // within the same millisecond.
+  int64_t seq = 0;
+  TimestampMs timestamp_ms = 0;
+  std::string kind;  // "state", "progress", "log", "note"
+  std::string message;
+
+  json::Json ToJson() const;
+  static StatusOr<JobEvent> FromJson(const json::Json& value);
+};
+
+}  // namespace chronos::model
+
+#endif  // CHRONOS_MODEL_ENTITIES_H_

@@ -1,0 +1,58 @@
+#include "model/job_state.h"
+
+namespace chronos::model {
+
+std::string_view JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kScheduled:
+      return "scheduled";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kFinished:
+      return "finished";
+    case JobState::kAborted:
+      return "aborted";
+    case JobState::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+StatusOr<JobState> ParseJobState(std::string_view name) {
+  if (name == "scheduled") return JobState::kScheduled;
+  if (name == "running") return JobState::kRunning;
+  if (name == "finished") return JobState::kFinished;
+  if (name == "aborted") return JobState::kAborted;
+  if (name == "failed") return JobState::kFailed;
+  return Status::InvalidArgument("unknown job state: " + std::string(name));
+}
+
+bool IsValidTransition(JobState from, JobState to) {
+  switch (from) {
+    case JobState::kScheduled:
+      return to == JobState::kRunning || to == JobState::kAborted;
+    case JobState::kRunning:
+      return to == JobState::kFinished || to == JobState::kFailed ||
+             to == JobState::kAborted;
+    case JobState::kFailed:
+      return to == JobState::kScheduled;  // Reschedule.
+    case JobState::kFinished:
+    case JobState::kAborted:
+      return false;
+  }
+  return false;
+}
+
+Status CheckTransition(JobState from, JobState to) {
+  if (IsValidTransition(from, to)) return Status::Ok();
+  return Status::FailedPrecondition(
+      "illegal job transition " + std::string(JobStateName(from)) + " -> " +
+      std::string(JobStateName(to)));
+}
+
+bool IsTerminal(JobState state) {
+  return state == JobState::kFinished || state == JobState::kAborted ||
+         state == JobState::kFailed;
+}
+
+}  // namespace chronos::model

@@ -1,0 +1,41 @@
+#ifndef CHRONOS_MODEL_JOB_STATE_H_
+#define CHRONOS_MODEL_JOB_STATE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace chronos::model {
+
+// Job lifecycle exactly as defined in the paper (§2.1): "A job can be in one
+// of the following states: scheduled, running, finished, aborted, or failed.
+// Jobs which are in the status scheduled or running can be aborted and those
+// which are failed can be re-scheduled."
+enum class JobState {
+  kScheduled,
+  kRunning,
+  kFinished,
+  kAborted,
+  kFailed,
+};
+
+std::string_view JobStateName(JobState state);
+StatusOr<JobState> ParseJobState(std::string_view name);
+
+// True iff `from -> to` is a legal transition:
+//   scheduled -> running | aborted
+//   running   -> finished | failed | aborted
+//   failed    -> scheduled (reschedule)
+bool IsValidTransition(JobState from, JobState to);
+
+// Validates and describes an attempted transition.
+Status CheckTransition(JobState from, JobState to);
+
+// Terminal states cannot progress except failed -> scheduled.
+bool IsTerminal(JobState state);
+
+}  // namespace chronos::model
+
+#endif  // CHRONOS_MODEL_JOB_STATE_H_

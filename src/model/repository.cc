@@ -1,0 +1,24 @@
+#include "model/repository.h"
+
+namespace chronos::model {
+
+MetaDb::MetaDb(std::unique_ptr<store::TableStore> table_store)
+    : store_(std::move(table_store)),
+      users_(store_.get(), "users"),
+      projects_(store_.get(), "projects"),
+      systems_(store_.get(), "systems"),
+      deployments_(store_.get(), "deployments"),
+      experiments_(store_.get(), "experiments"),
+      evaluations_(store_.get(), "evaluations"),
+      jobs_(store_.get(), "jobs"),
+      results_(store_.get(), "results"),
+      job_events_(store_.get(), "job_events") {}
+
+StatusOr<std::unique_ptr<MetaDb>> MetaDb::Open(
+    const std::string& dir, store::TableStoreOptions options) {
+  CHRONOS_ASSIGN_OR_RETURN(std::unique_ptr<store::TableStore> table_store,
+                           store::TableStore::Open(dir, options));
+  return std::unique_ptr<MetaDb>(new MetaDb(std::move(table_store)));
+}
+
+}  // namespace chronos::model

@@ -1,0 +1,130 @@
+#ifndef CHRONOS_MODEL_REPOSITORY_H_
+#define CHRONOS_MODEL_REPOSITORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/entities.h"
+#include "store/table_store.h"
+
+namespace chronos::model {
+
+// Typed CRUD access to one entity table backed by the TableStore. T must
+// provide `std::string id`, `json::Json ToJson() const` and
+// `static StatusOr<T> FromJson(const json::Json&)`.
+template <typename T>
+class Repository {
+ public:
+  Repository(store::TableStore* table_store, std::string table)
+      : store_(table_store), table_(std::move(table)) {}
+
+  Status Insert(const T& entity) {
+    return store_->Insert(table_, entity.id, entity.ToJson());
+  }
+
+  Status Update(const T& entity) {
+    return store_->Update(table_, entity.id, entity.ToJson());
+  }
+
+  // Optimistic update: read-modify-write with the row version captured by
+  // GetWithVersion.
+  Status UpdateIfVersion(const T& entity, int64_t expected_version) {
+    return store_->Update(table_, entity.id, entity.ToJson(),
+                          expected_version);
+  }
+
+  Status Delete(const std::string& id) { return store_->Delete(table_, id); }
+
+  StatusOr<T> Get(const std::string& id) const {
+    CHRONOS_ASSIGN_OR_RETURN(json::Json row, store_->Get(table_, id));
+    return T::FromJson(row);
+  }
+
+  StatusOr<std::pair<T, int64_t>> GetWithVersion(const std::string& id) const {
+    CHRONOS_ASSIGN_OR_RETURN(json::Json row, store_->Get(table_, id));
+    CHRONOS_ASSIGN_OR_RETURN(T entity, T::FromJson(row));
+    return std::make_pair(std::move(entity), row.GetIntOr("_version", 0));
+  }
+
+  bool Exists(const std::string& id) const {
+    return store_->Exists(table_, id);
+  }
+
+  std::vector<T> All() const {
+    std::vector<T> out;
+    for (const json::Json& row : store_->Scan(table_)) {
+      auto entity = T::FromJson(row);
+      if (entity.ok()) out.push_back(std::move(entity).value());
+    }
+    return out;
+  }
+
+  std::vector<T> FindBy(const std::string& field,
+                        const json::Json& value) const {
+    std::vector<T> out;
+    for (const json::Json& row : store_->FindBy(table_, field, value)) {
+      auto entity = T::FromJson(row);
+      if (entity.ok()) out.push_back(std::move(entity).value());
+    }
+    return out;
+  }
+
+  // Entities whose raw row satisfies `pred`.
+  std::vector<T> FindIf(
+      const std::function<bool(const json::Json&)>& pred) const {
+    std::vector<T> out;
+    for (const json::Json& row : store_->FindIf(table_, pred)) {
+      auto entity = T::FromJson(row);
+      if (entity.ok()) out.push_back(std::move(entity).value());
+    }
+    return out;
+  }
+
+  size_t Count() const { return store_->Count(table_); }
+
+  const std::string& table() const { return table_; }
+
+ private:
+  store::TableStore* store_;
+  std::string table_;
+};
+
+// All Chronos Control metadata repositories over one durable store — the
+// MySQL-schema equivalent of the paper's Chronos Control database.
+class MetaDb {
+ public:
+  // Opens (creating if needed) the metadata database in `dir`.
+  static StatusOr<std::unique_ptr<MetaDb>> Open(
+      const std::string& dir, store::TableStoreOptions options = {});
+
+  Repository<User>& users() { return users_; }
+  Repository<Project>& projects() { return projects_; }
+  Repository<System>& systems() { return systems_; }
+  Repository<Deployment>& deployments() { return deployments_; }
+  Repository<Experiment>& experiments() { return experiments_; }
+  Repository<Evaluation>& evaluations() { return evaluations_; }
+  Repository<Job>& jobs() { return jobs_; }
+  Repository<Result>& results() { return results_; }
+  Repository<JobEvent>& job_events() { return job_events_; }
+
+  store::TableStore* table_store() { return store_.get(); }
+
+ private:
+  explicit MetaDb(std::unique_ptr<store::TableStore> table_store);
+
+  std::unique_ptr<store::TableStore> store_;
+  Repository<User> users_;
+  Repository<Project> projects_;
+  Repository<System> systems_;
+  Repository<Deployment> deployments_;
+  Repository<Experiment> experiments_;
+  Repository<Evaluation> evaluations_;
+  Repository<Job> jobs_;
+  Repository<Result> results_;
+  Repository<JobEvent> job_events_;
+};
+
+}  // namespace chronos::model
+
+#endif  // CHRONOS_MODEL_REPOSITORY_H_

@@ -1,0 +1,146 @@
+#ifndef CHRONOS_NET_HTTP_H_
+#define CHRONOS_NET_HTTP_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "common/threading.h"
+#include "json/json.h"
+#include "net/tcp.h"
+
+namespace chronos::net {
+
+// Case-insensitive header map (HTTP header names are case-insensitive).
+class HeaderMap {
+ public:
+  void Set(std::string_view name, std::string_view value);
+  // Returns empty string if absent.
+  std::string Get(std::string_view name) const;
+  bool Has(std::string_view name) const;
+  const std::map<std::string, std::string>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, std::string> entries_;  // Keys stored lowercase.
+};
+
+struct HttpRequest {
+  std::string method;   // "GET", "POST", ...
+  std::string path;     // Decoded path, no query string.
+  std::string query;    // Raw query string (without '?').
+  HeaderMap headers;
+  std::string body;
+
+  // Path parameters extracted by the router, e.g. {id} -> "42".
+  std::map<std::string, std::string> path_params;
+
+  // Parsed query parameters (URL-decoded).
+  std::map<std::string, std::string> QueryParams() const;
+
+  // Parses the body as JSON.
+  StatusOr<json::Json> JsonBody() const;
+};
+
+struct HttpResponse {
+  int status_code = 200;
+  HeaderMap headers;
+  std::string body;
+
+  static HttpResponse Ok(std::string body, std::string content_type = "text/plain");
+  static HttpResponse Json(const json::Json& value, int status_code = 200);
+  static HttpResponse Error(int status_code, const std::string& message);
+  // Maps a Status to an HTTP error response with a JSON error body.
+  static HttpResponse FromStatus(const Status& status);
+};
+
+std::string_view HttpStatusText(int code);
+
+// --- Wire-level serialization (exposed for tests) ---
+
+// Serializes a request/response as HTTP/1.1 with Content-Length framing.
+std::string SerializeRequest(const HttpRequest& request);
+std::string SerializeResponse(const HttpResponse& response);
+
+// Reads one message from a connection. Enforces size limits.
+StatusOr<HttpRequest> ReadRequest(TcpConnection* conn,
+                                  size_t max_body = 64 * 1024 * 1024);
+StatusOr<HttpResponse> ReadResponse(TcpConnection* conn,
+                                    size_t max_body = 64 * 1024 * 1024);
+
+// --- Server ---
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+// Multi-threaded HTTP/1.1 server with keep-alive. One dispatcher thread
+// accepts; a worker pool serves connections.
+class HttpServer {
+ public:
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Starts listening on 127.0.0.1:port (0 = ephemeral) and serving via
+  // `handler`.
+  static StatusOr<std::unique_ptr<HttpServer>> Start(int port,
+                                                     HttpHandler handler,
+                                                     int num_workers = 8);
+
+  int port() const { return listener_->port(); }
+
+  // Stops accepting, drains workers. Idempotent; called by the destructor.
+  void Stop();
+
+ private:
+  HttpServer(std::unique_ptr<TcpListener> listener, HttpHandler handler,
+             int num_workers);
+
+  void AcceptLoop();
+  void ServeConnection(std::unique_ptr<TcpConnection> conn);
+
+  std::unique_ptr<TcpListener> listener_;
+  HttpHandler handler_;
+  std::unique_ptr<ThreadPool> workers_;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+};
+
+// --- Client ---
+
+// Simple HTTP/1.1 client; one connection per request (Connection: close).
+class HttpClient {
+ public:
+  HttpClient(std::string host, int port) : host_(std::move(host)), port_(port) {}
+
+  StatusOr<HttpResponse> Get(const std::string& path);
+  StatusOr<HttpResponse> Post(const std::string& path, std::string body,
+                              std::string content_type = "application/json");
+  StatusOr<HttpResponse> Put(const std::string& path, std::string body,
+                             std::string content_type = "application/json");
+  StatusOr<HttpResponse> Delete(const std::string& path);
+
+  StatusOr<HttpResponse> Send(HttpRequest request);
+
+  // Extra header applied to every request (e.g. the session token).
+  void SetDefaultHeader(const std::string& name, const std::string& value);
+
+  const std::string& host() const { return host_; }
+  int port() const { return port_; }
+
+ private:
+  std::string host_;
+  int port_;
+  std::vector<std::pair<std::string, std::string>> default_headers_;
+};
+
+}  // namespace chronos::net
+
+#endif  // CHRONOS_NET_HTTP_H_

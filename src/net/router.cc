@@ -1,0 +1,88 @@
+#include "net/router.h"
+
+#include "common/strings.h"
+
+namespace chronos::net {
+
+namespace {
+
+std::vector<std::string> SplitPath(const std::string& path) {
+  return strings::Split(path, '/', /*skip_empty=*/true);
+}
+
+bool IsCapture(const std::string& segment) {
+  return segment.size() >= 2 && segment.front() == '{' &&
+         segment.back() == '}';
+}
+
+}  // namespace
+
+void Router::Handle(const std::string& method, const std::string& pattern,
+                    HttpHandler handler) {
+  Route route;
+  route.method = strings::ToUpper(method);
+  route.segments = SplitPath(pattern);
+  route.handler = std::move(handler);
+  routes_.push_back(std::move(route));
+}
+
+bool Router::Match(const Route& route,
+                   const std::vector<std::string>& path_segments,
+                   std::map<std::string, std::string>* params) {
+  if (route.segments.size() != path_segments.size()) return false;
+  std::map<std::string, std::string> captured;
+  for (size_t i = 0; i < route.segments.size(); ++i) {
+    const std::string& pattern_segment = route.segments[i];
+    if (IsCapture(pattern_segment)) {
+      captured[pattern_segment.substr(1, pattern_segment.size() - 2)] =
+          path_segments[i];
+    } else if (pattern_segment != path_segments[i]) {
+      return false;
+    }
+  }
+  *params = std::move(captured);
+  return true;
+}
+
+int Router::Specificity(const Route& route) {
+  int literals = 0;
+  for (const std::string& segment : route.segments) {
+    if (!IsCapture(segment)) ++literals;
+  }
+  return literals;
+}
+
+HttpResponse Router::Dispatch(const HttpRequest& request) const {
+  std::vector<std::string> path_segments = SplitPath(request.path);
+  const Route* best = nullptr;
+  std::map<std::string, std::string> best_params;
+  bool path_matched_any_method = false;
+
+  for (const Route& route : routes_) {
+    std::map<std::string, std::string> params;
+    if (!Match(route, path_segments, &params)) continue;
+    path_matched_any_method = true;
+    if (route.method != request.method) continue;
+    if (best == nullptr || Specificity(route) > Specificity(*best)) {
+      best = &route;
+      best_params = std::move(params);
+    }
+  }
+
+  if (best == nullptr) {
+    if (path_matched_any_method) {
+      return HttpResponse::Error(405, "method not allowed: " + request.method +
+                                          " " + request.path);
+    }
+    return HttpResponse::Error(404, "no route for " + request.path);
+  }
+  HttpRequest enriched = request;
+  enriched.path_params = std::move(best_params);
+  return best->handler(enriched);
+}
+
+HttpHandler Router::AsHandler() const {
+  return [this](const HttpRequest& request) { return Dispatch(request); };
+}
+
+}  // namespace chronos::net

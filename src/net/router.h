@@ -1,0 +1,64 @@
+#ifndef CHRONOS_NET_ROUTER_H_
+#define CHRONOS_NET_ROUTER_H_
+
+#include <string>
+#include <vector>
+
+#include "net/http.h"
+
+namespace chronos::net {
+
+// Path-pattern router. Patterns are '/'-separated; a segment "{name}"
+// captures the corresponding request segment into request.path_params.
+//
+//   Router router;
+//   router.Get("/api/v1/jobs/{id}", handler);
+//   HttpResponse response = router.Dispatch(request);
+//
+// Literal segments take precedence over captures when both match. Unknown
+// paths yield 404, known paths with a wrong method yield 405.
+class Router {
+ public:
+  void Handle(const std::string& method, const std::string& pattern,
+              HttpHandler handler);
+
+  void Get(const std::string& pattern, HttpHandler handler) {
+    Handle("GET", pattern, std::move(handler));
+  }
+  void Post(const std::string& pattern, HttpHandler handler) {
+    Handle("POST", pattern, std::move(handler));
+  }
+  void Put(const std::string& pattern, HttpHandler handler) {
+    Handle("PUT", pattern, std::move(handler));
+  }
+  void Delete(const std::string& pattern, HttpHandler handler) {
+    Handle("DELETE", pattern, std::move(handler));
+  }
+
+  HttpResponse Dispatch(const HttpRequest& request) const;
+
+  // Adapts the router into a server handler.
+  HttpHandler AsHandler() const;
+
+  size_t route_count() const { return routes_.size(); }
+
+ private:
+  struct Route {
+    std::string method;
+    std::vector<std::string> segments;  // "{x}" marks a capture.
+    HttpHandler handler;
+  };
+
+  // Returns true and fills `params` iff the path matches the pattern.
+  static bool Match(const Route& route,
+                    const std::vector<std::string>& path_segments,
+                    std::map<std::string, std::string>* params);
+  // Number of literal (non-capture) segments, used to prefer specific routes.
+  static int Specificity(const Route& route);
+
+  std::vector<Route> routes_;
+};
+
+}  // namespace chronos::net
+
+#endif  // CHRONOS_NET_ROUTER_H_

@@ -1,0 +1,260 @@
+#include "store/table_store.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/file_util.h"
+
+namespace chronos::store {
+
+namespace {
+
+constexpr char kOpInsert[] = "insert";
+constexpr char kOpUpdate[] = "update";
+constexpr char kOpDelete[] = "delete";
+
+json::Json MakeMutation(const char* op, const std::string& table,
+                        const std::string& id) {
+  json::Json m = json::Json::MakeObject();
+  m.Set("op", op);
+  m.Set("table", table);
+  m.Set("id", id);
+  return m;
+}
+
+}  // namespace
+
+TableStore::TableStore(std::string dir, TableStoreOptions options)
+    : dir_(std::move(dir)), options_(options) {}
+
+TableStore::~TableStore() = default;
+
+std::string TableStore::SnapshotPath() const { return dir_ + "/snapshot.json"; }
+std::string TableStore::WalPath() const { return dir_ + "/wal.log"; }
+
+StatusOr<std::unique_ptr<TableStore>> TableStore::Open(
+    const std::string& dir, TableStoreOptions options) {
+  CHRONOS_RETURN_IF_ERROR(file::MakeDirs(dir));
+  std::unique_ptr<TableStore> table_store(new TableStore(dir, options));
+  CHRONOS_RETURN_IF_ERROR(table_store->Load());
+  CHRONOS_ASSIGN_OR_RETURN(table_store->wal_, Wal::Open(table_store->WalPath()));
+  return table_store;
+}
+
+Status TableStore::Load() {
+  // 1. Snapshot (if present).
+  if (file::Exists(SnapshotPath())) {
+    CHRONOS_ASSIGN_OR_RETURN(std::string text, file::ReadFile(SnapshotPath()));
+    CHRONOS_ASSIGN_OR_RETURN(json::Json snapshot, json::Parse(text));
+    if (!snapshot.is_object()) {
+      return Status::Corruption("snapshot is not an object");
+    }
+    for (const auto& [table_name, rows] : snapshot.as_object()) {
+      Table table;
+      for (const auto& [id, row] : rows.as_object()) {
+        table[id] = row;
+      }
+      tables_[table_name] = std::move(table);
+    }
+  }
+  // 2. WAL replay over the snapshot.
+  CHRONOS_ASSIGN_OR_RETURN(std::vector<std::string> records,
+                           Wal::Replay(WalPath()));
+  for (const std::string& record : records) {
+    auto mutation = json::Parse(record);
+    if (!mutation.ok()) {
+      // A record passed its CRC but fails to parse: treat as corrupt tail.
+      break;
+    }
+    Apply(*mutation);
+  }
+  return Status::Ok();
+}
+
+Status TableStore::LogAndApply(const json::Json& mutation) {
+  CHRONOS_RETURN_IF_ERROR(wal_->Append(mutation.Dump(), options_.sync_writes));
+  Apply(mutation);
+  return MaybeCheckpointLocked();
+}
+
+void TableStore::Apply(const json::Json& mutation) {
+  const std::string& op = mutation.at("op").as_string();
+  const std::string& table_name = mutation.at("table").as_string();
+  const std::string& id = mutation.at("id").as_string();
+  if (op == kOpDelete) {
+    auto it = tables_.find(table_name);
+    if (it != tables_.end()) it->second.erase(id);
+  } else {
+    tables_[table_name][id] = mutation.at("row");
+  }
+  ++applied_;
+}
+
+Status TableStore::MaybeCheckpointLocked() {
+  if (options_.checkpoint_wal_bytes == 0) return Status::Ok();
+  if (wal_->size_bytes() < options_.checkpoint_wal_bytes) return Status::Ok();
+  return CheckpointLocked();
+}
+
+Status TableStore::CheckpointLocked() {
+  // Snapshot under the already-held mutex (callers hold mu_).
+  json::Json snapshot = json::Json::MakeObject();
+  for (const auto& [table_name, table] : tables_) {
+    json::Json rows = json::Json::MakeObject();
+    for (const auto& [id, row] : table) rows.Set(id, row);
+    snapshot.Set(table_name, std::move(rows));
+  }
+  std::string tmp = SnapshotPath() + ".tmp";
+  CHRONOS_RETURN_IF_ERROR(file::WriteFile(tmp, snapshot.Dump()));
+  if (std::rename(tmp.c_str(), SnapshotPath().c_str()) != 0) {
+    return Status::IoError("snapshot rename failed");
+  }
+  return wal_->Truncate();
+}
+
+Status TableStore::Insert(const std::string& table, const std::string& id,
+                          json::Json row) {
+  if (!row.is_object()) return Status::InvalidArgument("row must be an object");
+  std::lock_guard<std::mutex> lock(mu_);
+  auto table_it = tables_.find(table);
+  if (table_it != tables_.end() && table_it->second.count(id) > 0) {
+    return Status::AlreadyExists("row exists: " + table + "/" + id);
+  }
+  row.Set("id", id);
+  row.Set("_version", static_cast<int64_t>(1));
+  json::Json mutation = MakeMutation(kOpInsert, table, id);
+  mutation.Set("row", std::move(row));
+  return LogAndApply(mutation);
+}
+
+Status TableStore::Update(const std::string& table, const std::string& id,
+                          json::Json row, int64_t expected_version) {
+  if (!row.is_object()) return Status::InvalidArgument("row must be an object");
+  std::lock_guard<std::mutex> lock(mu_);
+  auto table_it = tables_.find(table);
+  if (table_it == tables_.end() || table_it->second.count(id) == 0) {
+    return Status::NotFound("row not found: " + table + "/" + id);
+  }
+  int64_t current_version = table_it->second[id].GetIntOr("_version", 0);
+  if (expected_version >= 0 && current_version != expected_version) {
+    return Status::FailedPrecondition(
+        "version mismatch on " + table + "/" + id + ": expected " +
+        std::to_string(expected_version) + ", found " +
+        std::to_string(current_version));
+  }
+  row.Set("id", id);
+  row.Set("_version", current_version + 1);
+  json::Json mutation = MakeMutation(kOpUpdate, table, id);
+  mutation.Set("row", std::move(row));
+  return LogAndApply(mutation);
+}
+
+Status TableStore::Upsert(const std::string& table, const std::string& id,
+                          json::Json row) {
+  if (!row.is_object()) return Status::InvalidArgument("row must be an object");
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t version = 0;
+  auto table_it = tables_.find(table);
+  if (table_it != tables_.end()) {
+    auto row_it = table_it->second.find(id);
+    if (row_it != table_it->second.end()) {
+      version = row_it->second.GetIntOr("_version", 0);
+    }
+  }
+  row.Set("id", id);
+  row.Set("_version", version + 1);
+  json::Json mutation = MakeMutation(kOpUpdate, table, id);
+  mutation.Set("row", std::move(row));
+  return LogAndApply(mutation);
+}
+
+Status TableStore::Delete(const std::string& table, const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto table_it = tables_.find(table);
+  if (table_it == tables_.end() || table_it->second.count(id) == 0) {
+    return Status::NotFound("row not found: " + table + "/" + id);
+  }
+  return LogAndApply(MakeMutation(kOpDelete, table, id));
+}
+
+StatusOr<json::Json> TableStore::Get(const std::string& table,
+                                     const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto table_it = tables_.find(table);
+  if (table_it != tables_.end()) {
+    auto row_it = table_it->second.find(id);
+    if (row_it != table_it->second.end()) return row_it->second;
+  }
+  return Status::NotFound("row not found: " + table + "/" + id);
+}
+
+bool TableStore::Exists(const std::string& table, const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto table_it = tables_.find(table);
+  return table_it != tables_.end() && table_it->second.count(id) > 0;
+}
+
+std::vector<json::Json> TableStore::Scan(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<json::Json> rows;
+  auto table_it = tables_.find(table);
+  if (table_it != tables_.end()) {
+    rows.reserve(table_it->second.size());
+    for (const auto& [id, row] : table_it->second) rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<json::Json> TableStore::FindBy(const std::string& table,
+                                           const std::string& field,
+                                           const json::Json& value) const {
+  return FindIf(table, [&](const json::Json& row) {
+    return row.at(field) == value;
+  });
+}
+
+std::vector<json::Json> TableStore::FindIf(
+    const std::string& table,
+    const std::function<bool(const json::Json&)>& pred) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<json::Json> rows;
+  auto table_it = tables_.find(table);
+  if (table_it != tables_.end()) {
+    for (const auto& [id, row] : table_it->second) {
+      if (pred(row)) rows.push_back(row);
+    }
+  }
+  return rows;
+}
+
+size_t TableStore::Count(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto table_it = tables_.find(table);
+  return table_it == tables_.end() ? 0 : table_it->second.size();
+}
+
+std::vector<std::string> TableStore::TableNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status TableStore::Checkpoint() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CheckpointLocked();
+}
+
+uint64_t TableStore::wal_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_->size_bytes();
+}
+
+uint64_t TableStore::applied_mutations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return applied_;
+}
+
+}  // namespace chronos::store

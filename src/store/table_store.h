@@ -1,0 +1,118 @@
+#ifndef CHRONOS_STORE_TABLE_STORE_H_
+#define CHRONOS_STORE_TABLE_STORE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "json/json.h"
+#include "store/wal.h"
+
+namespace chronos::store {
+
+struct TableStoreOptions {
+  // fsync the WAL on every mutation. Chronos Control metadata defaults to
+  // durable commits; benchmarks may relax this.
+  bool sync_writes = true;
+  // Checkpoint automatically once the WAL exceeds this size (0 = never).
+  uint64_t checkpoint_wal_bytes = 16 * 1024 * 1024;
+};
+
+// A row is a JSON object; every row has a string primary key ("id"). The
+// store additionally maintains an optimistic-concurrency version counter per
+// row (exposed as "_version") so multi-step updates can be made atomic.
+//
+// Durability model (MySQL substitute for Chronos Control):
+//   * every mutation is appended to a WAL before being applied in memory;
+//   * Checkpoint() writes a full JSON snapshot and truncates the WAL;
+//   * Open() loads the snapshot (if any) and replays the WAL over it —
+//     crash at any point recovers the last committed mutation.
+//
+// Thread-safe: a single store-wide mutex serializes mutations (metadata
+// traffic is small; fairness beats parallelism here).
+class TableStore {
+ public:
+  ~TableStore();
+
+  TableStore(const TableStore&) = delete;
+  TableStore& operator=(const TableStore&) = delete;
+
+  // Opens (creating if needed) a store rooted at directory `dir`.
+  static StatusOr<std::unique_ptr<TableStore>> Open(
+      const std::string& dir, TableStoreOptions options = {});
+
+  // Inserts a row; fails with AlreadyExists if the id is taken. The stored
+  // row gains "_version" = 1.
+  Status Insert(const std::string& table, const std::string& id,
+                json::Json row);
+
+  // Replaces a row; fails with NotFound. If expected_version >= 0, fails
+  // with FailedPrecondition unless it matches the stored version.
+  Status Update(const std::string& table, const std::string& id,
+                json::Json row, int64_t expected_version = -1);
+
+  // Insert-or-replace without version checking.
+  Status Upsert(const std::string& table, const std::string& id,
+                json::Json row);
+
+  Status Delete(const std::string& table, const std::string& id);
+
+  StatusOr<json::Json> Get(const std::string& table,
+                           const std::string& id) const;
+  bool Exists(const std::string& table, const std::string& id) const;
+
+  // All rows of a table, sorted by id.
+  std::vector<json::Json> Scan(const std::string& table) const;
+
+  // Rows where row[field] == value (linear scan; metadata tables are small).
+  std::vector<json::Json> FindBy(const std::string& table,
+                                 const std::string& field,
+                                 const json::Json& value) const;
+
+  // Rows matching a predicate.
+  std::vector<json::Json> FindIf(
+      const std::string& table,
+      const std::function<bool(const json::Json&)>& pred) const;
+
+  size_t Count(const std::string& table) const;
+  std::vector<std::string> TableNames() const;
+
+  // Writes a snapshot and truncates the WAL.
+  Status Checkpoint();
+
+  uint64_t wal_bytes() const;
+
+  // Monotonic sequence number of applied mutations (for tests/metrics).
+  uint64_t applied_mutations() const;
+
+ private:
+  TableStore(std::string dir, TableStoreOptions options);
+
+  using Table = std::map<std::string, json::Json>;  // id -> row
+
+  Status Load();
+  Status LogAndApply(const json::Json& mutation);
+  void Apply(const json::Json& mutation);
+  Status MaybeCheckpointLocked();
+  Status CheckpointLocked();
+  std::string SnapshotPath() const;
+  std::string WalPath() const;
+
+  std::string dir_;
+  TableStoreOptions options_;
+  std::unique_ptr<Wal> wal_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Table> tables_;
+  uint64_t applied_ = 0;
+};
+
+}  // namespace chronos::store
+
+#endif  // CHRONOS_STORE_TABLE_STORE_H_

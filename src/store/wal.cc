@@ -1,0 +1,102 @@
+#include "store/wal.h"
+
+#include <unistd.h>
+
+#include <cstring>
+
+#include "archive/crc32.h"
+#include "common/file_util.h"
+
+namespace chronos::store {
+
+namespace {
+
+void EncodeU32(char* out, uint32_t v) {
+  out[0] = static_cast<char>(v & 0xFF);
+  out[1] = static_cast<char>((v >> 8) & 0xFF);
+  out[2] = static_cast<char>((v >> 16) & 0xFF);
+  out[3] = static_cast<char>((v >> 24) & 0xFF);
+}
+
+uint32_t DecodeU32(const char* in) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(in[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(in[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(in[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(in[3])) << 24;
+}
+
+}  // namespace
+
+Wal::~Wal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+StatusOr<std::unique_ptr<Wal>> Wal::Open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    return Status::IoError("cannot open WAL: " + path);
+  }
+  long pos = std::ftell(file);
+  uint64_t size = pos < 0 ? 0 : static_cast<uint64_t>(pos);
+  return std::unique_ptr<Wal>(new Wal(file, path, size));
+}
+
+Status Wal::Append(std::string_view payload, bool sync) {
+  if (payload.size() > 0xFFFFFFFFull) {
+    return Status::InvalidArgument("WAL record too large");
+  }
+  char header[8];
+  EncodeU32(header, static_cast<uint32_t>(payload.size()));
+  EncodeU32(header + 4, archive::Crc32(payload));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (std::fwrite(header, 1, sizeof(header), file_) != sizeof(header) ||
+      std::fwrite(payload.data(), 1, payload.size(), file_) !=
+          payload.size()) {
+    return Status::IoError("WAL write failed: " + path_);
+  }
+  size_bytes_ += sizeof(header) + payload.size();
+  if (sync) {
+    if (std::fflush(file_) != 0) return Status::IoError("WAL flush failed");
+    if (::fsync(::fileno(file_)) != 0) return Status::IoError("WAL fsync failed");
+  }
+  return Status::Ok();
+}
+
+Status Wal::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (std::fflush(file_) != 0) return Status::IoError("WAL flush failed");
+  if (::fsync(::fileno(file_)) != 0) return Status::IoError("WAL fsync failed");
+  return Status::Ok();
+}
+
+Status Wal::Truncate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::IoError("cannot truncate WAL: " + path_);
+  }
+  size_bytes_ = 0;
+  return Status::Ok();
+}
+
+StatusOr<std::vector<std::string>> Wal::Replay(const std::string& path) {
+  std::vector<std::string> records;
+  if (!file::Exists(path)) return records;
+  CHRONOS_ASSIGN_OR_RETURN(std::string data, file::ReadFile(path));
+
+  size_t pos = 0;
+  while (pos + 8 <= data.size()) {
+    uint32_t length = DecodeU32(data.data() + pos);
+    uint32_t crc = DecodeU32(data.data() + pos + 4);
+    if (pos + 8 + length > data.size()) break;  // Torn tail.
+    std::string_view payload(data.data() + pos + 8, length);
+    if (archive::Crc32(payload) != crc) break;  // Corrupt tail.
+    records.emplace_back(payload);
+    pos += 8 + length;
+  }
+  return records;
+}
+
+}  // namespace chronos::store

@@ -1,0 +1,60 @@
+#ifndef CHRONOS_STORE_WAL_H_
+#define CHRONOS_STORE_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace chronos::store {
+
+// Append-only write-ahead log. Each record is framed as
+//   [u32 payload_len][u32 crc32(payload)][payload]
+// (little endian). Append is atomic under an internal mutex; Sync flushes to
+// the OS and fsyncs. Replay tolerates a torn tail: the first record whose
+// frame is incomplete or whose CRC mismatches ends the replay (everything
+// before it is returned), matching the recovery contract of production WALs.
+class Wal {
+ public:
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  // Opens (creating if needed) the log at `path` for appending.
+  static StatusOr<std::unique_ptr<Wal>> Open(const std::string& path);
+
+  // Appends one record. If `sync`, fsyncs before returning.
+  Status Append(std::string_view payload, bool sync);
+
+  Status Sync();
+
+  // Bytes currently in the log file.
+  uint64_t size_bytes() const { return size_bytes_; }
+
+  // Closes, removes and recreates the log (after a checkpoint).
+  Status Truncate();
+
+  const std::string& path() const { return path_; }
+
+  // Reads all intact records from a log file. Missing file -> empty list.
+  static StatusOr<std::vector<std::string>> Replay(const std::string& path);
+
+ private:
+  Wal(std::FILE* file, std::string path, uint64_t size)
+      : file_(file), path_(std::move(path)), size_bytes_(size) {}
+
+  std::mutex mu_;
+  std::FILE* file_;
+  std::string path_;
+  uint64_t size_bytes_;
+};
+
+}  // namespace chronos::store
+
+#endif  // CHRONOS_STORE_WAL_H_

@@ -1,0 +1,529 @@
+#include "sue/mokkadb/collection.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/uuid.h"
+
+namespace chronos::mokka {
+
+namespace {
+
+// Numeric-aware comparison: returns -1/0/+1, or an error for incomparable
+// types.
+StatusOr<int> CompareValues(const json::Json& a, const json::Json& b) {
+  if (a.is_number() && b.is_number()) {
+    double lhs = a.as_double(), rhs = b.as_double();
+    return lhs < rhs ? -1 : (lhs > rhs ? 1 : 0);
+  }
+  if (a.is_string() && b.is_string()) {
+    return a.as_string().compare(b.as_string()) < 0
+               ? -1
+               : (a.as_string() == b.as_string() ? 0 : 1);
+  }
+  return Status::InvalidArgument("incomparable types in filter");
+}
+
+bool IsOperatorObject(const json::Json& value) {
+  if (!value.is_object() || value.size() == 0) return false;
+  for (const auto& [key, v] : value.as_object()) {
+    if (key.empty() || key[0] != '$') return false;
+  }
+  return true;
+}
+
+StatusOr<bool> MatchOperator(const json::Json& field_value,
+                             const std::string& op, const json::Json& arg) {
+  if (op == "$ne") return !(field_value == arg);
+  if (op == "$in") {
+    if (!arg.is_array()) {
+      return Status::InvalidArgument("$in expects an array");
+    }
+    for (const json::Json& candidate : arg.as_array()) {
+      if (field_value == candidate) return true;
+    }
+    return false;
+  }
+  if (op == "$exists") return !field_value.is_null() == arg.as_bool();
+  // Ordered comparisons: a missing / incomparable field never matches.
+  if (op == "$gt" || op == "$gte" || op == "$lt" || op == "$lte") {
+    auto cmp = CompareValues(field_value, arg);
+    if (!cmp.ok()) return false;
+    if (op == "$gt") return *cmp > 0;
+    if (op == "$gte") return *cmp >= 0;
+    if (op == "$lt") return *cmp < 0;
+    return *cmp <= 0;
+  }
+  return Status::InvalidArgument("unknown filter operator: " + op);
+}
+
+}  // namespace
+
+Collection::Collection(std::string name, std::unique_ptr<StorageEngine> engine)
+    : name_(std::move(name)), engine_(std::move(engine)) {}
+
+StatusOr<bool> Collection::Matches(const json::Json& document,
+                                   const json::Json& filter) {
+  if (filter.is_null()) return true;
+  if (!filter.is_object()) {
+    return Status::InvalidArgument("filter must be an object");
+  }
+  for (const auto& [field, condition] : filter.as_object()) {
+    const json::Json& value = document.at(field);
+    if (IsOperatorObject(condition)) {
+      for (const auto& [op, arg] : condition.as_object()) {
+        CHRONOS_ASSIGN_OR_RETURN(bool matched, MatchOperator(value, op, arg));
+        if (!matched) return false;
+      }
+    } else if (!(value == condition)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+StatusOr<json::Json> Collection::ApplyUpdate(const json::Json& document,
+                                             const json::Json& update) {
+  if (!update.is_object()) {
+    return Status::InvalidArgument("update must be an object");
+  }
+  bool has_operators = false;
+  for (const auto& [key, value] : update.as_object()) {
+    if (!key.empty() && key[0] == '$') has_operators = true;
+  }
+  if (!has_operators) {
+    // Replacement document; the _id is immutable.
+    json::Json replaced = update;
+    replaced.Set("_id", document.at("_id"));
+    return replaced;
+  }
+  json::Json result = document;
+  for (const auto& [op, fields] : update.as_object()) {
+    if (!fields.is_object()) {
+      return Status::InvalidArgument(op + " expects an object");
+    }
+    if (op == "$set") {
+      for (const auto& [field, value] : fields.as_object()) {
+        if (field == "_id") {
+          return Status::InvalidArgument("_id is immutable");
+        }
+        result.Set(field, value);
+      }
+    } else if (op == "$inc") {
+      for (const auto& [field, delta] : fields.as_object()) {
+        if (!delta.is_number()) {
+          return Status::InvalidArgument("$inc expects numbers");
+        }
+        const json::Json& current = result.at(field);
+        if (current.is_null()) {
+          result.Set(field, delta);
+        } else if (current.is_int() && delta.is_int()) {
+          result.Set(field, current.as_int() + delta.as_int());
+        } else if (current.is_number()) {
+          result.Set(field, current.as_double() + delta.as_double());
+        } else {
+          return Status::InvalidArgument("$inc on non-numeric field " + field);
+        }
+      }
+    } else if (op == "$unset") {
+      for (const auto& [field, ignored] : fields.as_object()) {
+        (void)ignored;
+        if (field == "_id") {
+          return Status::InvalidArgument("_id is immutable");
+        }
+        result.as_object_mutable().erase(field);
+      }
+    } else {
+      return Status::InvalidArgument("unknown update operator: " + op);
+    }
+  }
+  return result;
+}
+
+StatusOr<std::string> Collection::InsertOne(json::Json document) {
+  if (!document.is_object()) {
+    return Status::InvalidArgument("document must be an object");
+  }
+  std::string id;
+  if (document.Has("_id")) {
+    if (!document.at("_id").is_string() ||
+        document.at("_id").as_string().empty()) {
+      return Status::InvalidArgument("_id must be a non-empty string");
+    }
+    id = document.at("_id").as_string();
+  } else {
+    id = GenerateUuid();
+    document.Set("_id", id);
+  }
+  CHRONOS_RETURN_IF_ERROR(engine_->Insert(id, document.Dump()));
+  IndexInsert(id, document);
+  Journal("insert", id, &document);
+  return id;
+}
+
+StatusOr<json::Json> Collection::FindById(const std::string& id) const {
+  CHRONOS_ASSIGN_OR_RETURN(std::string raw, engine_->Get(id));
+  return json::Parse(raw);
+}
+
+Status Collection::VisitMatches(
+    const json::Json& filter, uint64_t limit,
+    const std::function<bool(const std::string& id, json::Json doc)>& visitor)
+    const {
+  // Fast path: filter pins _id to a literal.
+  if (filter.is_object() && filter.Has("_id") &&
+      filter.at("_id").is_string()) {
+    auto doc = FindById(filter.at("_id").as_string());
+    if (doc.status().IsNotFound()) return Status::Ok();
+    CHRONOS_RETURN_IF_ERROR(doc.status());
+    CHRONOS_ASSIGN_OR_RETURN(bool matched, Matches(*doc, filter));
+    if (matched) visitor(filter.at("_id").as_string(), std::move(doc).value());
+    return Status::Ok();
+  }
+
+  // Secondary-index fast path: the first indexed field with an equality
+  // literal narrows the candidate set; the full filter still re-verifies.
+  if (filter.is_object()) {
+    for (const auto& [field, condition] : filter.as_object()) {
+      if (IsOperatorObject(condition) || condition.is_object()) continue;
+      auto candidate_ids = IndexLookup(field, condition);
+      if (!candidate_ids.has_value()) continue;
+      uint64_t emitted = 0;
+      for (const std::string& id : *candidate_ids) {
+        auto doc = FindById(id);
+        if (doc.status().IsNotFound()) continue;  // Racing delete.
+        CHRONOS_RETURN_IF_ERROR(doc.status());
+        CHRONOS_ASSIGN_OR_RETURN(bool matched, Matches(*doc, filter));
+        if (!matched) continue;
+        if (!visitor(id, std::move(doc).value())) return Status::Ok();
+        ++emitted;
+        if (limit > 0 && emitted >= limit) return Status::Ok();
+      }
+      return Status::Ok();
+    }
+  }
+
+  Status failure = Status::Ok();
+  uint64_t emitted = 0;
+  engine_->Scan("", [&](const std::string& id, const std::string& raw) {
+    auto doc = json::Parse(raw);
+    if (!doc.ok()) {
+      failure = doc.status();
+      return false;
+    }
+    auto matched = Matches(*doc, filter);
+    if (!matched.ok()) {
+      failure = matched.status();
+      return false;
+    }
+    if (*matched) {
+      if (!visitor(id, std::move(doc).value())) return false;
+      ++emitted;
+      if (limit > 0 && emitted >= limit) return false;
+    }
+    return true;
+  });
+  return failure;
+}
+
+StatusOr<std::vector<json::Json>> Collection::Find(const json::Json& filter,
+                                                   uint64_t limit) const {
+  std::vector<json::Json> docs;
+  CHRONOS_RETURN_IF_ERROR(
+      VisitMatches(filter, limit, [&docs](const std::string&, json::Json doc) {
+        docs.push_back(std::move(doc));
+        return true;
+      }));
+  return docs;
+}
+
+StatusOr<json::Json> Collection::FindOne(const json::Json& filter) const {
+  CHRONOS_ASSIGN_OR_RETURN(std::vector<json::Json> docs, Find(filter, 1));
+  if (docs.empty()) return Status::NotFound("no matching document");
+  return docs[0];
+}
+
+StatusOr<int> Collection::UpdateOne(const json::Json& filter,
+                                    const json::Json& update) {
+  std::string target_id;
+  json::Json target_doc;
+  CHRONOS_RETURN_IF_ERROR(
+      VisitMatches(filter, 1, [&](const std::string& id, json::Json doc) {
+        target_id = id;
+        target_doc = std::move(doc);
+        return false;
+      }));
+  if (target_id.empty()) return 0;
+  CHRONOS_ASSIGN_OR_RETURN(json::Json updated,
+                           ApplyUpdate(target_doc, update));
+  CHRONOS_RETURN_IF_ERROR(engine_->Update(target_id, updated.Dump()));
+  IndexRemove(target_id, target_doc);
+  IndexInsert(target_id, updated);
+  Journal("update", target_id, &updated);
+  return 1;
+}
+
+StatusOr<int> Collection::UpdateMany(const json::Json& filter,
+                                     const json::Json& update) {
+  std::vector<std::pair<std::string, json::Json>> targets;
+  CHRONOS_RETURN_IF_ERROR(
+      VisitMatches(filter, 0, [&](const std::string& id, json::Json doc) {
+        targets.emplace_back(id, std::move(doc));
+        return true;
+      }));
+  for (auto& [id, doc] : targets) {
+    CHRONOS_ASSIGN_OR_RETURN(json::Json updated, ApplyUpdate(doc, update));
+    CHRONOS_RETURN_IF_ERROR(engine_->Update(id, updated.Dump()));
+    IndexRemove(id, doc);
+    IndexInsert(id, updated);
+    Journal("update", id, &updated);
+  }
+  return static_cast<int>(targets.size());
+}
+
+StatusOr<int> Collection::DeleteOne(const json::Json& filter) {
+  std::string target_id;
+  json::Json target_doc;
+  CHRONOS_RETURN_IF_ERROR(
+      VisitMatches(filter, 1, [&](const std::string& id, json::Json doc) {
+        target_id = id;
+        target_doc = std::move(doc);
+        return false;
+      }));
+  if (target_id.empty()) return 0;
+  CHRONOS_RETURN_IF_ERROR(engine_->Remove(target_id));
+  IndexRemove(target_id, target_doc);
+  Journal("delete", target_id, nullptr);
+  return 1;
+}
+
+StatusOr<uint64_t> Collection::CountDocuments(const json::Json& filter) const {
+  if (filter.is_null() || (filter.is_object() && filter.size() == 0)) {
+    return engine_->Count();
+  }
+  uint64_t count = 0;
+  CHRONOS_RETURN_IF_ERROR(
+      VisitMatches(filter, 0, [&count](const std::string&, json::Json) {
+        ++count;
+        return true;
+      }));
+  return count;
+}
+
+void Collection::Journal(const char* op, const std::string& id,
+                         const json::Json* doc) const {
+  if (journal_hook_ == nullptr) return;
+  json::Json record = json::Json::MakeObject();
+  record.Set("op", op);
+  record.Set("id", id);
+  if (doc != nullptr) record.Set("doc", *doc);
+  journal_hook_(record);
+}
+
+StatusOr<std::vector<json::Json>> Collection::Aggregate(
+    const json::Json& filter, const AggregationSpec& spec) const {
+  for (const auto& [name, accumulator] : spec.accumulators) {
+    if (accumulator.op != "count" && accumulator.op != "sum" &&
+        accumulator.op != "avg" && accumulator.op != "min" &&
+        accumulator.op != "max") {
+      return Status::InvalidArgument("unknown accumulator op: " +
+                                     accumulator.op);
+    }
+    if (accumulator.op != "count" && accumulator.field.empty()) {
+      return Status::InvalidArgument("accumulator '" + name +
+                                     "' needs a source field");
+    }
+  }
+
+  struct GroupState {
+    json::Json key;
+    uint64_t count = 0;
+    std::map<std::string, double> sums;
+    std::map<std::string, uint64_t> numeric_counts;
+    std::map<std::string, double> mins;
+    std::map<std::string, double> maxs;
+  };
+  std::map<std::string, GroupState> groups;  // Canonical key dump -> state.
+
+  CHRONOS_RETURN_IF_ERROR(VisitMatches(
+      filter, 0, [&](const std::string&, json::Json doc) {
+        json::Json key =
+            spec.group_by.empty() ? json::Json() : doc.at(spec.group_by);
+        GroupState& group = groups[key.Dump()];
+        group.key = key;
+        ++group.count;
+        for (const auto& [name, accumulator] : spec.accumulators) {
+          if (accumulator.op == "count") continue;
+          const json::Json& value = doc.at(accumulator.field);
+          if (!value.is_number()) continue;
+          double v = value.as_double();
+          group.sums[name] += v;
+          if (group.numeric_counts[name]++ == 0) {
+            group.mins[name] = v;
+            group.maxs[name] = v;
+          } else {
+            group.mins[name] = std::min(group.mins[name], v);
+            group.maxs[name] = std::max(group.maxs[name], v);
+          }
+        }
+        return true;
+      }));
+
+  std::vector<json::Json> results;
+  results.reserve(groups.size());
+  for (const auto& [key_dump, group] : groups) {
+    json::Json out = json::Json::MakeObject();
+    out.Set("_id", group.key);
+    for (const auto& [name, accumulator] : spec.accumulators) {
+      if (accumulator.op == "count") {
+        out.Set(name, group.count);
+        continue;
+      }
+      auto n = group.numeric_counts.find(name);
+      if (n == group.numeric_counts.end() || n->second == 0) {
+        out.Set(name, json::Json());  // No numeric inputs.
+        continue;
+      }
+      if (accumulator.op == "sum") {
+        out.Set(name, group.sums.at(name));
+      } else if (accumulator.op == "avg") {
+        out.Set(name, group.sums.at(name) / static_cast<double>(n->second));
+      } else if (accumulator.op == "min") {
+        out.Set(name, group.mins.at(name));
+      } else {
+        out.Set(name, group.maxs.at(name));
+      }
+    }
+    results.push_back(std::move(out));
+  }
+  return results;
+}
+
+StatusOr<std::vector<json::Json>> Collection::FindWithOptions(
+    const json::Json& filter, const FindOptions& options) const {
+  // Matching first (unlimited when sorting: the limit applies to the
+  // sorted result, as in MongoDB).
+  uint64_t match_limit = options.sort_field.empty() ? options.limit : 0;
+  CHRONOS_ASSIGN_OR_RETURN(std::vector<json::Json> docs,
+                           Find(filter, match_limit));
+
+  if (!options.sort_field.empty()) {
+    std::stable_sort(
+        docs.begin(), docs.end(),
+        [&](const json::Json& a, const json::Json& b) {
+          auto cmp = CompareValues(a.at(options.sort_field),
+                                   b.at(options.sort_field));
+          if (!cmp.ok()) return false;  // Incomparables keep scan order.
+          return options.sort_descending ? *cmp > 0 : *cmp < 0;
+        });
+    if (options.limit > 0 && docs.size() > options.limit) {
+      docs.resize(options.limit);
+    }
+  }
+
+  if (!options.projection.empty()) {
+    for (json::Json& doc : docs) {
+      json::Json projected = json::Json::MakeObject();
+      projected.Set("_id", doc.at("_id"));
+      for (const std::string& field : options.projection) {
+        if (doc.Has(field)) projected.Set(field, doc.at(field));
+      }
+      doc = std::move(projected);
+    }
+  }
+  return docs;
+}
+
+Status Collection::CreateIndex(const std::string& field) {
+  if (field.empty() || field == "_id") {
+    return Status::InvalidArgument("cannot index field '" + field + "'");
+  }
+  std::unique_lock<std::shared_mutex> lock(index_mu_);
+  if (indexes_.count(field) > 0) {
+    return Status::AlreadyExists("index exists on field: " + field);
+  }
+  // Build from current contents.
+  std::map<std::string, std::set<std::string>> entries;
+  Status failure = Status::Ok();
+  engine_->Scan("", [&](const std::string& id, const std::string& raw) {
+    auto doc = json::Parse(raw);
+    if (!doc.ok()) {
+      failure = doc.status();
+      return false;
+    }
+    const json::Json& value = doc->at(field);
+    if (!value.is_null()) entries[value.Dump()].insert(id);
+    return true;
+  });
+  CHRONOS_RETURN_IF_ERROR(failure);
+  indexes_[field] = std::move(entries);
+  return Status::Ok();
+}
+
+Status Collection::DropIndex(const std::string& field) {
+  std::unique_lock<std::shared_mutex> lock(index_mu_);
+  if (indexes_.erase(field) == 0) {
+    return Status::NotFound("no index on field: " + field);
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> Collection::IndexedFields() const {
+  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  std::vector<std::string> fields;
+  fields.reserve(indexes_.size());
+  for (const auto& [field, entries] : indexes_) fields.push_back(field);
+  return fields;
+}
+
+bool Collection::HasIndex(const std::string& field) const {
+  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  return indexes_.count(field) > 0;
+}
+
+void Collection::IndexInsert(const std::string& id, const json::Json& doc) {
+  std::unique_lock<std::shared_mutex> lock(index_mu_);
+  for (auto& [field, entries] : indexes_) {
+    const json::Json& value = doc.at(field);
+    if (!value.is_null()) entries[value.Dump()].insert(id);
+  }
+}
+
+void Collection::IndexRemove(const std::string& id, const json::Json& doc) {
+  std::unique_lock<std::shared_mutex> lock(index_mu_);
+  for (auto& [field, entries] : indexes_) {
+    const json::Json& value = doc.at(field);
+    if (value.is_null()) continue;
+    auto it = entries.find(value.Dump());
+    if (it != entries.end()) {
+      it->second.erase(id);
+      if (it->second.empty()) entries.erase(it);
+    }
+  }
+}
+
+std::optional<std::vector<std::string>> Collection::IndexLookup(
+    const std::string& field, const json::Json& value) const {
+  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  auto index_it = indexes_.find(field);
+  if (index_it == indexes_.end()) return std::nullopt;
+  auto entry_it = index_it->second.find(value.Dump());
+  if (entry_it == index_it->second.end()) {
+    return std::vector<std::string>();
+  }
+  return std::vector<std::string>(entry_it->second.begin(),
+                                  entry_it->second.end());
+}
+
+std::vector<json::Json> Collection::ScanRange(const std::string& from,
+                                              uint64_t limit) const {
+  std::vector<json::Json> docs;
+  engine_->Scan(from, [&](const std::string&, const std::string& raw) {
+    auto doc = json::Parse(raw);
+    if (doc.ok()) docs.push_back(std::move(doc).value());
+    return limit == 0 || docs.size() < limit;
+  });
+  return docs;
+}
+
+}  // namespace chronos::mokka

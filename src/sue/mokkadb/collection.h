@@ -1,0 +1,156 @@
+#ifndef CHRONOS_SUE_MOKKADB_COLLECTION_H_
+#define CHRONOS_SUE_MOKKADB_COLLECTION_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "json/json.h"
+#include "sue/mokkadb/storage_engine.h"
+
+namespace chronos::mokka {
+
+// Options for Find-family queries.
+struct FindOptions {
+  uint64_t limit = 0;       // 0 = unlimited.
+  std::string sort_field;   // Empty = _id order.
+  bool sort_descending = false;
+  // Fields to include in returned documents ("_id" always included).
+  // Empty = full documents.
+  std::vector<std::string> projection;
+};
+
+// Grouped aggregation over matching documents (a small slice of MongoDB's
+// aggregation framework).
+struct AggregationSpec {
+  struct Accumulator {
+    std::string op;     // "count" | "sum" | "avg" | "min" | "max"
+    std::string field;  // Source field (unused for count).
+  };
+  // Group key field; empty = one group over all matches.
+  std::string group_by;
+  // Output field name -> accumulator.
+  std::map<std::string, Accumulator> accumulators;
+};
+
+// Query layer over a storage engine: MongoDB-flavoured CRUD on JSON
+// documents keyed by "_id".
+//
+// Filters are JSON objects. A field mapped to a scalar is an equality
+// predicate; mapped to an operator object it supports $gt/$gte/$lt/$lte/$ne/
+// $in. An empty filter matches everything. {"_id": "..."} uses the primary
+// index.
+//
+// Updates are either a replacement document or an operator document with
+// $set / $inc / $unset.
+class Collection {
+ public:
+  Collection(std::string name, std::unique_ptr<StorageEngine> engine);
+
+  const std::string& name() const { return name_; }
+  std::string_view engine_name() const { return engine_->name(); }
+
+  // Inserts a document. Missing "_id" gets a generated UUID; the effective
+  // id is returned.
+  StatusOr<std::string> InsertOne(json::Json document);
+
+  StatusOr<json::Json> FindById(const std::string& id) const;
+
+  // All matching documents in id order (up to limit; 0 = unlimited).
+  StatusOr<std::vector<json::Json>> Find(const json::Json& filter,
+                                         uint64_t limit = 0) const;
+
+  // Find with sort / projection / limit. Sorting is applied after matching
+  // (limit cuts the *sorted* result, like MongoDB).
+  StatusOr<std::vector<json::Json>> FindWithOptions(
+      const json::Json& filter, const FindOptions& options) const;
+
+  StatusOr<json::Json> FindOne(const json::Json& filter) const;
+
+  // --- Secondary indexes ---
+
+  // Builds an equality index over `field` from the current contents;
+  // maintained by subsequent mutations. Fails with AlreadyExists if the
+  // index exists.
+  Status CreateIndex(const std::string& field);
+  Status DropIndex(const std::string& field);
+  std::vector<std::string> IndexedFields() const;
+  bool HasIndex(const std::string& field) const;
+
+  // Returns number of documents modified (0 or 1).
+  StatusOr<int> UpdateOne(const json::Json& filter, const json::Json& update);
+
+  // Updates every matching document; returns the count.
+  StatusOr<int> UpdateMany(const json::Json& filter, const json::Json& update);
+
+  // Returns number of documents removed (0 or 1).
+  StatusOr<int> DeleteOne(const json::Json& filter);
+
+  StatusOr<uint64_t> CountDocuments(const json::Json& filter) const;
+
+  // Runs the aggregation over matching documents. Returns one document per
+  // group, ordered by group key: {"_id": <group value>, <name>: <value>...}.
+  // Non-numeric field values are skipped by sum/avg/min/max.
+  StatusOr<std::vector<json::Json>> Aggregate(
+      const json::Json& filter, const AggregationSpec& spec) const;
+
+  // Range scan: documents with id >= from, up to `limit`.
+  std::vector<json::Json> ScanRange(const std::string& from,
+                                    uint64_t limit) const;
+
+  uint64_t Count() const { return engine_->Count(); }
+  EngineStats Stats() const { return engine_->Stats(); }
+
+  // Installs a journaling hook invoked after every successful mutation with
+  // a record {"op": "insert"|"update"|"delete", "id": ..., "doc": ...}.
+  // Used by Database's durability layer; pass nullptr to detach.
+  void SetJournalHook(std::function<void(const json::Json&)> hook) {
+    journal_hook_ = std::move(hook);
+  }
+
+  // True iff `document` satisfies `filter` (exposed for tests).
+  static StatusOr<bool> Matches(const json::Json& document,
+                                const json::Json& filter);
+
+  // Applies an update spec to a document (exposed for tests).
+  static StatusOr<json::Json> ApplyUpdate(const json::Json& document,
+                                          const json::Json& update);
+
+ private:
+  // Runs `visitor` over candidate documents, using the _id fast path or a
+  // matching secondary index when the filter pins an indexed field.
+  Status VisitMatches(
+      const json::Json& filter, uint64_t limit,
+      const std::function<bool(const std::string& id, json::Json doc)>&
+          visitor) const;
+
+  // Index maintenance hooks (called with the pre/post images).
+  void IndexInsert(const std::string& id, const json::Json& doc);
+  void IndexRemove(const std::string& id, const json::Json& doc);
+
+  // Returns ids the index maps to `value` for `field`, or nullopt if no
+  // such index exists.
+  std::optional<std::vector<std::string>> IndexLookup(
+      const std::string& field, const json::Json& value) const;
+
+  // Emits a journal record if a hook is installed.
+  void Journal(const char* op, const std::string& id,
+               const json::Json* doc) const;
+
+  std::string name_;
+  std::unique_ptr<StorageEngine> engine_;
+  std::function<void(const json::Json&)> journal_hook_;
+
+  // field -> (canonical value dump -> ids). Guarded by index_mu_.
+  mutable std::shared_mutex index_mu_;
+  std::map<std::string, std::map<std::string, std::set<std::string>>>
+      indexes_;
+};
+
+}  // namespace chronos::mokka
+
+#endif  // CHRONOS_SUE_MOKKADB_COLLECTION_H_

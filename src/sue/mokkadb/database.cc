@@ -1,0 +1,226 @@
+#include "sue/mokkadb/database.h"
+
+#include "common/file_util.h"
+
+namespace chronos::mokka {
+
+StatusOr<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
+  std::unique_ptr<Database> db(new Database(std::move(options)));
+  if (db->options_.data_dir.empty()) return db;
+  CHRONOS_RETURN_IF_ERROR(file::MakeDirs(db->options_.data_dir));
+  CHRONOS_RETURN_IF_ERROR(db->LoadFromDisk());
+  CHRONOS_ASSIGN_OR_RETURN(db->journal_, store::Wal::Open(db->JournalPath()));
+  // Journaling hooks attach only after recovery so replay does not
+  // re-journal.
+  std::lock_guard<std::mutex> lock(db->mu_);
+  for (auto& [name, info] : db->collections_) {
+    db->AttachJournal(name, info.collection.get());
+  }
+  return db;
+}
+
+Status Database::LoadFromDisk() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // 1. Snapshot.
+  if (file::Exists(SnapshotPath())) {
+    CHRONOS_ASSIGN_OR_RETURN(std::string text, file::ReadFile(SnapshotPath()));
+    CHRONOS_ASSIGN_OR_RETURN(json::Json snapshot, json::Parse(text));
+    for (const json::Json& entry : snapshot.at("collections").as_array()) {
+      CHRONOS_ASSIGN_OR_RETURN(
+          Collection * collection,
+          CreateLocked(entry.GetStringOr("name", ""),
+                       entry.GetStringOr("engine", ""),
+                       entry.at("engine_options")));
+      for (const json::Json& doc : entry.at("docs").as_array()) {
+        CHRONOS_RETURN_IF_ERROR(collection->InsertOne(doc).status());
+      }
+      for (const json::Json& field : entry.at("indexes").as_array()) {
+        CHRONOS_RETURN_IF_ERROR(
+            collection->CreateIndex(field.as_string()));
+      }
+    }
+  }
+  // 2. Journal replay. Records that fail to apply (e.g. duplicate insert
+  // from a torn shutdown) are skipped — replay is idempotent-best-effort.
+  CHRONOS_ASSIGN_OR_RETURN(std::vector<std::string> records,
+                           store::Wal::Replay(JournalPath()));
+  for (const std::string& raw : records) {
+    auto record = json::Parse(raw);
+    if (!record.ok()) break;  // Corrupt tail.
+    ApplyRecord(*record);
+  }
+  return Status::Ok();
+}
+
+void Database::ApplyRecord(const json::Json& record) {
+  std::string op = record.GetStringOr("op", "");
+  std::string coll_name = record.GetStringOr("coll", "");
+  if (op == "create_collection") {
+    CreateLocked(coll_name, record.GetStringOr("engine", ""),
+                 record.at("engine_options"))
+        .ok();
+    return;
+  }
+  if (op == "drop") {
+    collections_.erase(coll_name);
+    return;
+  }
+  auto it = collections_.find(coll_name);
+  if (it == collections_.end()) return;
+  Collection* collection = it->second.collection.get();
+  if (op == "insert") {
+    collection->InsertOne(record.at("doc")).ok();
+  } else if (op == "update") {
+    json::Json filter = json::Json::MakeObject();
+    filter.Set("_id", record.GetStringOr("id", ""));
+    collection->UpdateOne(filter, record.at("doc")).ok();
+  } else if (op == "delete") {
+    json::Json filter = json::Json::MakeObject();
+    filter.Set("_id", record.GetStringOr("id", ""));
+    collection->DeleteOne(filter).ok();
+  } else if (op == "create_index") {
+    collection->CreateIndex(record.GetStringOr("field", "")).ok();
+  }
+}
+
+void Database::AttachJournal(const std::string& name,
+                             Collection* collection) {
+  if (journal_ == nullptr) return;
+  store::Wal* journal = journal_.get();
+  bool sync = options_.sync_journal;
+  collection->SetJournalHook([journal, name, sync](const json::Json& record) {
+    json::Json stamped = record;
+    stamped.Set("coll", name);
+    journal->Append(stamped.Dump(), sync).ok();
+  });
+}
+
+StatusOr<Collection*> Database::CreateLocked(
+    const std::string& name, const std::string& engine,
+    const json::Json& engine_options) {
+  if (name.empty()) {
+    return Status::InvalidArgument("collection name must not be empty");
+  }
+  if (collections_.count(name) > 0) {
+    return Status::AlreadyExists("collection exists: " + name);
+  }
+  std::string engine_name =
+      engine.empty() ? options_.default_engine : engine;
+  CHRONOS_ASSIGN_OR_RETURN(std::unique_ptr<StorageEngine> storage,
+                           MakeStorageEngine(engine_name, engine_options));
+  auto collection = std::make_unique<Collection>(name, std::move(storage));
+  Collection* raw = collection.get();
+  collections_[name] =
+      CollectionInfo{std::move(collection), engine_name, engine_options};
+  return raw;
+}
+
+StatusOr<Collection*> Database::CreateCollection(
+    const std::string& name, const std::string& engine,
+    const json::Json& engine_options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CHRONOS_ASSIGN_OR_RETURN(Collection * collection,
+                           CreateLocked(name, engine, engine_options));
+  if (journal_ != nullptr) {
+    json::Json record = json::Json::MakeObject();
+    record.Set("op", "create_collection");
+    record.Set("coll", name);
+    record.Set("engine", collections_[name].engine);
+    record.Set("engine_options", engine_options);
+    journal_->Append(record.Dump(), options_.sync_journal).ok();
+    AttachJournal(name, collection);
+  }
+  return collection;
+}
+
+StatusOr<Collection*> Database::GetOrCreate(const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = collections_.find(name);
+    if (it != collections_.end()) return it->second.collection.get();
+  }
+  auto created = CreateCollection(name);
+  if (created.ok()) return created;
+  if (created.status().IsAlreadyExists()) return Get(name);
+  return created;
+}
+
+StatusOr<Collection*> Database::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = collections_.find(name);
+  if (it == collections_.end()) {
+    return Status::NotFound("no collection: " + name);
+  }
+  return it->second.collection.get();
+}
+
+Status Database::Drop(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (collections_.erase(name) == 0) {
+    return Status::NotFound("no collection: " + name);
+  }
+  if (journal_ != nullptr) {
+    json::Json record = json::Json::MakeObject();
+    record.Set("op", "drop");
+    record.Set("coll", name);
+    journal_->Append(record.Dump(), options_.sync_journal).ok();
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> Database::CollectionNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(collections_.size());
+  for (const auto& [name, info] : collections_) names.push_back(name);
+  return names;
+}
+
+uint64_t Database::journal_bytes() const {
+  return journal_ == nullptr ? 0 : journal_->size_bytes();
+}
+
+Status Database::CompactJournal() {
+  if (journal_ == nullptr) return Status::Ok();
+  std::lock_guard<std::mutex> lock(mu_);
+  json::Json snapshot = json::Json::MakeObject();
+  json::Json collections = json::Json::MakeArray();
+  for (const auto& [name, info] : collections_) {
+    json::Json entry = json::Json::MakeObject();
+    entry.Set("name", name);
+    entry.Set("engine", info.engine);
+    entry.Set("engine_options", info.engine_options);
+    json::Json docs = json::Json::MakeArray();
+    for (json::Json& doc : info.collection->ScanRange("", 0)) {
+      docs.Append(std::move(doc));
+    }
+    entry.Set("docs", std::move(docs));
+    json::Json indexes = json::Json::MakeArray();
+    for (const std::string& field : info.collection->IndexedFields()) {
+      indexes.Append(field);
+    }
+    entry.Set("indexes", std::move(indexes));
+    collections.Append(std::move(entry));
+  }
+  snapshot.Set("collections", std::move(collections));
+
+  std::string tmp = SnapshotPath() + ".tmp";
+  CHRONOS_RETURN_IF_ERROR(file::WriteFile(tmp, snapshot.Dump()));
+  if (std::rename(tmp.c_str(), SnapshotPath().c_str()) != 0) {
+    return Status::IoError("snapshot rename failed");
+  }
+  return journal_->Truncate();
+}
+
+json::Json Database::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  json::Json out = json::Json::MakeObject();
+  for (const auto& [name, info] : collections_) {
+    json::Json entry = info.collection->Stats().ToJson();
+    entry.Set("engine", std::string(info.collection->engine_name()));
+    out.Set(name, std::move(entry));
+  }
+  return out;
+}
+
+}  // namespace chronos::mokka

@@ -1,0 +1,103 @@
+#ifndef CHRONOS_SUE_MOKKADB_DATABASE_H_
+#define CHRONOS_SUE_MOKKADB_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "store/wal.h"
+#include "sue/mokkadb/collection.h"
+
+namespace chronos::mokka {
+
+struct DatabaseOptions {
+  std::string default_engine = "btree";
+  // Directory for the journal + snapshot. Empty = purely in-memory (the
+  // default for benchmark runs, where the dataset is regenerated per job).
+  std::string data_dir;
+  // fsync the journal on every mutation (paper-era mongod's j:true).
+  bool sync_journal = false;
+};
+
+// An in-process MokkaDB instance: named collections, each bound to a storage
+// engine chosen at creation time (mirroring `mongod --storageEngine`, which
+// the paper's demo flips between wiredTiger and mmapv1).
+//
+// Durability: with a data_dir, every mutation is journaled through a WAL;
+// Open() recovers the last snapshot plus the journal tail, and
+// CompactJournal() writes a fresh snapshot and truncates the journal —
+// mirroring mongod's journal + checkpoint design.
+class Database {
+ public:
+  explicit Database(std::string default_engine = "btree")
+      : options_{std::move(default_engine), "", false} {}
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // Opens a (possibly durable) database; recovers from options.data_dir if
+  // one is given and state exists there.
+  static StatusOr<std::unique_ptr<Database>> Open(DatabaseOptions options);
+
+  // Creates a collection with the given engine ("" = database default) and
+  // optional engine options (see MakeStorageEngine).
+  StatusOr<Collection*> CreateCollection(
+      const std::string& name, const std::string& engine = "",
+      const json::Json& engine_options = json::Json());
+
+  // Returns the collection, creating it with the default engine on first
+  // access (MongoDB's implicit-creation behaviour).
+  StatusOr<Collection*> GetOrCreate(const std::string& name);
+
+  StatusOr<Collection*> Get(const std::string& name) const;
+
+  Status Drop(const std::string& name);
+
+  std::vector<std::string> CollectionNames() const;
+
+  const std::string& default_engine() const {
+    return options_.default_engine;
+  }
+  bool durable() const { return journal_ != nullptr; }
+  uint64_t journal_bytes() const;
+
+  // Writes a full snapshot and truncates the journal. No-op in-memory.
+  Status CompactJournal();
+
+  // Aggregate stats over all collections.
+  json::Json Stats() const;
+
+ private:
+  explicit Database(DatabaseOptions options)
+      : options_(std::move(options)) {}
+
+  struct CollectionInfo {
+    std::unique_ptr<Collection> collection;
+    std::string engine;
+    json::Json engine_options;
+  };
+
+  // Creates the collection object without journaling (shared by the public
+  // path and recovery). Caller holds mu_.
+  StatusOr<Collection*> CreateLocked(const std::string& name,
+                                     const std::string& engine,
+                                     const json::Json& engine_options);
+  // Re-applies one journal/snapshot record. Caller holds mu_.
+  void ApplyRecord(const json::Json& record);
+  // Installs the journaling hook on a collection. Caller holds mu_.
+  void AttachJournal(const std::string& name, Collection* collection);
+  Status LoadFromDisk();
+  std::string SnapshotPath() const { return options_.data_dir + "/snapshot.json"; }
+  std::string JournalPath() const { return options_.data_dir + "/journal.log"; }
+
+  DatabaseOptions options_;
+  std::unique_ptr<store::Wal> journal_;
+  mutable std::mutex mu_;
+  std::map<std::string, CollectionInfo> collections_;
+};
+
+}  // namespace chronos::mokka
+
+#endif  // CHRONOS_SUE_MOKKADB_DATABASE_H_

@@ -1,0 +1,172 @@
+#include "sue/mokkadb/mmap_engine.h"
+
+#include <cstring>
+#include <mutex>
+
+namespace chronos::mokka {
+
+MmapEngine::MmapEngine(MmapEngineOptions options) : options_(options) {
+  if (options_.extent_bytes < 4096) options_.extent_bytes = 4096;
+  if (options_.padding_factor < 1.0) options_.padding_factor = 1.0;
+}
+
+MmapEngine::~MmapEngine() = default;
+
+uint32_t MmapEngine::PaddedSize(size_t size) const {
+  size_t wanted = static_cast<size_t>(
+      static_cast<double>(size) * options_.padding_factor);
+  if (wanted < 16) wanted = 16;
+  // Round up to the next power of two (mmapv1's record size classes).
+  size_t padded = 16;
+  while (padded < wanted) padded <<= 1;
+  return static_cast<uint32_t>(padded);
+}
+
+MmapEngine::RecordRef MmapEngine::Allocate(uint32_t padded) {
+  auto it = freelist_.find(padded);
+  if (it != freelist_.end() && !it->second.empty()) {
+    RecordRef ref = it->second.back();
+    it->second.pop_back();
+    return ref;
+  }
+  if (extents_.empty() || tail_offset_ + padded > options_.extent_bytes) {
+    extents_.push_back(
+        std::make_unique<std::vector<char>>(options_.extent_bytes));
+    tail_extent_ = extents_.size() - 1;
+    tail_offset_ = 0;
+  }
+  RecordRef ref;
+  ref.extent = static_cast<uint32_t>(tail_extent_);
+  ref.offset = static_cast<uint32_t>(tail_offset_);
+  ref.capacity = padded;
+  tail_offset_ += padded;
+  return ref;
+}
+
+void MmapEngine::WriteRecord(const RecordRef& ref, std::string_view document) {
+  std::memcpy(extents_[ref.extent]->data() + ref.offset, document.data(),
+              document.size());
+}
+
+std::string MmapEngine::ReadRecord(const RecordRef& ref) const {
+  return std::string(extents_[ref.extent]->data() + ref.offset, ref.size);
+}
+
+Status MmapEngine::Insert(const std::string& id, std::string_view document) {
+  if (document.size() > options_.extent_bytes) {
+    return Status::InvalidArgument("document exceeds extent size");
+  }
+  std::unique_lock<std::shared_mutex> lock(collection_mu_);
+  if (index_.count(id) > 0) {
+    return Status::AlreadyExists("duplicate _id: " + id);
+  }
+  // The simulated datafile write happens inside the collection-exclusive
+  // lock: this is mmapv1 — every writer serializes on the collection.
+  SimulatedIo(options_.write_io_us);
+  RecordRef ref = Allocate(PaddedSize(document.size()));
+  ref.size = static_cast<uint32_t>(document.size());
+  WriteRecord(ref, document);
+  index_[id] = ref;
+  ++inserts_;
+  logical_bytes_ += document.size();
+  stored_bytes_ += ref.capacity;
+  return Status::Ok();
+}
+
+StatusOr<std::string> MmapEngine::Get(const std::string& id) const {
+  std::shared_lock<std::shared_mutex> lock(collection_mu_);
+  auto it = index_.find(id);
+  if (it == index_.end()) {
+    return Status::NotFound("no document with _id: " + id);
+  }
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  SimulatedIo(options_.read_io_us);  // Page fault under the shared lock.
+  return ReadRecord(it->second);
+}
+
+Status MmapEngine::Update(const std::string& id, std::string_view document) {
+  if (document.size() > options_.extent_bytes) {
+    return Status::InvalidArgument("document exceeds extent size");
+  }
+  // mmapv1 semantics: every write takes the collection-level lock
+  // exclusively — concurrent writers serialize here.
+  std::unique_lock<std::shared_mutex> lock(collection_mu_);
+  auto it = index_.find(id);
+  if (it == index_.end()) {
+    return Status::NotFound("no document with _id: " + id);
+  }
+  SimulatedIo(options_.write_io_us);  // Serialized under the exclusive lock.
+  RecordRef& ref = it->second;
+  logical_bytes_ += document.size();
+  logical_bytes_ -= ref.size;
+  if (document.size() <= ref.capacity) {
+    // Fits the padded slot: cheap in-place update.
+    ref.size = static_cast<uint32_t>(document.size());
+    WriteRecord(ref, document);
+  } else {
+    // Document move: free the old slot, allocate a bigger one.
+    freelist_[ref.capacity].push_back(ref);
+    stored_bytes_ -= ref.capacity;
+    RecordRef moved = Allocate(PaddedSize(document.size()));
+    moved.size = static_cast<uint32_t>(document.size());
+    WriteRecord(moved, document);
+    stored_bytes_ += moved.capacity;
+    ref = moved;
+    ++moves_;
+  }
+  ++updates_;
+  return Status::Ok();
+}
+
+Status MmapEngine::Remove(const std::string& id) {
+  std::unique_lock<std::shared_mutex> lock(collection_mu_);
+  auto it = index_.find(id);
+  if (it == index_.end()) {
+    return Status::NotFound("no document with _id: " + id);
+  }
+  SimulatedIo(options_.write_io_us);
+  freelist_[it->second.capacity].push_back(it->second);
+  stored_bytes_ -= it->second.capacity;
+  logical_bytes_ -= it->second.size;
+  index_.erase(it);
+  ++removes_;
+  return Status::Ok();
+}
+
+void MmapEngine::Scan(
+    const std::string& from,
+    const std::function<bool(const std::string&, const std::string&)>&
+        visitor) const {
+  std::shared_lock<std::shared_mutex> lock(collection_mu_);
+  scans_.fetch_add(1, std::memory_order_relaxed);
+  for (auto it = index_.lower_bound(from); it != index_.end(); ++it) {
+    if (!visitor(it->first, ReadRecord(it->second))) return;
+  }
+}
+
+uint64_t MmapEngine::Count() const {
+  std::shared_lock<std::shared_mutex> lock(collection_mu_);
+  return index_.size();
+}
+
+size_t MmapEngine::ExtentCount() const {
+  std::shared_lock<std::shared_mutex> lock(collection_mu_);
+  return extents_.size();
+}
+
+EngineStats MmapEngine::Stats() const {
+  std::shared_lock<std::shared_mutex> lock(collection_mu_);
+  EngineStats stats;
+  stats.inserts = inserts_;
+  stats.reads = reads_.load(std::memory_order_relaxed);
+  stats.updates = updates_;
+  stats.removes = removes_;
+  stats.scans = scans_.load(std::memory_order_relaxed);
+  stats.document_count = index_.size();
+  stats.logical_bytes = logical_bytes_;
+  stats.stored_bytes = stored_bytes_;
+  stats.moves = moves_;
+  return stats;
+}
+
+}  // namespace chronos::mokka

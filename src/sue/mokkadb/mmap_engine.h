@@ -1,0 +1,93 @@
+#ifndef CHRONOS_SUE_MOKKADB_MMAP_ENGINE_H_
+#define CHRONOS_SUE_MOKKADB_MMAP_ENGINE_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "sue/mokkadb/storage_engine.h"
+
+namespace chronos::mokka {
+
+struct MmapEngineOptions {
+  // Size of each storage extent (mmapv1 allocated files in growing extents;
+  // a fixed extent size keeps the arithmetic simple).
+  size_t extent_bytes = 1 << 20;
+  // Records are padded to the next power of two of (size * padding_factor),
+  // mirroring mmapv1's paddingFactor that leaves room for in-place growth.
+  double padding_factor = 1.2;
+  // Simulated storage latency per operation (see MakeStorageEngine). Writes
+  // incur it WHILE HOLDING the collection-exclusive lock — concurrent
+  // writers serialize, the defining mmapv1 behaviour. Reads incur it under
+  // the shared lock and overlap.
+  int64_t read_io_us = 0;
+  int64_t write_io_us = 0;
+};
+
+// "mmapv1-like" engine: documents live in large flat extents at stable
+// offsets, padded to allow in-place updates; growth past the allocated slot
+// relocates the record ("document move"). Concurrency is collection-level:
+// one reader-writer lock — many readers or exactly one writer. This is the
+// defining contrast with the btree engine in the paper's demo.
+class MmapEngine : public StorageEngine {
+ public:
+  explicit MmapEngine(MmapEngineOptions options = {});
+  ~MmapEngine() override;
+
+  MmapEngine(const MmapEngine&) = delete;
+  MmapEngine& operator=(const MmapEngine&) = delete;
+
+  std::string_view name() const override { return "mmap"; }
+
+  Status Insert(const std::string& id, std::string_view document) override;
+  StatusOr<std::string> Get(const std::string& id) const override;
+  Status Update(const std::string& id, std::string_view document) override;
+  Status Remove(const std::string& id) override;
+  void Scan(const std::string& from,
+            const std::function<bool(const std::string&, const std::string&)>&
+                visitor) const override;
+  uint64_t Count() const override;
+  EngineStats Stats() const override;
+
+  // Exposed for tests: number of extents allocated so far.
+  size_t ExtentCount() const;
+
+ private:
+  struct RecordRef {
+    uint32_t extent = 0;
+    uint32_t offset = 0;
+    uint32_t capacity = 0;  // Padded slot size.
+    uint32_t size = 0;      // Live bytes.
+  };
+
+  // Rounds a requested size up to its padded slot size.
+  uint32_t PaddedSize(size_t size) const;
+  // Allocates a slot (freelist first, then extent tail). Lock held.
+  RecordRef Allocate(uint32_t padded);
+  // Copies document bytes into the slot. Lock held.
+  void WriteRecord(const RecordRef& ref, std::string_view document);
+  std::string ReadRecord(const RecordRef& ref) const;
+
+  MmapEngineOptions options_;
+
+  mutable std::shared_mutex collection_mu_;  // THE collection-level lock.
+  std::vector<std::unique_ptr<std::vector<char>>> extents_;
+  size_t tail_extent_ = 0;
+  size_t tail_offset_ = 0;
+  // Free slots by capacity (power-of-two size classes).
+  std::map<uint32_t, std::vector<RecordRef>> freelist_;
+  // Primary index; std::map gives id-ordered scans.
+  std::map<std::string, RecordRef> index_;
+
+  uint64_t inserts_ = 0, updates_ = 0, removes_ = 0;
+  // Bumped under the shared lock by concurrent readers, hence atomic.
+  mutable std::atomic<uint64_t> reads_{0}, scans_{0};
+  uint64_t logical_bytes_ = 0, stored_bytes_ = 0, moves_ = 0;
+};
+
+}  // namespace chronos::mokka
+
+#endif  // CHRONOS_SUE_MOKKADB_MMAP_ENGINE_H_

@@ -1,0 +1,63 @@
+#include "sue/mokkadb/storage_engine.h"
+
+#include <time.h>
+
+#include "sue/mokkadb/btree_engine.h"
+#include "sue/mokkadb/mmap_engine.h"
+
+namespace chronos::mokka {
+
+json::Json EngineStats::ToJson() const {
+  json::Json out = json::Json::MakeObject();
+  out.Set("inserts", inserts);
+  out.Set("reads", reads);
+  out.Set("updates", updates);
+  out.Set("removes", removes);
+  out.Set("scans", scans);
+  out.Set("document_count", document_count);
+  out.Set("logical_bytes", logical_bytes);
+  out.Set("stored_bytes", stored_bytes);
+  out.Set("moves", moves);
+  double ratio = stored_bytes == 0
+                     ? 1.0
+                     : static_cast<double>(logical_bytes) /
+                           static_cast<double>(stored_bytes);
+  out.Set("compression_ratio", ratio);
+  return out;
+}
+
+StatusOr<std::unique_ptr<StorageEngine>> MakeStorageEngine(
+    const std::string& name) {
+  return MakeStorageEngine(name, json::Json());
+}
+
+StatusOr<std::unique_ptr<StorageEngine>> MakeStorageEngine(
+    const std::string& name, const json::Json& engine_options) {
+  if (name == "btree" || name == "wiredtiger" || name == "wiredTiger") {
+    BTreeEngineOptions options;
+    options.read_io_us = engine_options.GetIntOr("read_io_us", 0);
+    options.write_io_us = engine_options.GetIntOr("write_io_us", 0);
+    options.compression = engine_options.GetBoolOr("compression", true);
+    return std::unique_ptr<StorageEngine>(new BTreeEngine(options));
+  }
+  if (name == "mmap" || name == "mmapv1") {
+    MmapEngineOptions options;
+    options.read_io_us = engine_options.GetIntOr("read_io_us", 0);
+    options.write_io_us = engine_options.GetIntOr("write_io_us", 0);
+    options.padding_factor =
+        engine_options.GetDoubleOr("padding_factor", options.padding_factor);
+    return std::unique_ptr<StorageEngine>(new MmapEngine(options));
+  }
+  return Status::InvalidArgument("unknown storage engine: " + name +
+                                 " (expected btree|wiredtiger|mmap|mmapv1)");
+}
+
+void SimulatedIo(int64_t micros) {
+  if (micros <= 0) return;
+  struct timespec ts;
+  ts.tv_sec = micros / 1000000;
+  ts.tv_nsec = (micros % 1000000) * 1000;
+  ::nanosleep(&ts, nullptr);
+}
+
+}  // namespace chronos::mokka

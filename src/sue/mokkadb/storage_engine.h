@@ -1,0 +1,95 @@
+#ifndef CHRONOS_SUE_MOKKADB_STORAGE_ENGINE_H_
+#define CHRONOS_SUE_MOKKADB_STORAGE_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "json/json.h"
+
+namespace chronos::mokka {
+
+// Aggregate counters a storage engine exposes (surfaced by `db.stats()`).
+struct EngineStats {
+  uint64_t inserts = 0;
+  uint64_t reads = 0;
+  uint64_t updates = 0;
+  uint64_t removes = 0;
+  uint64_t scans = 0;
+  uint64_t document_count = 0;
+  uint64_t logical_bytes = 0;  // Uncompressed document bytes.
+  uint64_t stored_bytes = 0;   // Bytes actually held (post-compression /
+                               // including padding).
+  uint64_t moves = 0;          // mmap engine: documents relocated on growth.
+
+  json::Json ToJson() const;
+};
+
+// Pluggable per-collection storage engine, mirroring MongoDB's
+// --storageEngine switch that the paper's demo compares (wiredTiger vs
+// mmapv1). Keys are document ids; values are serialized documents. Engines
+// are internally synchronized — their *locking granularity* is the point of
+// the comparison:
+//
+//   * BTreeEngine ("wiredtiger"): ordered B+-tree pages, fine-grained
+//     (stripe) latching so writers to different documents proceed in
+//     parallel, and transparent block compression.
+//   * MmapEngine ("mmapv1"): extent/arena storage with power-of-two record
+//     padding, in-place updates, and one collection-level reader-writer
+//     lock — readers share, every writer is exclusive.
+class StorageEngine {
+ public:
+  virtual ~StorageEngine() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Fails with AlreadyExists on duplicate id.
+  virtual Status Insert(const std::string& id, std::string_view document) = 0;
+
+  virtual StatusOr<std::string> Get(const std::string& id) const = 0;
+
+  // Fails with NotFound if absent.
+  virtual Status Update(const std::string& id, std::string_view document) = 0;
+
+  virtual Status Remove(const std::string& id) = 0;
+
+  // Visits documents in engine order, starting at the first id >= `from`
+  // (BTree: id order; Mmap: id order via its index, see implementation).
+  // Stops early when the visitor returns false.
+  virtual void Scan(
+      const std::string& from,
+      const std::function<bool(const std::string& id,
+                               const std::string& document)>& visitor)
+      const = 0;
+
+  virtual uint64_t Count() const = 0;
+
+  virtual EngineStats Stats() const = 0;
+};
+
+// Factory by engine name: "btree" (alias "wiredtiger") or "mmap" (alias
+// "mmapv1").
+//
+// `engine_options` (optional JSON object) tunes the engine:
+//   read_io_us / write_io_us — simulated storage latency per operation,
+//     incurred WHILE HOLDING the engine's locks. This stands in for the
+//     disk/page-cache work of a real mongod: with it enabled, the locking
+//     granularity (document-level vs collection-level) governs how
+//     concurrent clients overlap, reproducing the paper demo's comparative
+//     behaviour even on machines without many cores.
+//   compression (bool, btree only) — toggle block compression.
+//   padding_factor (double, mmap only) — record padding for in-place growth.
+StatusOr<std::unique_ptr<StorageEngine>> MakeStorageEngine(
+    const std::string& name);
+StatusOr<std::unique_ptr<StorageEngine>> MakeStorageEngine(
+    const std::string& name, const json::Json& engine_options);
+
+// Sleeps for ~`micros` to model a storage-device access (no-op for <= 0).
+void SimulatedIo(int64_t micros);
+
+}  // namespace chronos::mokka
+
+#endif  // CHRONOS_SUE_MOKKADB_STORAGE_ENGINE_H_

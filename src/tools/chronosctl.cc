@@ -1,0 +1,405 @@
+#include "tools/chronosctl.h"
+
+#include "analysis/diagrams.h"
+#include "common/clock.h"
+#include "common/file_util.h"
+#include "common/strings.h"
+#include "json/json.h"
+#include "model/entities.h"
+#include "net/http.h"
+
+namespace chronos::tools {
+
+namespace {
+
+constexpr char kUsage[] =
+    "usage: chronosctl --server host:port [--token T] <command> ...\n"
+    "commands:\n"
+    "  login --user U --password P      print a session token\n"
+    "  status                           server info\n"
+    "  projects list|create             manage projects\n"
+    "  systems list                     registered SuEs\n"
+    "  systems import --file F.json     register an SuE from a descriptor\n"
+    "  deployments list [--system ID]   deployments\n"
+    "  experiments list --project ID    experiments of a project\n"
+    "  evaluations create --experiment ID [--name N]\n"
+    "  evaluation show EVAL_ID          summary + job states\n"
+    "  evaluation watch EVAL_ID         poll until all jobs are terminal\n"
+    "  jobs list --evaluation ID [--state S]\n"
+    "  job show|abort|reschedule|log JOB_ID\n"
+    "  diagrams EVAL_ID [--csv]         result analysis tables\n"
+    "  report EVAL_ID --out FILE.html   html report\n"
+    "  export PROJECT_ID --out FILE.zip project archive\n";
+
+class Client {
+ public:
+  Client(const std::string& server, const std::string& token)
+      : valid_(false) {
+    size_t colon = server.rfind(':');
+    uint64_t port = 0;
+    if (colon == std::string::npos ||
+        !strings::ParseUint64(server.substr(colon + 1), &port)) {
+      return;
+    }
+    http_ = std::make_unique<net::HttpClient>(server.substr(0, colon),
+                                              static_cast<int>(port));
+    if (!token.empty()) http_->SetDefaultHeader("X-Session", token);
+    valid_ = true;
+  }
+
+  bool valid() const { return valid_; }
+
+  StatusOr<json::Json> Get(const std::string& path) {
+    return Json(http_->Get(path));
+  }
+  StatusOr<json::Json> Post(const std::string& path, const json::Json& body) {
+    return Json(http_->Post(path, body.Dump()));
+  }
+  StatusOr<std::string> GetRaw(const std::string& path) {
+    auto response = http_->Get(path);
+    CHRONOS_RETURN_IF_ERROR(response.status());
+    if (response->status_code >= 300) {
+      return Status::Internal("HTTP " +
+                              std::to_string(response->status_code) + ": " +
+                              response->body);
+    }
+    return response->body;
+  }
+
+ private:
+  static StatusOr<json::Json> Json(
+      const StatusOr<net::HttpResponse>& response) {
+    CHRONOS_RETURN_IF_ERROR(response.status());
+    auto body = json::Parse(response->body);
+    if (response->status_code >= 300) {
+      std::string message =
+          body.ok() ? body->GetStringOr("error", response->body)
+                    : response->body;
+      return Status::Internal("HTTP " +
+                              std::to_string(response->status_code) + ": " +
+                              message);
+    }
+    return body;
+  }
+
+  std::unique_ptr<net::HttpClient> http_;
+  bool valid_;
+};
+
+void PrintKv(std::ostream& out, const std::string& key,
+             const std::string& value) {
+  out << "  " << key << ": " << value << "\n";
+}
+
+int Fail(std::ostream& out, const Status& status) {
+  out << "error: " << status.ToString() << "\n";
+  return 1;
+}
+
+}  // namespace
+
+CommandLine CommandLine::Parse(const std::vector<std::string>& args) {
+  CommandLine command_line;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (strings::StartsWith(args[i], "--")) {
+      std::string name = args[i].substr(2);
+      if (i + 1 < args.size() && !strings::StartsWith(args[i + 1], "--")) {
+        command_line.flags[name] = args[++i];
+      } else {
+        command_line.flags[name] = "true";
+      }
+    } else {
+      command_line.positional.push_back(args[i]);
+    }
+  }
+  return command_line;
+}
+
+std::string CommandLine::Flag(const std::string& name,
+                              const std::string& fallback) const {
+  auto it = flags.find(name);
+  return it == flags.end() ? fallback : it->second;
+}
+
+bool CommandLine::HasFlag(const std::string& name) const {
+  return flags.count(name) > 0;
+}
+
+int RunChronosctl(const std::vector<std::string>& args, std::ostream& out) {
+  CommandLine cmd = CommandLine::Parse(args);
+  if (cmd.positional.empty()) {
+    out << kUsage;
+    return 2;
+  }
+  std::string server = cmd.Flag("server", "127.0.0.1:8080");
+  Client client(server, cmd.Flag("token"));
+  if (!client.valid()) {
+    out << "error: bad --server (expected host:port): " << server << "\n";
+    return 2;
+  }
+  const std::string& command = cmd.positional[0];
+  std::string sub = cmd.positional.size() > 1 ? cmd.positional[1] : "";
+
+  if (command == "login") {
+    json::Json body = json::Json::MakeObject();
+    body.Set("username", cmd.Flag("user"));
+    body.Set("password", cmd.Flag("password"));
+    auto response = client.Post("/api/v1/auth/login", body);
+    if (!response.ok()) return Fail(out, response.status());
+    out << response->GetStringOr("token", "") << "\n";
+    return 0;
+  }
+
+  if (command == "status") {
+    auto response = client.Get("/api/v1/status");
+    if (!response.ok()) return Fail(out, response.status());
+    out << "chronos-control at " << server << "\n";
+    for (const char* key : {"users", "projects", "systems", "jobs"}) {
+      PrintKv(out, key, std::to_string(response->GetIntOr(key, 0)));
+    }
+    return 0;
+  }
+
+  if (command == "projects" && sub == "list") {
+    auto response = client.Get("/api/v1/projects");
+    if (!response.ok()) return Fail(out, response.status());
+    for (const json::Json& project : response->as_array()) {
+      out << project.GetStringOr("id", "") << "  "
+          << project.GetStringOr("name", "")
+          << (project.GetBoolOr("archived", false) ? "  [archived]" : "")
+          << "\n";
+    }
+    return 0;
+  }
+
+  if (command == "projects" && sub == "create") {
+    json::Json body = json::Json::MakeObject();
+    body.Set("name", cmd.Flag("name"));
+    body.Set("description", cmd.Flag("description"));
+    auto response = client.Post("/api/v1/projects", body);
+    if (!response.ok()) return Fail(out, response.status());
+    out << response->GetStringOr("id", "") << "\n";
+    return 0;
+  }
+
+  if (command == "systems" && sub == "import") {
+    // Registers an SuE from a JSON descriptor file — the file an SuE
+    // extension repository would carry (the paper's git/mercurial system
+    // registration, minus the VCS fetch).
+    if (!cmd.HasFlag("file")) {
+      out << "usage: systems import --file <descriptor.json>\n";
+      return 2;
+    }
+    auto text = file::ReadFile(cmd.Flag("file"));
+    if (!text.ok()) return Fail(out, text.status());
+    auto descriptor = json::Parse(*text);
+    if (!descriptor.ok()) return Fail(out, descriptor.status());
+    auto response = client.Post("/api/v1/systems", *descriptor);
+    if (!response.ok()) return Fail(out, response.status());
+    out << response->GetStringOr("id", "") << "\n";
+    return 0;
+  }
+
+  if (command == "systems" && sub == "list") {
+    auto response = client.Get("/api/v1/systems");
+    if (!response.ok()) return Fail(out, response.status());
+    for (const json::Json& system : response->as_array()) {
+      out << system.GetStringOr("id", "") << "  "
+          << system.GetStringOr("name", "") << "  ("
+          << system.at("parameters").size() << " params, "
+          << system.at("diagrams").size() << " diagrams)\n";
+    }
+    return 0;
+  }
+
+  if (command == "deployments" && sub == "list") {
+    std::string path = "/api/v1/deployments";
+    if (cmd.HasFlag("system")) {
+      path += "?system_id=" + strings::UrlEncode(cmd.Flag("system"));
+    }
+    auto response = client.Get(path);
+    if (!response.ok()) return Fail(out, response.status());
+    for (const json::Json& deployment : response->as_array()) {
+      out << deployment.GetStringOr("id", "") << "  "
+          << deployment.GetStringOr("name", "") << "  "
+          << deployment.GetStringOr("endpoint", "-") << "  "
+          << (deployment.GetBoolOr("active", true) ? "active" : "inactive")
+          << "\n";
+    }
+    return 0;
+  }
+
+  if (command == "experiments" && sub == "list") {
+    auto response = client.Get("/api/v1/experiments?project_id=" +
+                               strings::UrlEncode(cmd.Flag("project")));
+    if (!response.ok()) return Fail(out, response.status());
+    for (const json::Json& experiment : response->as_array()) {
+      out << experiment.GetStringOr("id", "") << "  "
+          << experiment.GetStringOr("name", "") << "\n";
+    }
+    return 0;
+  }
+
+  if (command == "evaluations" && sub == "create") {
+    json::Json body = json::Json::MakeObject();
+    body.Set("experiment_id", cmd.Flag("experiment"));
+    body.Set("name", cmd.Flag("name"));
+    auto response = client.Post("/api/v1/evaluations", body);
+    if (!response.ok()) return Fail(out, response.status());
+    out << response->at("evaluation").GetStringOr("id", "") << "  ("
+        << response->GetIntOr("total_jobs", 0) << " jobs)\n";
+    return 0;
+  }
+
+  if (command == "evaluation" && sub == "watch") {
+    if (cmd.positional.size() < 3) {
+      out << "usage: evaluation watch <id> [--interval-ms N] [--max-polls N]\n";
+      return 2;
+    }
+    uint64_t interval_ms = 0, max_polls = 0;
+    strings::ParseUint64(cmd.Flag("interval-ms", "1000"), &interval_ms);
+    strings::ParseUint64(cmd.Flag("max-polls", "100000"), &max_polls);
+    for (uint64_t poll = 0; poll < max_polls; ++poll) {
+      auto response =
+          client.Get("/api/v1/evaluations/" + cmd.positional[2]);
+      if (!response.ok()) return Fail(out, response.status());
+      int64_t total = response->GetIntOr("total_jobs", 0);
+      const json::Json& counts = response->at("state_counts");
+      int64_t terminal = counts.GetIntOr("finished", 0) +
+                         counts.GetIntOr("failed", 0) +
+                         counts.GetIntOr("aborted", 0);
+      out << "progress "
+          << response->GetIntOr("overall_progress_percent", 0) << "%  "
+          << terminal << "/" << total << " terminal (" << counts.Dump()
+          << ")\n";
+      if (terminal >= total) {
+        out << (counts.GetIntOr("finished", 0) == total ? "all finished\n"
+                                                        : "completed with "
+                                                          "failures/aborts\n");
+        return counts.GetIntOr("finished", 0) == total ? 0 : 1;
+      }
+      SystemClock::Get()->SleepMs(static_cast<int64_t>(interval_ms));
+    }
+    out << "gave up after max polls\n";
+    return 1;
+  }
+
+  if (command == "evaluation" && sub == "show") {
+    if (cmd.positional.size() < 3) {
+      out << "usage: evaluation show <id>\n";
+      return 2;
+    }
+    auto response = client.Get("/api/v1/evaluations/" + cmd.positional[2]);
+    if (!response.ok()) return Fail(out, response.status());
+    out << response->at("evaluation").GetStringOr("name", "") << "\n";
+    PrintKv(out, "jobs", std::to_string(response->GetIntOr("total_jobs", 0)));
+    PrintKv(out, "progress",
+            std::to_string(response->GetIntOr("overall_progress_percent", 0)) +
+                "%");
+    for (const auto& [state, count] :
+         response->at("state_counts").as_object()) {
+      PrintKv(out, state, std::to_string(count.as_int()));
+    }
+    return 0;
+  }
+
+  if (command == "jobs" && sub == "list") {
+    std::string path = "/api/v1/evaluations/" + cmd.Flag("evaluation") +
+                       "/jobs";
+    if (cmd.HasFlag("state")) path += "?state=" + cmd.Flag("state");
+    auto response = client.Get(path);
+    if (!response.ok()) return Fail(out, response.status());
+    for (const json::Json& job : response->as_array()) {
+      out << job.GetStringOr("id", "") << "  "
+          << job.GetStringOr("state", "") << "  "
+          << job.GetIntOr("progress_percent", 0) << "%  "
+          << job.at("parameters").Dump() << "\n";
+    }
+    return 0;
+  }
+
+  if (command == "job") {
+    if (cmd.positional.size() < 3) {
+      out << "usage: job show|abort|reschedule|log <id>\n";
+      return 2;
+    }
+    const std::string& job_id = cmd.positional[2];
+    if (sub == "show") {
+      auto response = client.Get("/api/v1/jobs/" + job_id);
+      if (!response.ok()) return Fail(out, response.status());
+      out << response->DumpPretty() << "\n";
+      return 0;
+    }
+    if (sub == "abort" || sub == "reschedule") {
+      auto response = client.Post("/api/v1/jobs/" + job_id + "/" + sub,
+                                  json::Json::MakeObject());
+      if (!response.ok()) return Fail(out, response.status());
+      out << "ok\n";
+      return 0;
+    }
+    if (sub == "log") {
+      auto response = client.GetRaw("/api/v1/jobs/" + job_id + "/log");
+      if (!response.ok()) return Fail(out, response.status());
+      out << *response;
+      return 0;
+    }
+  }
+
+  if (command == "diagrams") {
+    if (cmd.positional.size() < 2) {
+      out << "usage: diagrams <evaluation-id> [--csv]\n";
+      return 2;
+    }
+    auto response =
+        client.Get("/api/v1/evaluations/" + cmd.positional[1] + "/diagrams");
+    if (!response.ok()) return Fail(out, response.status());
+    for (const json::Json& diagram_json : response->as_array()) {
+      analysis::DiagramData diagram;
+      diagram.name = diagram_json.GetStringOr("name", "");
+      auto type = model::ParseDiagramType(
+          diagram_json.GetStringOr("type", "line"));
+      diagram.type = type.ok() ? *type : model::DiagramType::kLine;
+      diagram.x_label = diagram_json.GetStringOr("x_label", "");
+      diagram.y_label = diagram_json.GetStringOr("y_label", "");
+      for (const json::Json& x : diagram_json.at("x_values").as_array()) {
+        diagram.x_values.push_back(x.as_string());
+      }
+      for (const json::Json& series_json :
+           diagram_json.at("series").as_array()) {
+        analysis::Series series;
+        series.name = series_json.GetStringOr("name", "");
+        for (const json::Json& v : series_json.at("values").as_array()) {
+          series.values.push_back(v.as_double());
+        }
+        diagram.series.push_back(std::move(series));
+      }
+      out << (cmd.HasFlag("csv") ? diagram.ToCsv() : diagram.ToTable())
+          << "\n";
+    }
+    return 0;
+  }
+
+  if (command == "report" || command == "export") {
+    if (cmd.positional.size() < 2 || !cmd.HasFlag("out")) {
+      out << "usage: " << command << " <id> --out <file>\n";
+      return 2;
+    }
+    std::string path = command == "report"
+                           ? "/api/v1/evaluations/" + cmd.positional[1] +
+                                 "/report"
+                           : "/api/v1/projects/" + cmd.positional[1] +
+                                 "/export";
+    auto response = client.GetRaw(path);
+    if (!response.ok()) return Fail(out, response.status());
+    Status written = file::WriteFile(cmd.Flag("out"), *response);
+    if (!written.ok()) return Fail(out, written);
+    out << "wrote " << response->size() << " bytes to " << cmd.Flag("out")
+        << "\n";
+    return 0;
+  }
+
+  out << kUsage;
+  return 2;
+}
+
+}  // namespace chronos::tools

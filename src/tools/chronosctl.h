@@ -1,0 +1,46 @@
+#ifndef CHRONOS_TOOLS_CHRONOSCTL_H_
+#define CHRONOS_TOOLS_CHRONOSCTL_H_
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace chronos::tools {
+
+// Parsed command line: positional words plus --flag value pairs
+// (--flag alone is treated as boolean "true").
+struct CommandLine {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  static CommandLine Parse(const std::vector<std::string>& args);
+
+  std::string Flag(const std::string& name,
+                   const std::string& fallback = "") const;
+  bool HasFlag(const std::string& name) const;
+};
+
+// Runs one chronosctl invocation against a Chronos Control server and
+// writes human-readable output to `out`. Returns a process exit code.
+//
+//   chronosctl --server 127.0.0.1:8080 login --user admin --password s
+//   chronosctl --server ... --token T status
+//   chronosctl ... projects list
+//   chronosctl ... projects create --name <name> [--description d]
+//   chronosctl ... systems list
+//   chronosctl ... deployments list [--system <id>]
+//   chronosctl ... experiments list --project <id>
+//   chronosctl ... evaluations create --experiment <id> [--name n]
+//   chronosctl ... evaluation show <id> | evaluation watch <id>
+//   chronosctl ... jobs list --evaluation <id> [--state s]
+//   chronosctl ... job show <id> | job abort <id> | job reschedule <id>
+//   chronosctl ... job log <id>
+//   chronosctl ... diagrams <evaluation-id> [--csv]
+//   chronosctl ... report <evaluation-id> --out <file.html>
+//   chronosctl ... export <project-id> --out <file.zip>
+int RunChronosctl(const std::vector<std::string>& args, std::ostream& out);
+
+}  // namespace chronos::tools
+
+#endif  // CHRONOS_TOOLS_CHRONOSCTL_H_

@@ -1,0 +1,154 @@
+#include "workload/distributions.h"
+
+#include <cmath>
+
+namespace chronos::workload {
+
+namespace {
+
+// FNV-64 hash used to scatter scrambled-zipfian keys.
+uint64_t FnvHash64(uint64_t value) {
+  uint64_t hash = 0xCBF29CE484222325ull;
+  for (int i = 0; i < 8; ++i) {
+    hash ^= value & 0xFF;
+    hash *= 0x100000001B3ull;
+    value >>= 8;
+  }
+  return hash;
+}
+
+}  // namespace
+
+ZipfianChooser::ZipfianChooser(uint64_t item_count, double theta)
+    : item_count_(item_count), theta_(theta) {
+  if (item_count_ == 0) item_count_ = 1;
+  zeta2_ = ZetaStatic(2, theta_, 0, 0);
+  zeta_n_ = ZetaStatic(item_count_, theta_, 0, 0);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1 - std::pow(2.0 / static_cast<double>(item_count_), 1 - theta_)) /
+         (1 - zeta2_ / zeta_n_);
+}
+
+double ZipfianChooser::ZetaStatic(uint64_t n, double theta,
+                                  double initial_sum, uint64_t from) {
+  double sum = initial_sum;
+  for (uint64_t i = from; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+  }
+  return sum;
+}
+
+uint64_t ZipfianChooser::Next(Rng* rng) {
+  double u = rng->NextDouble();
+  double uz = u * zeta_n_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  uint64_t value = static_cast<uint64_t>(
+      static_cast<double>(item_count_) *
+      std::pow(eta_ * u - eta_ + 1, alpha_));
+  return value >= item_count_ ? item_count_ - 1 : value;
+}
+
+void ZipfianChooser::GrowTo(uint64_t item_count) {
+  if (item_count <= item_count_) return;
+  zeta_n_ = ZetaStatic(item_count, theta_, zeta_n_, item_count_);
+  item_count_ = item_count;
+  eta_ = (1 - std::pow(2.0 / static_cast<double>(item_count_), 1 - theta_)) /
+         (1 - zeta2_ / zeta_n_);
+}
+
+ScrambledZipfianChooser::ScrambledZipfianChooser(uint64_t item_count,
+                                                 double theta)
+    : item_count_(item_count == 0 ? 1 : item_count),
+      zipfian_(item_count, theta) {}
+
+uint64_t ScrambledZipfianChooser::Next(Rng* rng) {
+  return FnvHash64(zipfian_.Next(rng)) % item_count_;
+}
+
+void ScrambledZipfianChooser::GrowTo(uint64_t item_count) {
+  if (item_count <= item_count_) return;
+  item_count_ = item_count;
+  zipfian_.GrowTo(item_count);
+}
+
+LatestChooser::LatestChooser(uint64_t item_count, double theta)
+    : item_count_(item_count == 0 ? 1 : item_count),
+      zipfian_(item_count, theta) {}
+
+uint64_t LatestChooser::Next(Rng* rng) {
+  uint64_t offset = zipfian_.Next(rng);
+  // Rank 0 = most recent insert.
+  return offset >= item_count_ ? 0 : item_count_ - 1 - offset;
+}
+
+void LatestChooser::GrowTo(uint64_t item_count) {
+  if (item_count <= item_count_) return;
+  item_count_ = item_count;
+  zipfian_.GrowTo(item_count);
+}
+
+HotSpotChooser::HotSpotChooser(uint64_t item_count, double hot_fraction,
+                               double hot_op_fraction)
+    : item_count_(item_count == 0 ? 1 : item_count),
+      hot_fraction_(hot_fraction),
+      hot_op_fraction_(hot_op_fraction) {}
+
+uint64_t HotSpotChooser::Next(Rng* rng) {
+  uint64_t hot_count = static_cast<uint64_t>(
+      static_cast<double>(item_count_) * hot_fraction_);
+  if (hot_count == 0) hot_count = 1;
+  if (rng->NextDouble() < hot_op_fraction_) {
+    return rng->NextUint64(hot_count);
+  }
+  if (hot_count >= item_count_) return rng->NextUint64(item_count_);
+  return hot_count + rng->NextUint64(item_count_ - hot_count);
+}
+
+void HotSpotChooser::GrowTo(uint64_t item_count) {
+  if (item_count > item_count_) item_count_ = item_count;
+}
+
+std::string_view DistributionKindName(DistributionKind kind) {
+  switch (kind) {
+    case DistributionKind::kUniform:
+      return "uniform";
+    case DistributionKind::kZipfian:
+      return "zipfian";
+    case DistributionKind::kScrambledZipfian:
+      return "scrambled_zipfian";
+    case DistributionKind::kLatest:
+      return "latest";
+    case DistributionKind::kHotSpot:
+      return "hotspot";
+  }
+  return "?";
+}
+
+StatusOr<DistributionKind> ParseDistributionKind(std::string_view name) {
+  if (name == "uniform") return DistributionKind::kUniform;
+  if (name == "zipfian") return DistributionKind::kZipfian;
+  if (name == "scrambled_zipfian") return DistributionKind::kScrambledZipfian;
+  if (name == "latest") return DistributionKind::kLatest;
+  if (name == "hotspot") return DistributionKind::kHotSpot;
+  return Status::InvalidArgument("unknown distribution: " + std::string(name));
+}
+
+std::unique_ptr<KeyChooser> MakeChooser(DistributionKind kind,
+                                        uint64_t item_count) {
+  switch (kind) {
+    case DistributionKind::kUniform:
+      return std::make_unique<UniformChooser>(item_count);
+    case DistributionKind::kZipfian:
+      return std::make_unique<ZipfianChooser>(item_count);
+    case DistributionKind::kScrambledZipfian:
+      return std::make_unique<ScrambledZipfianChooser>(item_count);
+    case DistributionKind::kLatest:
+      return std::make_unique<LatestChooser>(item_count);
+    case DistributionKind::kHotSpot:
+      return std::make_unique<HotSpotChooser>(item_count, 0.2, 0.8);
+  }
+  return nullptr;
+}
+
+}  // namespace chronos::workload

@@ -1,0 +1,111 @@
+#ifndef CHRONOS_WORKLOAD_DISTRIBUTIONS_H_
+#define CHRONOS_WORKLOAD_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "common/random.h"
+#include "common/statusor.h"
+
+namespace chronos::workload {
+
+// Key-choosing distributions in the YCSB tradition (Cooper et al., SoCC'10 —
+// reference [4] of the paper). All generators return values in
+// [0, item_count).
+class KeyChooser {
+ public:
+  virtual ~KeyChooser() = default;
+  virtual uint64_t Next(Rng* rng) = 0;
+  // Informs the chooser that the key space grew (inserts).
+  virtual void GrowTo(uint64_t item_count) = 0;
+};
+
+// Every key equally likely.
+class UniformChooser : public KeyChooser {
+ public:
+  explicit UniformChooser(uint64_t item_count) : item_count_(item_count) {}
+  uint64_t Next(Rng* rng) override { return rng->NextUint64(item_count_); }
+  void GrowTo(uint64_t item_count) override { item_count_ = item_count; }
+
+ private:
+  uint64_t item_count_;
+};
+
+// Zipfian-distributed popularity (Gray et al.'s rejection-inversion-free
+// algorithm, as used by YCSB). theta defaults to YCSB's 0.99.
+class ZipfianChooser : public KeyChooser {
+ public:
+  explicit ZipfianChooser(uint64_t item_count, double theta = 0.99);
+  uint64_t Next(Rng* rng) override;
+  void GrowTo(uint64_t item_count) override;
+
+ private:
+  static double ZetaStatic(uint64_t n, double theta, double initial_sum,
+                           uint64_t from);
+
+  uint64_t item_count_;
+  double theta_;
+  double zeta_n_;
+  double zeta2_;
+  double alpha_;
+  double eta_;
+};
+
+// Zipfian popularity but scattered over the key space (YCSB's
+// "scrambled zipfian"): hot keys are spread instead of clustered at 0.
+class ScrambledZipfianChooser : public KeyChooser {
+ public:
+  explicit ScrambledZipfianChooser(uint64_t item_count, double theta = 0.99);
+  uint64_t Next(Rng* rng) override;
+  void GrowTo(uint64_t item_count) override;
+
+ private:
+  uint64_t item_count_;
+  ZipfianChooser zipfian_;
+};
+
+// Favors recently inserted keys (YCSB's "latest"): key = newest - zipf().
+class LatestChooser : public KeyChooser {
+ public:
+  explicit LatestChooser(uint64_t item_count, double theta = 0.99);
+  uint64_t Next(Rng* rng) override;
+  void GrowTo(uint64_t item_count) override;
+
+ private:
+  uint64_t item_count_;
+  ZipfianChooser zipfian_;
+};
+
+// A hot set of `hot_fraction` of the keys receives `hot_op_fraction` of the
+// operations.
+class HotSpotChooser : public KeyChooser {
+ public:
+  HotSpotChooser(uint64_t item_count, double hot_fraction,
+                 double hot_op_fraction);
+  uint64_t Next(Rng* rng) override;
+  void GrowTo(uint64_t item_count) override;
+
+ private:
+  uint64_t item_count_;
+  double hot_fraction_;
+  double hot_op_fraction_;
+};
+
+enum class DistributionKind {
+  kUniform,
+  kZipfian,
+  kScrambledZipfian,
+  kLatest,
+  kHotSpot,
+};
+
+std::string_view DistributionKindName(DistributionKind kind);
+StatusOr<DistributionKind> ParseDistributionKind(std::string_view name);
+
+std::unique_ptr<KeyChooser> MakeChooser(DistributionKind kind,
+                                        uint64_t item_count);
+
+}  // namespace chronos::workload
+
+#endif  // CHRONOS_WORKLOAD_DISTRIBUTIONS_H_

@@ -1,0 +1,202 @@
+#include "workload/workload.h"
+
+#include "common/strings.h"
+
+namespace chronos::workload {
+
+StatusOr<WorkloadSpec> WorkloadSpec::Preset(const std::string& name) {
+  WorkloadSpec spec;
+  if (name == "a") {
+    spec.read_proportion = 0.5;
+    spec.update_proportion = 0.5;
+  } else if (name == "b") {
+    spec.read_proportion = 0.95;
+    spec.update_proportion = 0.05;
+  } else if (name == "c") {
+    spec.read_proportion = 1.0;
+    spec.update_proportion = 0.0;
+  } else if (name == "d") {
+    spec.read_proportion = 0.95;
+    spec.update_proportion = 0.0;
+    spec.insert_proportion = 0.05;
+    spec.distribution = DistributionKind::kLatest;
+  } else if (name == "e") {
+    spec.read_proportion = 0.0;
+    spec.update_proportion = 0.0;
+    spec.insert_proportion = 0.05;
+    spec.scan_proportion = 0.95;
+  } else if (name == "f") {
+    // YCSB-F: half reads, half read-modify-write transactions.
+    spec.read_proportion = 0.5;
+    spec.update_proportion = 0.0;
+    spec.rmw_proportion = 0.5;
+  } else {
+    return Status::InvalidArgument("unknown workload preset: " + name);
+  }
+  return spec;
+}
+
+Status WorkloadSpec::ApplyRatio(const std::string& ratio) {
+  double read = 0, update = 0, insert = 0, scan = 0, rmw = 0;
+  for (const std::string& part : strings::Split(ratio, ',', true)) {
+    size_t colon = part.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("bad ratio component: " + part);
+    }
+    std::string op(strings::Trim(part.substr(0, colon)));
+    double weight = 0;
+    if (!strings::ParseDouble(strings::Trim(part.substr(colon + 1)),
+                              &weight) ||
+        weight < 0) {
+      return Status::InvalidArgument("bad ratio weight in: " + part);
+    }
+    if (op == "read") {
+      read = weight;
+    } else if (op == "update") {
+      update = weight;
+    } else if (op == "insert") {
+      insert = weight;
+    } else if (op == "scan") {
+      scan = weight;
+    } else if (op == "rmw") {
+      rmw = weight;
+    } else {
+      return Status::InvalidArgument("unknown ratio op: " + op);
+    }
+  }
+  double total = read + update + insert + scan + rmw;
+  if (total <= 0) return Status::InvalidArgument("ratio sums to zero");
+  read_proportion = read / total;
+  update_proportion = update / total;
+  insert_proportion = insert / total;
+  scan_proportion = scan / total;
+  rmw_proportion = rmw / total;
+  return Status::Ok();
+}
+
+json::Json WorkloadSpec::ToJson() const {
+  json::Json out = json::Json::MakeObject();
+  out.Set("record_count", record_count);
+  out.Set("operation_count", operation_count);
+  out.Set("read_proportion", read_proportion);
+  out.Set("update_proportion", update_proportion);
+  out.Set("insert_proportion", insert_proportion);
+  out.Set("scan_proportion", scan_proportion);
+  out.Set("rmw_proportion", rmw_proportion);
+  out.Set("max_scan_length", max_scan_length);
+  out.Set("field_count", static_cast<int64_t>(field_count));
+  out.Set("field_length", static_cast<int64_t>(field_length));
+  out.Set("distribution", std::string(DistributionKindName(distribution)));
+  out.Set("seed", seed);
+  return out;
+}
+
+StatusOr<WorkloadSpec> WorkloadSpec::FromJson(const json::Json& value) {
+  WorkloadSpec spec;
+  spec.record_count =
+      static_cast<uint64_t>(value.GetIntOr("record_count", 1000));
+  spec.operation_count =
+      static_cast<uint64_t>(value.GetIntOr("operation_count", 10000));
+  spec.read_proportion = value.GetDoubleOr("read_proportion", 0.95);
+  spec.update_proportion = value.GetDoubleOr("update_proportion", 0.05);
+  spec.insert_proportion = value.GetDoubleOr("insert_proportion", 0.0);
+  spec.scan_proportion = value.GetDoubleOr("scan_proportion", 0.0);
+  spec.rmw_proportion = value.GetDoubleOr("rmw_proportion", 0.0);
+  spec.max_scan_length =
+      static_cast<uint64_t>(value.GetIntOr("max_scan_length", 100));
+  spec.field_count = static_cast<int>(value.GetIntOr("field_count", 10));
+  spec.field_length = static_cast<int>(value.GetIntOr("field_length", 100));
+  std::string dist = value.GetStringOr("distribution", "zipfian");
+  CHRONOS_ASSIGN_OR_RETURN(spec.distribution, ParseDistributionKind(dist));
+  spec.seed = static_cast<uint64_t>(value.GetIntOr("seed", 42));
+  return spec;
+}
+
+std::string_view OpTypeName(OpType type) {
+  switch (type) {
+    case OpType::kRead:
+      return "read";
+    case OpType::kUpdate:
+      return "update";
+    case OpType::kInsert:
+      return "insert";
+    case OpType::kScan:
+      return "scan";
+    case OpType::kReadModifyWrite:
+      return "rmw";
+  }
+  return "?";
+}
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadSpec& spec,
+                                     int thread_index)
+    : spec_(spec),
+      rng_(spec.seed * 7919 + static_cast<uint64_t>(thread_index) * 104729 +
+           1),
+      chooser_(MakeChooser(spec.distribution, spec.record_count)),
+      insert_cursor_(spec.record_count) {
+  double total = spec_.read_proportion + spec_.update_proportion +
+                 spec_.insert_proportion + spec_.scan_proportion +
+                 spec_.rmw_proportion;
+  if (total <= 0) total = 1;
+  read_cut_ = spec_.read_proportion / total;
+  update_cut_ = read_cut_ + spec_.update_proportion / total;
+  insert_cut_ = update_cut_ + spec_.insert_proportion / total;
+  scan_cut_ = insert_cut_ + spec_.scan_proportion / total;
+}
+
+std::string WorkloadGenerator::KeyForIndex(uint64_t index) {
+  return "user" + strings::PadNumber(index, 12);
+}
+
+std::vector<std::string> WorkloadGenerator::LoadKeys() const {
+  std::vector<std::string> keys;
+  keys.reserve(spec_.record_count);
+  for (uint64_t i = 0; i < spec_.record_count; ++i) {
+    keys.push_back(KeyForIndex(i));
+  }
+  return keys;
+}
+
+json::Json WorkloadGenerator::MakeDocument(const std::string& key) {
+  json::Json doc = json::Json::MakeObject();
+  doc.Set("_id", key);
+  for (int f = 0; f < spec_.field_count; ++f) {
+    std::string value;
+    value.reserve(spec_.field_length);
+    for (int i = 0; i < spec_.field_length; ++i) {
+      value.push_back(static_cast<char>(' ' + rng_.NextUint64(95)));
+    }
+    doc.Set("field" + std::to_string(f), std::move(value));
+  }
+  return doc;
+}
+
+Operation WorkloadGenerator::NextOperation() {
+  Operation op;
+  double roll = rng_.NextDouble();
+  if (roll < read_cut_) {
+    op.type = OpType::kRead;
+    op.key = KeyForIndex(chooser_->Next(&rng_));
+  } else if (roll < update_cut_) {
+    op.type = OpType::kUpdate;
+    op.key = KeyForIndex(chooser_->Next(&rng_));
+    op.document = MakeDocument(op.key);
+  } else if (roll < insert_cut_) {
+    op.type = OpType::kInsert;
+    op.key = KeyForIndex(insert_cursor_++);
+    chooser_->GrowTo(insert_cursor_);
+    op.document = MakeDocument(op.key);
+  } else if (roll < scan_cut_) {
+    op.type = OpType::kScan;
+    op.key = KeyForIndex(chooser_->Next(&rng_));
+    op.scan_length = 1 + rng_.NextUint64(spec_.max_scan_length);
+  } else {
+    op.type = OpType::kReadModifyWrite;
+    op.key = KeyForIndex(chooser_->Next(&rng_));
+    op.document = MakeDocument(op.key);
+  }
+  return op;
+}
+
+}  // namespace chronos::workload

@@ -1,0 +1,89 @@
+#ifndef CHRONOS_WORKLOAD_WORKLOAD_H_
+#define CHRONOS_WORKLOAD_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "json/json.h"
+#include "workload/distributions.h"
+
+namespace chronos::workload {
+
+// YCSB-style workload description: a keyed record population and a weighted
+// operation mix over it. The MongoDB demo client (clients/mokka_client)
+// executes these specs against a deployment.
+struct WorkloadSpec {
+  uint64_t record_count = 1000;     // Initial population.
+  uint64_t operation_count = 10000; // Ops per run (per thread).
+  // Operation mix; proportions are normalized (need not sum to 1).
+  double read_proportion = 0.95;
+  double update_proportion = 0.05;
+  double insert_proportion = 0.0;
+  double scan_proportion = 0.0;
+  // Read-modify-write: read the document, then write it back modified
+  // (YCSB workload F's defining operation).
+  double rmw_proportion = 0.0;
+  uint64_t max_scan_length = 100;
+  // Document shape.
+  int field_count = 10;
+  int field_length = 100;
+  DistributionKind distribution = DistributionKind::kZipfian;
+  uint64_t seed = 42;
+
+  // Named presets mirroring the YCSB core workloads:
+  //   a: 50/50 read/update, zipfian     b: 95/5 read/update, zipfian
+  //   c: read-only, zipfian             d: 95/5 read/insert, latest
+  //   e: 95/5 scan/insert, zipfian      f: read-modify-write ~ 50/50
+  static StatusOr<WorkloadSpec> Preset(const std::string& name);
+
+  // Parses "read:95,update:5"-style ratio strings (the kRatio parameter
+  // type), scaling the four proportions.
+  Status ApplyRatio(const std::string& ratio);
+
+  json::Json ToJson() const;
+  static StatusOr<WorkloadSpec> FromJson(const json::Json& value);
+};
+
+enum class OpType { kRead, kUpdate, kInsert, kScan, kReadModifyWrite };
+std::string_view OpTypeName(OpType type);
+
+struct Operation {
+  OpType type = OpType::kRead;
+  std::string key;
+  json::Json document;     // For insert/update.
+  uint64_t scan_length = 0;  // For scan.
+};
+
+// Streams the operations of a WorkloadSpec. Deterministic for a given
+// (spec.seed, thread_index) pair so runs are reproducible — a Chronos design
+// goal ("archiving of all parameter settings which have led to the results").
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const WorkloadSpec& spec, int thread_index = 0);
+
+  // Keys for the load phase, "user000000000042"-style, hashed order.
+  std::vector<std::string> LoadKeys() const;
+
+  // A fresh random document per call.
+  json::Json MakeDocument(const std::string& key);
+
+  // The next transaction-phase operation.
+  Operation NextOperation();
+
+  static std::string KeyForIndex(uint64_t index);
+
+ private:
+  WorkloadSpec spec_;
+  Rng rng_;
+  std::unique_ptr<KeyChooser> chooser_;
+  uint64_t insert_cursor_;  // Next unused key index for inserts.
+  double read_cut_, update_cut_, insert_cut_, scan_cut_;
+};
+
+}  // namespace chronos::workload
+
+#endif  // CHRONOS_WORKLOAD_WORKLOAD_H_

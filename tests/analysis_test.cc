@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include "analysis/diagrams.h"
+#include "analysis/metrics.h"
+#include "common/clock.h"
+#include "common/sha256.h"
+
+namespace chronos::analysis {
+namespace {
+
+// --- SHA-256 (auth substrate; tested here with the analysis batch) ---
+
+TEST(Sha256Test, KnownVectors) {
+  EXPECT_EQ(Sha256Hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(Sha256Hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(Sha256Hex("The quick brown fox jumps over the lazy dog"),
+            "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592");
+}
+
+TEST(Sha256Test, MultiBlockMessage) {
+  // 56 bytes forces the padding into a second block.
+  std::string input(56, 'a');
+  EXPECT_EQ(Sha256Hex(input).size(), 64u);
+  // One-million 'a' classic vector.
+  std::string million(1000000, 'a');
+  EXPECT_EQ(Sha256Hex(million),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+// --- MetricsCollector ---
+
+TEST(MetricsTest, ThroughputFromSimulatedClock) {
+  SimulatedClock clock;
+  MetricsCollector metrics(&clock);
+  metrics.StartRun();
+  for (int i = 0; i < 500; ++i) metrics.RecordLatency("read", 100);
+  clock.AdvanceMs(2000);
+  metrics.EndRun();
+  EXPECT_EQ(metrics.TotalOperations(), 500u);
+  EXPECT_DOUBLE_EQ(metrics.RuntimeMs(), 2000.0);
+  EXPECT_DOUBLE_EQ(metrics.Throughput(), 250.0);
+}
+
+TEST(MetricsTest, PerOpLatencyBlocks) {
+  SimulatedClock clock;
+  MetricsCollector metrics(&clock);
+  metrics.StartRun();
+  metrics.RecordLatency("read", 100);
+  metrics.RecordLatency("read", 200);
+  metrics.RecordLatency("update", 1000);
+  clock.AdvanceMs(1000);
+  metrics.EndRun();
+  json::Json out = metrics.ToJson();
+  EXPECT_EQ(out.at("operations").as_int(), 3);
+  EXPECT_EQ(out.at("latency_us").at("read").at("count").as_int(), 2);
+  EXPECT_NEAR(out.at("latency_us").at("read").at("mean").as_double(), 150, 1);
+  EXPECT_EQ(out.at("latency_us").at("update").at("count").as_int(), 1);
+}
+
+TEST(MetricsTest, CountersAndGauges) {
+  MetricsCollector metrics;
+  metrics.Increment("errors");
+  metrics.Increment("errors", 4);
+  metrics.SetGauge("dataset_mb", 12.5);
+  json::Json out = metrics.ToJson();
+  EXPECT_EQ(out.at("counters").at("errors").as_int(), 5);
+  EXPECT_DOUBLE_EQ(out.at("gauges").at("dataset_mb").as_double(), 12.5);
+}
+
+TEST(MetricsTest, ResetClearsEverything) {
+  MetricsCollector metrics;
+  metrics.RecordLatency("x", 1);
+  metrics.Increment("c");
+  metrics.Reset();
+  EXPECT_EQ(metrics.TotalOperations(), 0u);
+  EXPECT_EQ(metrics.ToJson().at("counters").size(), 0u);
+}
+
+TEST(MetricsTest, RuntimeWithoutEndUsesNow) {
+  SimulatedClock clock;
+  MetricsCollector metrics(&clock);
+  metrics.StartRun();
+  clock.AdvanceMs(500);
+  EXPECT_DOUBLE_EQ(metrics.RuntimeMs(), 500.0);
+}
+
+// --- Diagram building ---
+
+JobResult MakeResult(const std::string& engine, int threads,
+                     double throughput) {
+  JobResult result;
+  result.parameters["engine"] = json::Json(engine);
+  result.parameters["threads"] = json::Json(threads);
+  result.data = json::Json::MakeObject();
+  result.data.Set("throughput", throughput);
+  json::Json latency = json::Json::MakeObject();
+  json::Json read = json::Json::MakeObject();
+  read.Set("p95", throughput / 10);
+  latency.Set("read", read);
+  result.data.Set("latency_us", latency);
+  return result;
+}
+
+model::DiagramDef LineDef() {
+  model::DiagramDef def;
+  def.name = "Throughput by threads";
+  def.type = model::DiagramType::kLine;
+  def.x_field = "threads";
+  def.y_field = "throughput";
+  def.group_by = "engine";
+  return def;
+}
+
+TEST(DiagramTest, GroupsAndBucketsLikeFig3d) {
+  std::vector<JobResult> results = {
+      MakeResult("wiredtiger", 1, 1000), MakeResult("wiredtiger", 2, 1800),
+      MakeResult("wiredtiger", 4, 3200), MakeResult("mmapv1", 1, 1100),
+      MakeResult("mmapv1", 2, 1300),     MakeResult("mmapv1", 4, 1350)};
+  auto diagram = BuildDiagram(LineDef(), results);
+  ASSERT_TRUE(diagram.ok());
+  EXPECT_EQ(diagram->x_values, (std::vector<std::string>{"1", "2", "4"}));
+  ASSERT_EQ(diagram->series.size(), 2u);
+  // std::map ordering: mmapv1 before wiredtiger.
+  EXPECT_EQ(diagram->series[0].name, "mmapv1");
+  EXPECT_EQ(diagram->series[1].name, "wiredtiger");
+  EXPECT_DOUBLE_EQ(diagram->series[1].values[2], 3200);
+}
+
+TEST(DiagramTest, NumericXOrderingNotLexicographic) {
+  std::vector<JobResult> results = {MakeResult("e", 2, 1), MakeResult("e", 16, 1),
+                                    MakeResult("e", 4, 1), MakeResult("e", 1, 1)};
+  auto diagram = BuildDiagram(LineDef(), results);
+  ASSERT_TRUE(diagram.ok());
+  EXPECT_EQ(diagram->x_values,
+            (std::vector<std::string>{"1", "2", "4", "16"}));
+}
+
+TEST(DiagramTest, RepetitionsAverage) {
+  std::vector<JobResult> results = {MakeResult("e", 1, 100),
+                                    MakeResult("e", 1, 300)};
+  auto diagram = BuildDiagram(LineDef(), results);
+  ASSERT_TRUE(diagram.ok());
+  EXPECT_DOUBLE_EQ(diagram->series[0].values[0], 200);
+}
+
+TEST(DiagramTest, DottedPathIntoResultJson) {
+  model::DiagramDef def = LineDef();
+  def.y_field = "latency_us.read.p95";
+  auto diagram = BuildDiagram(def, {MakeResult("e", 1, 1000)});
+  ASSERT_TRUE(diagram.ok());
+  EXPECT_DOUBLE_EQ(diagram->series[0].values[0], 100);
+}
+
+TEST(DiagramTest, MissingMetricIsNotFound) {
+  model::DiagramDef def = LineDef();
+  def.y_field = "nonexistent";
+  EXPECT_TRUE(
+      BuildDiagram(def, {MakeResult("e", 1, 1)}).status().IsNotFound());
+}
+
+TEST(DiagramTest, MissingYFieldIsInvalid) {
+  model::DiagramDef def = LineDef();
+  def.y_field = "";
+  EXPECT_TRUE(BuildDiagram(def, {}).status().IsInvalidArgument());
+}
+
+TEST(DiagramTest, NoGroupByYieldsSingleSeries) {
+  model::DiagramDef def = LineDef();
+  def.group_by = "";
+  auto diagram =
+      BuildDiagram(def, {MakeResult("a", 1, 10), MakeResult("b", 2, 20)});
+  ASSERT_TRUE(diagram.ok());
+  ASSERT_EQ(diagram->series.size(), 1u);
+  EXPECT_EQ(diagram->series[0].name, "throughput");
+}
+
+TEST(DiagramTest, CsvExport) {
+  auto diagram = BuildDiagram(
+      LineDef(), {MakeResult("wiredtiger", 1, 1000),
+                  MakeResult("mmapv1", 1, 1100)});
+  ASSERT_TRUE(diagram.ok());
+  std::string csv = diagram->ToCsv();
+  EXPECT_EQ(csv,
+            "threads,mmapv1,wiredtiger\n"
+            "1,1100,1000\n");
+}
+
+TEST(DiagramTest, TableContainsAllCells) {
+  auto diagram = BuildDiagram(
+      LineDef(), {MakeResult("wiredtiger", 1, 1000),
+                  MakeResult("wiredtiger", 2, 1555.5)});
+  ASSERT_TRUE(diagram.ok());
+  std::string table = diagram->ToTable();
+  EXPECT_NE(table.find("wiredtiger"), std::string::npos);
+  EXPECT_NE(table.find("1000"), std::string::npos);
+  EXPECT_NE(table.find("1555.50"), std::string::npos);
+}
+
+TEST(DiagramTest, JsonRoundTripShape) {
+  auto diagram = BuildDiagram(LineDef(), {MakeResult("e", 1, 5)});
+  ASSERT_TRUE(diagram.ok());
+  json::Json out = diagram->ToJson();
+  EXPECT_EQ(out.at("type").as_string(), "line");
+  EXPECT_EQ(out.at("series").at(0).at("values").at(0).as_double(), 5.0);
+}
+
+TEST(DiagramTest, ExtractFieldPrefersParameters) {
+  JobResult result = MakeResult("e", 8, 100);
+  result.data.Set("threads", 999);  // Result also has a field named threads.
+  EXPECT_EQ(ExtractField(result, "threads").as_int(), 8);
+  EXPECT_EQ(ExtractField(result, "throughput").as_double(), 100);
+  EXPECT_TRUE(ExtractField(result, "zzz").is_null());
+}
+
+// --- SVG / HTML rendering ---
+
+TEST(RenderTest, LineSvgHasPolylines) {
+  auto diagram = BuildDiagram(
+      LineDef(), {MakeResult("wiredtiger", 1, 1000),
+                  MakeResult("wiredtiger", 2, 2000),
+                  MakeResult("mmapv1", 1, 900), MakeResult("mmapv1", 2, 950)});
+  ASSERT_TRUE(diagram.ok());
+  std::string svg = RenderSvg(*diagram);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_EQ(std::count(svg.begin(), svg.end(), '\n') > 4, true);
+  // Two series -> two polylines.
+  size_t first = svg.find("<polyline");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(svg.find("<polyline", first + 1), std::string::npos);
+}
+
+TEST(RenderTest, BarSvgHasRects) {
+  model::DiagramDef def = LineDef();
+  def.type = model::DiagramType::kBar;
+  auto diagram = BuildDiagram(def, {MakeResult("a", 1, 10),
+                                    MakeResult("b", 1, 20)});
+  ASSERT_TRUE(diagram.ok());
+  std::string svg = RenderSvg(*diagram);
+  EXPECT_NE(svg.find("<rect"), std::string::npos);
+}
+
+TEST(RenderTest, PieSvgHasPaths) {
+  model::DiagramDef def = LineDef();
+  def.type = model::DiagramType::kPie;
+  def.x_field = "";
+  auto diagram = BuildDiagram(def, {MakeResult("a", 1, 30),
+                                    MakeResult("b", 1, 70)});
+  ASSERT_TRUE(diagram.ok());
+  std::string svg = RenderSvg(*diagram);
+  EXPECT_NE(svg.find("<path"), std::string::npos);
+}
+
+TEST(RenderTest, HtmlReportContainsDiagramAndTable) {
+  auto diagram = BuildDiagram(LineDef(), {MakeResult("wiredtiger", 1, 1234)});
+  ASSERT_TRUE(diagram.ok());
+  std::string html = RenderHtmlReport("MongoDB engines", {*diagram});
+  EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(html.find("MongoDB engines"), std::string::npos);
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+  EXPECT_NE(html.find("<table>"), std::string::npos);
+  EXPECT_NE(html.find("1234"), std::string::npos);
+}
+
+TEST(RenderTest, HtmlEscapesUserContent) {
+  DiagramData diagram;
+  diagram.name = "<script>alert(1)</script>";
+  diagram.type = model::DiagramType::kLine;
+  diagram.x_values = {"1"};
+  diagram.series = {{"s", {1.0}}};
+  std::string html = RenderHtmlReport("t", {diagram});
+  EXPECT_EQ(html.find("<script>alert"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace chronos::analysis

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "archive/compress.h"
+#include "archive/crc32.h"
+#include "archive/zip.h"
+#include "common/random.h"
+
+namespace chronos::archive {
+namespace {
+
+// --- CRC32 ---
+
+TEST(Crc32Test, KnownVectors) {
+  EXPECT_EQ(Crc32(""), 0x00000000u);
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);  // The classic check value.
+  EXPECT_EQ(Crc32("The quick brown fox jumps over the lazy dog"),
+            0x414FA339u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  std::string data = "hello world, this is a longer buffer";
+  uint32_t one_shot = Crc32(data);
+  uint32_t incremental = Crc32(data.substr(0, 10));
+  incremental = Crc32(data.substr(10), incremental);
+  EXPECT_EQ(one_shot, incremental);
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::string data = "payload";
+  uint32_t original = Crc32(data);
+  data[3] ^= 1;
+  EXPECT_NE(Crc32(data), original);
+}
+
+// --- ZIP ---
+
+TEST(ZipTest, RoundTripSingleEntry) {
+  ZipWriter writer;
+  ASSERT_TRUE(writer.Add("result.json", "{\"ok\":true}").ok());
+  std::string blob = writer.Finish();
+
+  auto reader = ZipReader::Open(blob);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->entry_count(), 1u);
+  EXPECT_TRUE(reader->Has("result.json"));
+  EXPECT_EQ(*reader->Read("result.json"), "{\"ok\":true}");
+}
+
+TEST(ZipTest, RoundTripManyEntries) {
+  ZipWriter writer;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(writer
+                    .Add("dir/file" + std::to_string(i) + ".txt",
+                         std::string(i * 13, 'x') + std::to_string(i))
+                    .ok());
+  }
+  auto reader = ZipReader::Open(writer.Finish());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->entry_count(), 50u);
+  EXPECT_EQ(*reader->Read("dir/file7.txt"), std::string(91, 'x') + "7");
+}
+
+TEST(ZipTest, EmptyArchive) {
+  ZipWriter writer;
+  auto reader = ZipReader::Open(writer.Finish());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->entry_count(), 0u);
+}
+
+TEST(ZipTest, BinaryContentsSurvive) {
+  std::string binary;
+  for (int i = 0; i < 256; ++i) binary.push_back(static_cast<char>(i));
+  ZipWriter writer;
+  ASSERT_TRUE(writer.Add("bin", binary).ok());
+  auto reader = ZipReader::Open(writer.Finish());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(*reader->Read("bin"), binary);
+}
+
+TEST(ZipTest, RejectsDuplicateNames) {
+  ZipWriter writer;
+  ASSERT_TRUE(writer.Add("a", "1").ok());
+  EXPECT_TRUE(writer.Add("a", "2").IsAlreadyExists());
+}
+
+TEST(ZipTest, RejectsEmptyName) {
+  ZipWriter writer;
+  EXPECT_FALSE(writer.Add("", "x").ok());
+}
+
+TEST(ZipTest, MissingEntryIsNotFound) {
+  ZipWriter writer;
+  writer.Add("a", "1").ok();
+  auto reader = ZipReader::Open(writer.Finish());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_TRUE(reader->Read("zzz").status().IsNotFound());
+}
+
+TEST(ZipTest, DetectsCorruptPayload) {
+  ZipWriter writer;
+  writer.Add("a", "payload-bytes-here").ok();
+  std::string blob = writer.Finish();
+  // Flip a payload byte (after the 30-byte local header + 1-byte name).
+  blob[31 + 3] ^= 0xFF;
+  EXPECT_FALSE(ZipReader::Open(blob).ok());
+}
+
+TEST(ZipTest, RejectsGarbage) {
+  EXPECT_FALSE(ZipReader::Open("not a zip file at all").ok());
+  EXPECT_FALSE(ZipReader::Open("").ok());
+}
+
+TEST(ZipTest, ConvenienceHelpers) {
+  std::map<std::string, std::string> files = {{"x/1", "one"}, {"y", "two"}};
+  auto unpacked = UnzipFiles(ZipFiles(files));
+  ASSERT_TRUE(unpacked.ok());
+  EXPECT_EQ(*unpacked, files);
+}
+
+// --- LZ compression ---
+
+TEST(CompressTest, EmptyInput) {
+  auto out = LzDecompress(LzCompress(""));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "");
+}
+
+TEST(CompressTest, ShortLiteralOnly) {
+  std::string input = "abc";
+  auto out = LzDecompress(LzCompress(input));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, input);
+}
+
+TEST(CompressTest, RepetitiveInputShrinks) {
+  std::string input;
+  for (int i = 0; i < 200; ++i) input += "the same phrase again and again. ";
+  std::string compressed = LzCompress(input);
+  EXPECT_LT(compressed.size(), input.size() / 4);
+  auto out = LzDecompress(compressed);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, input);
+}
+
+TEST(CompressTest, RunLengthOverlappingMatch) {
+  std::string input(10000, 'z');
+  std::string compressed = LzCompress(input);
+  EXPECT_LT(compressed.size(), 100u);
+  auto out = LzDecompress(compressed);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, input);
+}
+
+TEST(CompressTest, JsonDocumentRoundTrip) {
+  std::string input =
+      R"({"name":"doc-1","value":42,"tags":["a","b","c"],"nested":)"
+      R"({"name":"doc-2","value":43,"tags":["a","b","c"]}})";
+  auto out = LzDecompress(LzCompress(input));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, input);
+}
+
+TEST(CompressTest, RejectsTruncated) {
+  // Trailing unique literals guarantee the final token carries payload, so
+  // any truncation leaves the stream short of the declared size.
+  std::string compressed = LzCompress(std::string(500, 'q') + "UNIQUE-TAIL");
+  for (size_t cut : {size_t(0), compressed.size() / 2, compressed.size() - 1}) {
+    EXPECT_FALSE(LzDecompress(compressed.substr(0, cut)).ok())
+        << "cut=" << cut;
+  }
+}
+
+TEST(CompressTest, RejectsBadOffset) {
+  // Valid header (size=100) followed by a token referencing offset 0.
+  std::string bogus;
+  bogus.push_back(100);          // varint original size
+  bogus.push_back(0x01);         // 0 literals, match nibble 1 (len 4)
+  bogus.push_back(0);            // offset lo = 0 (invalid)
+  bogus.push_back(0);            // offset hi
+  EXPECT_FALSE(LzDecompress(bogus).ok());
+}
+
+class CompressPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompressPropertyTest, RandomRoundTrip) {
+  Rng rng(GetParam() * 977);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::string input;
+    size_t len = rng.NextUint64(5000);
+    int alphabet = 1 + static_cast<int>(rng.NextUint64(60));
+    for (size_t i = 0; i < len; ++i) {
+      input.push_back(static_cast<char>('A' + rng.NextUint64(alphabet)));
+    }
+    auto out = LzDecompress(LzCompress(input));
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(*out, input);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompressPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace chronos::archive

@@ -1,0 +1,290 @@
+// chronosctl CLI tests: flag parsing plus live round trips against an
+// in-process Chronos Control server.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/file_util.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "control/rest_api.h"
+#include "tools/chronosctl.h"
+
+namespace chronos::tools {
+namespace {
+
+using chronos::file::TempDir;
+
+// --- CommandLine parsing ---
+
+TEST(CommandLineTest, PositionalAndFlags) {
+  CommandLine cmd = CommandLine::Parse(
+      {"--server", "h:1", "jobs", "list", "--evaluation", "e1", "--csv"});
+  ASSERT_EQ(cmd.positional.size(), 2u);
+  EXPECT_EQ(cmd.positional[0], "jobs");
+  EXPECT_EQ(cmd.positional[1], "list");
+  EXPECT_EQ(cmd.Flag("server"), "h:1");
+  EXPECT_EQ(cmd.Flag("evaluation"), "e1");
+  EXPECT_TRUE(cmd.HasFlag("csv"));
+  EXPECT_EQ(cmd.Flag("csv"), "true");  // Boolean flag.
+  EXPECT_EQ(cmd.Flag("missing", "dflt"), "dflt");
+  EXPECT_FALSE(cmd.HasFlag("missing"));
+}
+
+TEST(CommandLineTest, EmptyArgs) {
+  CommandLine cmd = CommandLine::Parse({});
+  EXPECT_TRUE(cmd.positional.empty());
+  EXPECT_TRUE(cmd.flags.empty());
+}
+
+TEST(CtlBasicsTest, NoCommandPrintsUsage) {
+  std::ostringstream out;
+  EXPECT_EQ(RunChronosctl({}, out), 2);
+  EXPECT_NE(out.str().find("usage:"), std::string::npos);
+}
+
+TEST(CtlBasicsTest, BadServerFlagRejected) {
+  std::ostringstream out;
+  EXPECT_EQ(RunChronosctl({"--server", "nocolon", "status"}, out), 2);
+  EXPECT_NE(out.str().find("bad --server"), std::string::npos);
+}
+
+TEST(CtlBasicsTest, UnknownCommandPrintsUsage) {
+  std::ostringstream out;
+  EXPECT_EQ(RunChronosctl({"--server", "127.0.0.1:1", "frobnicate"}, out), 2);
+  EXPECT_NE(out.str().find("usage:"), std::string::npos);
+}
+
+// --- Live round trips ---
+
+class ChronosctlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::Get()->set_stderr_enabled(false);
+    auto db = model::MetaDb::Open(dir_.path());
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+    service_ = std::make_unique<control::ControlService>(db_.get());
+    service_->CreateUser("admin", "secret", model::UserRole::kAdmin).ok();
+    auto server = control::ControlServer::Start(service_.get(), 0);
+    ASSERT_TRUE(server.ok());
+    server_ = std::move(server).value();
+    server_flag_ = "127.0.0.1:" + std::to_string(server_->port());
+  }
+
+  // Runs chronosctl, asserts exit 0, returns stdout.
+  std::string Run(std::vector<std::string> args) {
+    std::vector<std::string> full = {"--server", server_flag_};
+    if (!token_.empty()) {
+      full.push_back("--token");
+      full.push_back(token_);
+    }
+    full.insert(full.end(), args.begin(), args.end());
+    std::ostringstream out;
+    int code = RunChronosctl(full, out);
+    EXPECT_EQ(code, 0) << out.str();
+    return out.str();
+  }
+
+  void LoginAsAdmin() {
+    std::string token =
+        Run({"login", "--user", "admin", "--password", "secret"});
+    token_ = std::string(strings::Trim(token));
+    ASSERT_FALSE(token_.empty());
+  }
+
+  TempDir dir_;
+  std::unique_ptr<model::MetaDb> db_;
+  std::unique_ptr<control::ControlService> service_;
+  std::unique_ptr<control::ControlServer> server_;
+  std::string server_flag_;
+  std::string token_;
+};
+
+TEST_F(ChronosctlTest, StatusWorksUnauthenticated) {
+  std::string out = Run({"status"});
+  EXPECT_NE(out.find("chronos-control"), std::string::npos);
+  EXPECT_NE(out.find("users: 1"), std::string::npos);
+}
+
+TEST_F(ChronosctlTest, LoginFailsWithBadPassword) {
+  std::ostringstream out;
+  int code = RunChronosctl({"--server", server_flag_, "login", "--user",
+                            "admin", "--password", "wrong"},
+                           out);
+  EXPECT_EQ(code, 1);
+  EXPECT_NE(out.str().find("error:"), std::string::npos);
+}
+
+TEST_F(ChronosctlTest, ProjectLifecycleThroughCli) {
+  LoginAsAdmin();
+  std::string project_id = std::string(
+      strings::Trim(Run({"projects", "create", "--name", "cli-project"})));
+  EXPECT_EQ(project_id.size(), 36u);  // UUID.
+  std::string listing = Run({"projects", "list"});
+  EXPECT_NE(listing.find("cli-project"), std::string::npos);
+  EXPECT_NE(listing.find(project_id), std::string::npos);
+}
+
+TEST_F(ChronosctlTest, FullEvaluationDriveThroughCli) {
+  LoginAsAdmin();
+  // Register a system + deployment directly (admin setup).
+  model::System system;
+  system.name = "CliSuE";
+  model::ParameterDef def;
+  def.name = "x";
+  def.type = model::ParameterType::kValue;
+  system.parameters.push_back(def);
+  model::DiagramDef diagram;
+  diagram.name = "y by x";
+  diagram.type = model::DiagramType::kBar;
+  diagram.x_field = "x";
+  diagram.y_field = "y";
+  system.diagrams.push_back(diagram);
+  auto registered = service_->RegisterSystem(system);
+  model::Deployment deployment;
+  deployment.system_id = registered->id;
+  deployment.name = "cli-dep";
+  auto dep = service_->CreateDeployment(deployment);
+
+  std::string project_id = std::string(
+      strings::Trim(Run({"projects", "create", "--name", "p"})));
+  model::ParameterSetting sweep;
+  sweep.name = "x";
+  sweep.sweep = {json::Json(1), json::Json(2)};
+  auto experiment = service_->CreateExperiment(
+      project_id, service_->ListUsers()[0].id, registered->id, "exp", "",
+      {sweep});
+  ASSERT_TRUE(experiment.ok());
+
+  EXPECT_NE(Run({"systems", "list"}).find("CliSuE"), std::string::npos);
+  EXPECT_NE(Run({"deployments", "list", "--system", registered->id})
+                .find("cli-dep"),
+            std::string::npos);
+  EXPECT_NE(Run({"experiments", "list", "--project", project_id})
+                .find("exp"),
+            std::string::npos);
+
+  // Create the evaluation via CLI.
+  std::string created =
+      Run({"evaluations", "create", "--experiment", experiment->id});
+  EXPECT_NE(created.find("(2 jobs)"), std::string::npos);
+  std::string evaluation_id = created.substr(0, created.find(' '));
+
+  // Complete the jobs via direct dispatch (simulated agent).
+  while (true) {
+    auto job = service_->PollJob(dep->id);
+    ASSERT_TRUE(job.ok());
+    if (!job->has_value()) break;
+    json::Json data = json::Json::MakeObject();
+    data.Set("y", (*job)->parameters.at("x").as_int() * 10);
+    ASSERT_TRUE(service_->UploadResult((*job)->id, data, "").ok());
+  }
+
+  std::string shown = Run({"evaluation", "show", evaluation_id});
+  EXPECT_NE(shown.find("finished: 2"), std::string::npos);
+
+  // watch exits immediately (everything already terminal).
+  std::string watched = Run({"evaluation", "watch", evaluation_id,
+                             "--interval-ms", "1"});
+  EXPECT_NE(watched.find("all finished"), std::string::npos);
+
+  std::string jobs = Run({"jobs", "list", "--evaluation", evaluation_id});
+  EXPECT_NE(jobs.find("finished"), std::string::npos);
+
+  std::string diagrams = Run({"diagrams", evaluation_id});
+  EXPECT_NE(diagrams.find("y by x"), std::string::npos);
+  std::string csv = Run({"diagrams", evaluation_id, "--csv"});
+  EXPECT_NE(csv.find("x,y"), std::string::npos);
+
+  // Report + export to files.
+  std::string report_path = dir_.path() + "/report.html";
+  Run({"report", evaluation_id, "--out", report_path});
+  auto report = file::ReadFile(report_path);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->find("<svg"), std::string::npos);
+
+  std::string zip_path = dir_.path() + "/project.zip";
+  Run({"export", project_id, "--out", zip_path});
+  auto archive = file::ReadFile(zip_path);
+  ASSERT_TRUE(archive.ok());
+  EXPECT_EQ(archive->substr(0, 2), "PK");  // ZIP magic.
+}
+
+TEST_F(ChronosctlTest, SystemImportFromDescriptorFile) {
+  LoginAsAdmin();
+  std::string descriptor_path = dir_.path() + "/mokkadb.json";
+  ASSERT_TRUE(file::WriteFile(descriptor_path, R"({
+    "name": "MokkaDB",
+    "description": "imported from descriptor",
+    "parameters": [
+      {"name": "engine", "type": "checkbox", "description": "",
+       "default": null, "options": ["wiredtiger", "mmapv1"],
+       "min": 0, "max": 0, "step": 1},
+      {"name": "threads", "type": "interval", "description": "",
+       "default": 4, "options": [], "min": 1, "max": 64, "step": 1}
+    ],
+    "diagrams": [
+      {"name": "Throughput", "type": "line", "x_field": "threads",
+       "y_field": "throughput", "group_by": "engine"}
+    ]
+  })")
+                  .ok());
+  std::string system_id = std::string(
+      strings::Trim(Run({"systems", "import", "--file", descriptor_path})));
+  ASSERT_FALSE(system_id.empty());
+  auto system = service_->GetSystem(system_id);
+  ASSERT_TRUE(system.ok());
+  EXPECT_EQ(system->name, "MokkaDB");
+  ASSERT_EQ(system->parameters.size(), 2u);
+  EXPECT_EQ(system->parameters[1].max, 64);
+  ASSERT_EQ(system->diagrams.size(), 1u);
+  EXPECT_EQ(system->diagrams[0].group_by, "engine");
+
+  // Bad file / bad JSON fail cleanly.
+  std::ostringstream out;
+  EXPECT_EQ(RunChronosctl({"--server", server_flag_, "--token", token_,
+                           "systems", "import", "--file", "/nope.json"},
+                          out),
+            1);
+}
+
+TEST_F(ChronosctlTest, JobAbortAndLogThroughCli) {
+  LoginAsAdmin();
+  model::System system;
+  system.name = "S";
+  model::ParameterDef def;
+  def.name = "x";
+  def.type = model::ParameterType::kValue;
+  system.parameters.push_back(def);
+  auto registered = service_->RegisterSystem(system);
+  std::string project_id = std::string(
+      strings::Trim(Run({"projects", "create", "--name", "p"})));
+  model::ParameterSetting fixed;
+  fixed.name = "x";
+  fixed.fixed = json::Json(1);
+  auto experiment = service_->CreateExperiment(
+      project_id, service_->ListUsers()[0].id, registered->id, "e", "",
+      {fixed});
+  auto evaluation = service_->CreateEvaluation(experiment->id, "r");
+  auto jobs = service_->ListJobs(evaluation->id);
+  ASSERT_EQ(jobs.size(), 1u);
+  service_->AppendLog(jobs[0].id, {"cli log line"}).ok();
+
+  EXPECT_NE(Run({"job", "show", jobs[0].id}).find("scheduled"),
+            std::string::npos);
+  EXPECT_NE(Run({"job", "log", jobs[0].id}).find("cli log line"),
+            std::string::npos);
+  Run({"job", "abort", jobs[0].id});
+  EXPECT_EQ(service_->GetJob(jobs[0].id)->state, model::JobState::kAborted);
+
+  // Aborting again fails with a non-zero exit.
+  std::ostringstream out;
+  int code = RunChronosctl({"--server", server_flag_, "--token", token_,
+                            "job", "abort", jobs[0].id},
+                           out);
+  EXPECT_EQ(code, 1);
+}
+
+}  // namespace
+}  // namespace chronos::tools

@@ -1,0 +1,656 @@
+#include <gtest/gtest.h>
+
+#include "archive/zip.h"
+#include "common/file_util.h"
+#include "common/strings.h"
+#include "control/archiver.h"
+#include "control/auth.h"
+#include "control/control_service.h"
+
+namespace chronos::control {
+namespace {
+
+using chronos::file::TempDir;
+using model::JobState;
+
+// --- Auth primitives ---
+
+TEST(AuthTest, HashIsDeterministicAndSalted) {
+  std::string salt_a = GenerateSalt();
+  std::string salt_b = GenerateSalt();
+  EXPECT_NE(salt_a, salt_b);
+  EXPECT_EQ(HashPassword("pw", salt_a), HashPassword("pw", salt_a));
+  EXPECT_NE(HashPassword("pw", salt_a), HashPassword("pw", salt_b));
+  EXPECT_NE(HashPassword("pw", salt_a), HashPassword("pw2", salt_a));
+  EXPECT_TRUE(VerifyPassword("pw", salt_a, HashPassword("pw", salt_a)));
+  EXPECT_FALSE(VerifyPassword("nope", salt_a, HashPassword("pw", salt_a)));
+}
+
+TEST(SessionTest, LifecycleAndExpiry) {
+  SimulatedClock clock(1000000);
+  SessionManager sessions(&clock, /*ttl_ms=*/1000);
+  std::string token = sessions.CreateSession("u1");
+  EXPECT_EQ(*sessions.Resolve(token), "u1");
+  clock.AdvanceMs(500);
+  EXPECT_TRUE(sessions.Resolve(token).ok());
+  clock.AdvanceMs(600);
+  EXPECT_TRUE(sessions.Resolve(token).status().code() ==
+              StatusCode::kUnauthenticated);
+  EXPECT_FALSE(sessions.Resolve("bogus").ok());
+}
+
+TEST(SessionTest, InvalidateAndSweep) {
+  SimulatedClock clock;
+  SessionManager sessions(&clock, 100);
+  std::string token_a = sessions.CreateSession("a");
+  sessions.CreateSession("b");
+  EXPECT_TRUE(sessions.Invalidate(token_a).ok());
+  EXPECT_TRUE(sessions.Invalidate(token_a).IsNotFound());
+  clock.AdvanceMs(200);
+  EXPECT_EQ(sessions.Sweep(), 1);
+  EXPECT_EQ(sessions.active_sessions(), 0u);
+}
+
+// --- Service fixture ---
+
+class ControlServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = model::MetaDb::Open(dir_.path());
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+    options_.heartbeat_timeout_ms = 1000;
+    options_.max_attempts = 3;
+    service_ = std::make_unique<ControlService>(db_.get(), &clock_, options_);
+
+    auto admin = service_->CreateUser("admin", "secret", model::UserRole::kAdmin);
+    ASSERT_TRUE(admin.ok()) << admin.status();
+    admin_id_ = admin->id;
+  }
+
+  // Registers the MokkaDB system with the demo parameters and diagram.
+  model::System RegisterDemoSystem() {
+    model::System system;
+    system.name = "MokkaDB";
+    model::ParameterDef engine;
+    engine.name = "engine";
+    engine.type = model::ParameterType::kCheckbox;
+    engine.options = {json::Json("wiredtiger"), json::Json("mmapv1")};
+    system.parameters.push_back(engine);
+    model::ParameterDef threads;
+    threads.name = "threads";
+    threads.type = model::ParameterType::kInterval;
+    threads.min = 1;
+    threads.max = 64;
+    system.parameters.push_back(threads);
+    model::DiagramDef diagram;
+    diagram.name = "Throughput";
+    diagram.type = model::DiagramType::kLine;
+    diagram.x_field = "threads";
+    diagram.y_field = "throughput";
+    diagram.group_by = "engine";
+    system.diagrams.push_back(diagram);
+    auto registered = service_->RegisterSystem(system);
+    EXPECT_TRUE(registered.ok());
+    return *registered;
+  }
+
+  model::Deployment AddDeployment(const std::string& system_id,
+                                  const std::string& name = "dep") {
+    model::Deployment deployment;
+    deployment.system_id = system_id;
+    deployment.name = name;
+    deployment.endpoint = "127.0.0.1:1";
+    auto created = service_->CreateDeployment(deployment);
+    EXPECT_TRUE(created.ok());
+    return *created;
+  }
+
+  // Full path to a scheduled evaluation: project -> experiment (engine x
+  // threads sweep) -> evaluation.
+  model::Evaluation MakeDemoEvaluation(
+      std::vector<json::Json> thread_sweep = {json::Json(1), json::Json(2)}) {
+    model::System system = RegisterDemoSystem();
+    system_id_ = system.id;
+    auto project = service_->CreateProject("mongo-eval", "", admin_id_);
+    EXPECT_TRUE(project.ok());
+    project_id_ = project->id;
+    model::ParameterSetting engines;
+    engines.name = "engine";
+    engines.sweep = {json::Json("wiredtiger"), json::Json("mmapv1")};
+    model::ParameterSetting threads;
+    threads.name = "threads";
+    threads.sweep = std::move(thread_sweep);
+    auto experiment = service_->CreateExperiment(
+        project_id_, admin_id_, system.id, "engine comparison", "",
+        {engines, threads});
+    EXPECT_TRUE(experiment.ok()) << experiment.status();
+    experiment_id_ = experiment->id;
+    auto evaluation = service_->CreateEvaluation(experiment_id_, "run 1");
+    EXPECT_TRUE(evaluation.ok());
+    return *evaluation;
+  }
+
+  TempDir dir_;
+  SimulatedClock clock_{1000000};
+  ControlServiceOptions options_;
+  std::unique_ptr<model::MetaDb> db_;
+  std::unique_ptr<ControlService> service_;
+  std::string admin_id_, project_id_, experiment_id_, system_id_;
+};
+
+// --- Users / login ---
+
+TEST_F(ControlServiceTest, LoginRoundTrip) {
+  auto token = service_->Login("admin", "secret");
+  ASSERT_TRUE(token.ok());
+  auto user = service_->Authenticate(*token);
+  ASSERT_TRUE(user.ok());
+  EXPECT_EQ(user->username, "admin");
+  ASSERT_TRUE(service_->Logout(*token).ok());
+  EXPECT_FALSE(service_->Authenticate(*token).ok());
+}
+
+TEST_F(ControlServiceTest, LoginRejectsBadCredentials) {
+  EXPECT_FALSE(service_->Login("admin", "wrong").ok());
+  EXPECT_FALSE(service_->Login("ghost", "secret").ok());
+}
+
+TEST_F(ControlServiceTest, DuplicateUsernameRejected) {
+  EXPECT_TRUE(service_->CreateUser("admin", "xxxx", model::UserRole::kMember)
+                  .status()
+                  .IsAlreadyExists());
+}
+
+TEST_F(ControlServiceTest, WeakPasswordRejected) {
+  EXPECT_FALSE(service_->CreateUser("u", "ab", model::UserRole::kMember).ok());
+}
+
+// --- Project access control ---
+
+TEST_F(ControlServiceTest, ProjectMembershipGatesAccess) {
+  auto outsider =
+      service_->CreateUser("outsider", "pass", model::UserRole::kMember);
+  auto member =
+      service_->CreateUser("member", "pass", model::UserRole::kMember);
+  auto project = service_->CreateProject("p", "", admin_id_);
+  ASSERT_TRUE(project.ok());
+
+  EXPECT_TRUE(service_->GetProject(project->id, outsider->id)
+                  .status()
+                  .code() == StatusCode::kPermissionDenied);
+  ASSERT_TRUE(
+      service_->AddProjectMember(project->id, admin_id_, member->id).ok());
+  EXPECT_TRUE(service_->GetProject(project->id, member->id).ok());
+
+  // Member (not outsider) sees it in the listing.
+  EXPECT_EQ(service_->ListProjects(member->id).size(), 1u);
+  EXPECT_EQ(service_->ListProjects(outsider->id).size(), 0u);
+  EXPECT_EQ(service_->ListProjects(admin_id_).size(), 1u);  // Admin sees all.
+}
+
+TEST_F(ControlServiceTest, ArchivedProjectRefusesNewExperiments) {
+  model::System system = RegisterDemoSystem();
+  auto project = service_->CreateProject("p", "", admin_id_);
+  ASSERT_TRUE(
+      service_->SetProjectArchived(project->id, admin_id_, true).ok());
+  EXPECT_TRUE(service_
+                  ->CreateExperiment(project->id, admin_id_, system.id, "x",
+                                     "", {})
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+// --- Experiment validation ---
+
+TEST_F(ControlServiceTest, ExperimentValidatesAgainstSystem) {
+  model::System system = RegisterDemoSystem();
+  auto project = service_->CreateProject("p", "", admin_id_);
+
+  model::ParameterSetting unknown;
+  unknown.name = "bogus";
+  unknown.fixed = json::Json(1);
+  EXPECT_TRUE(service_
+                  ->CreateExperiment(project->id, admin_id_, system.id, "x",
+                                     "", {unknown})
+                  .status()
+                  .IsInvalidArgument());
+
+  model::ParameterSetting out_of_range;
+  out_of_range.name = "threads";
+  out_of_range.fixed = json::Json(1000);  // max is 64.
+  EXPECT_FALSE(service_
+                   ->CreateExperiment(project->id, admin_id_, system.id, "x",
+                                      "", {out_of_range})
+                   .ok());
+
+  model::ParameterSetting bad_engine;
+  bad_engine.name = "engine";
+  bad_engine.fixed = json::Json("rocksdb");
+  EXPECT_FALSE(service_
+                   ->CreateExperiment(project->id, admin_id_, system.id, "x",
+                                      "", {bad_engine})
+                   .ok());
+}
+
+// --- Evaluation expansion ---
+
+TEST_F(ControlServiceTest, EvaluationExpandsCartesianJobs) {
+  model::Evaluation evaluation =
+      MakeDemoEvaluation({json::Json(1), json::Json(2), json::Json(4)});
+  auto jobs = service_->ListJobs(evaluation.id);
+  EXPECT_EQ(jobs.size(), 6u);  // 2 engines x 3 thread counts.
+  for (const model::Job& job : jobs) {
+    EXPECT_EQ(job.state, JobState::kScheduled);
+    EXPECT_TRUE(job.parameters.count("engine") > 0);
+    EXPECT_TRUE(job.parameters.count("threads") > 0);
+  }
+  auto summary = service_->Summarize(evaluation.id);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->total_jobs, 6);
+  EXPECT_EQ(summary->state_counts[JobState::kScheduled], 6);
+  EXPECT_EQ(summary->overall_progress_percent, 0);
+}
+
+TEST_F(ControlServiceTest, EvaluationRepetitionsMultiplyJobs) {
+  MakeDemoEvaluation();  // Registers everything; ignore its evaluation.
+  auto evaluation =
+      service_->CreateEvaluation(experiment_id_, "rep run", /*repetitions=*/3);
+  ASSERT_TRUE(evaluation.ok());
+  auto jobs = service_->ListJobs(evaluation->id);
+  EXPECT_EQ(jobs.size(), 12u);  // 2 engines x 2 threads x 3 repetitions.
+  // Repeated assignments are identical.
+  int same_params = 0;
+  for (size_t i = 1; i < jobs.size(); ++i) {
+    if (model::AssignmentToJson(jobs[i].parameters) ==
+        model::AssignmentToJson(jobs[i - 1].parameters)) {
+      ++same_params;
+    }
+  }
+  EXPECT_EQ(same_params, 8);  // 2 duplicates per 4 distinct assignments.
+
+  EXPECT_FALSE(service_->CreateEvaluation(experiment_id_, "x", 0).ok());
+  EXPECT_FALSE(service_->CreateEvaluation(experiment_id_, "x", 1001).ok());
+}
+
+TEST_F(ControlServiceTest, RepeatedResultsAverageInDiagrams) {
+  MakeDemoEvaluation();
+  auto evaluation = service_->CreateEvaluation(experiment_id_, "avg",
+                                               /*repetitions=*/2);
+  ASSERT_TRUE(evaluation.ok());
+  model::Deployment deployment = AddDeployment(system_id_);
+  // Finish the repetition jobs with different throughputs; diagram points
+  // must be their mean. Abort the jobs of the fixture's first evaluation so
+  // only ours complete... they belong to a different evaluation anyway.
+  double values[] = {100, 300, 100, 300, 100, 300, 100, 300};
+  int i = 0;
+  while (true) {
+    auto job = service_->PollJob(deployment.id);
+    ASSERT_TRUE(job.ok());
+    if (!job->has_value()) break;
+    if ((*job)->evaluation_id != evaluation->id) {
+      ASSERT_TRUE(service_->AbortJob((*job)->id).ok());
+      continue;
+    }
+    json::Json data = json::Json::MakeObject();
+    data.Set("throughput", values[i++ % 8]);
+    ASSERT_TRUE(service_->UploadResult((*job)->id, data, "").ok());
+  }
+  auto diagrams = service_->EvaluationDiagrams(evaluation->id);
+  ASSERT_TRUE(diagrams.ok());
+  ASSERT_EQ(diagrams->size(), 1u);
+  for (const analysis::Series& series : (*diagrams)[0].series) {
+    for (double v : series.values) {
+      EXPECT_DOUBLE_EQ(v, 200);  // Mean of 100 and 300.
+    }
+  }
+}
+
+// --- Dispatch / job lifecycle ---
+
+TEST_F(ControlServiceTest, PollAssignsOldestScheduledJob) {
+  model::Evaluation evaluation = MakeDemoEvaluation();
+  model::Deployment deployment = AddDeployment(system_id_);
+
+  auto polled = service_->PollJob(deployment.id);
+  ASSERT_TRUE(polled.ok()) << polled.status();
+  ASSERT_TRUE(polled->has_value());
+  EXPECT_EQ((*polled)->state, JobState::kRunning);
+  EXPECT_EQ((*polled)->deployment_id, deployment.id);
+  EXPECT_GT((*polled)->started_at, 0);
+
+  // Deployment is busy: next poll gets nothing.
+  auto second = service_->PollJob(deployment.id);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->has_value());
+}
+
+TEST_F(ControlServiceTest, PollRespectsSystemMatch) {
+  MakeDemoEvaluation();
+  // A deployment of a different system must not receive these jobs.
+  model::System other;
+  other.name = "OtherDB";
+  auto registered = service_->RegisterSystem(other);
+  model::Deployment deployment = AddDeployment(registered->id);
+  auto polled = service_->PollJob(deployment.id);
+  ASSERT_TRUE(polled.ok());
+  EXPECT_FALSE(polled->has_value());
+}
+
+TEST_F(ControlServiceTest, PollRejectsInactiveDeployment) {
+  MakeDemoEvaluation();
+  model::Deployment deployment = AddDeployment(system_id_);
+  ASSERT_TRUE(service_->SetDeploymentActive(deployment.id, false).ok());
+  EXPECT_TRUE(service_->PollJob(deployment.id).status().IsFailedPrecondition());
+}
+
+TEST_F(ControlServiceTest, TwoDeploymentsGetDistinctJobs) {
+  MakeDemoEvaluation();
+  model::Deployment dep_a = AddDeployment(system_id_, "a");
+  model::Deployment dep_b = AddDeployment(system_id_, "b");
+  auto job_a = service_->PollJob(dep_a.id);
+  auto job_b = service_->PollJob(dep_b.id);
+  ASSERT_TRUE(job_a->has_value());
+  ASSERT_TRUE(job_b->has_value());
+  EXPECT_NE((*job_a)->id, (*job_b)->id);
+}
+
+TEST_F(ControlServiceTest, ResultUploadFinishesJob) {
+  model::Evaluation evaluation = MakeDemoEvaluation();
+  model::Deployment deployment = AddDeployment(system_id_);
+  auto job = service_->PollJob(deployment.id);
+  ASSERT_TRUE(job->has_value());
+
+  json::Json data = json::Json::MakeObject();
+  data.Set("throughput", 1234.5);
+  ASSERT_TRUE(service_->UploadResult((*job)->id, data, "").ok());
+
+  auto finished = service_->GetJob((*job)->id);
+  EXPECT_EQ(finished->state, JobState::kFinished);
+  EXPECT_EQ(finished->progress_percent, 100);
+  EXPECT_GT(finished->finished_at, 0);
+  auto result = service_->GetResult((*job)->id);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->data.at("throughput").as_double(), 1234.5);
+
+  // A second upload must be rejected (job no longer running).
+  EXPECT_TRUE(
+      service_->UploadResult((*job)->id, data, "").IsFailedPrecondition());
+}
+
+TEST_F(ControlServiceTest, AbortScheduledAndRunning) {
+  model::Evaluation evaluation = MakeDemoEvaluation();
+  auto jobs = service_->ListJobs(evaluation.id);
+  ASSERT_GE(jobs.size(), 2u);
+
+  // Abort a scheduled job directly.
+  ASSERT_TRUE(service_->AbortJob(jobs[0].id).ok());
+  EXPECT_EQ(service_->GetJob(jobs[0].id)->state, JobState::kAborted);
+
+  // Abort a running job; the agent sees it on the next progress ping.
+  model::Deployment deployment = AddDeployment(system_id_);
+  auto running = service_->PollJob(deployment.id);
+  ASSERT_TRUE(running->has_value());
+  ASSERT_TRUE(service_->AbortJob((*running)->id).ok());
+  auto state = service_->ReportProgress((*running)->id, 50);
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(*state, JobState::kAborted);
+
+  // Aborted jobs cannot be aborted again or rescheduled.
+  EXPECT_FALSE(service_->AbortJob(jobs[0].id).ok());
+  EXPECT_FALSE(service_->RescheduleJob(jobs[0].id).ok());
+}
+
+TEST_F(ControlServiceTest, FailAndManualReschedule) {
+  options_.auto_reschedule = false;
+  service_ = std::make_unique<ControlService>(db_.get(), &clock_, options_);
+  model::Evaluation evaluation = MakeDemoEvaluation();
+  model::Deployment deployment = AddDeployment(system_id_);
+  auto job = service_->PollJob(deployment.id);
+  ASSERT_TRUE(job->has_value());
+
+  ASSERT_TRUE(service_->FailJob((*job)->id, "client exploded").ok());
+  auto failed = service_->GetJob((*job)->id);
+  EXPECT_EQ(failed->state, JobState::kFailed);
+  EXPECT_EQ(failed->failure_reason, "client exploded");
+
+  ASSERT_TRUE(service_->RescheduleJob((*job)->id).ok());
+  auto rescheduled = service_->GetJob((*job)->id);
+  EXPECT_EQ(rescheduled->state, JobState::kScheduled);
+  EXPECT_EQ(rescheduled->attempt, 2);
+  EXPECT_EQ(rescheduled->progress_percent, 0);
+  EXPECT_TRUE(rescheduled->deployment_id.empty());
+}
+
+TEST_F(ControlServiceTest, ProgressAndLogAccumulate) {
+  MakeDemoEvaluation();
+  model::Deployment deployment = AddDeployment(system_id_);
+  auto job = service_->PollJob(deployment.id);
+  ASSERT_TRUE(job->has_value());
+
+  ASSERT_TRUE(service_->ReportProgress((*job)->id, 42).ok());
+  EXPECT_EQ(service_->GetJob((*job)->id)->progress_percent, 42);
+  ASSERT_TRUE(
+      service_->AppendLog((*job)->id, {"line one", "line two"}).ok());
+  EXPECT_EQ(service_->JobLog((*job)->id), "line one\nline two\n");
+  // Timeline captured state change + progress + logs.
+  auto events = service_->JobEvents((*job)->id);
+  EXPECT_GE(events.size(), 4u);
+  EXPECT_FALSE(service_->AppendLog("missing", {"x"}).ok());
+}
+
+// --- Reliability: heartbeats + auto-reschedule (requirement iii) ---
+
+TEST_F(ControlServiceTest, HeartbeatTimeoutFailsAndAutoReschedules) {
+  MakeDemoEvaluation();
+  model::Deployment deployment = AddDeployment(system_id_);
+  auto job = service_->PollJob(deployment.id);
+  ASSERT_TRUE(job->has_value());
+  std::string job_id = (*job)->id;
+
+  // Fresh heartbeat: nothing happens.
+  EXPECT_EQ(service_->CheckHeartbeats(), 0);
+
+  // Silence for > timeout: job fails, then auto-reschedules (attempt 2).
+  clock_.AdvanceMs(1500);
+  EXPECT_EQ(service_->CheckHeartbeats(), 1);
+  auto rescheduled = service_->GetJob(job_id);
+  EXPECT_EQ(rescheduled->state, JobState::kScheduled);
+  EXPECT_EQ(rescheduled->attempt, 2);
+}
+
+TEST_F(ControlServiceTest, AutoRescheduleStopsAtMaxAttempts) {
+  MakeDemoEvaluation();
+  model::Deployment deployment = AddDeployment(system_id_);
+  std::string job_id;
+  for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    auto job = service_->PollJob(deployment.id);
+    ASSERT_TRUE(job.ok() && job->has_value()) << "attempt " << attempt;
+    if (job_id.empty()) job_id = (*job)->id;
+    EXPECT_EQ((*job)->attempt, attempt);
+    clock_.AdvanceMs(2000);
+    EXPECT_GE(service_->CheckHeartbeats(), 1);
+  }
+  // After max_attempts the job stays failed.
+  EXPECT_EQ(service_->GetJob(job_id)->state, JobState::kFailed);
+  auto no_more = service_->PollJob(deployment.id);
+  // All jobs of the 2x2 evaluation eventually fail this way, but the first
+  // job must not come back.
+  if (no_more.ok() && no_more->has_value()) {
+    EXPECT_NE((*no_more)->id, job_id);
+  }
+}
+
+TEST_F(ControlServiceTest, HeartbeatKeepsJobAlive) {
+  MakeDemoEvaluation();
+  model::Deployment deployment = AddDeployment(system_id_);
+  auto job = service_->PollJob(deployment.id);
+  for (int i = 0; i < 5; ++i) {
+    clock_.AdvanceMs(800);  // Under the 1000ms timeout each time.
+    ASSERT_TRUE(service_->Heartbeat((*job)->id).ok());
+    EXPECT_EQ(service_->CheckHeartbeats(), 0);
+  }
+  EXPECT_EQ(service_->GetJob((*job)->id)->state, JobState::kRunning);
+}
+
+TEST_F(ControlServiceTest, DispatchIsFifoWithinSystem) {
+  MakeDemoEvaluation({json::Json(1)});  // 2 jobs (engine sweep x 1 thread).
+  model::Deployment deployment = AddDeployment(system_id_);
+  // Jobs dispatch in creation (id) order.
+  auto first = service_->PollJob(deployment.id);
+  ASSERT_TRUE(first->has_value());
+  json::Json data = json::Json::MakeObject();
+  data.Set("throughput", 1.0);
+  ASSERT_TRUE(service_->UploadResult((*first)->id, data, "").ok());
+  auto second = service_->PollJob(deployment.id);
+  ASSERT_TRUE(second->has_value());
+  EXPECT_LT((*first)->id, (*second)->id);
+  // First job's engine is the first sweep value.
+  EXPECT_EQ((*first)->parameters.at("engine").as_string(), "wiredtiger");
+  EXPECT_EQ((*second)->parameters.at("engine").as_string(), "mmapv1");
+}
+
+TEST_F(ControlServiceTest, PollUnknownDeploymentFails) {
+  EXPECT_TRUE(service_->PollJob("ghost").status().IsNotFound());
+}
+
+TEST_F(ControlServiceTest, EventTimelineOrderSurvivesRestart) {
+  MakeDemoEvaluation();
+  model::Deployment deployment = AddDeployment(system_id_);
+  auto job = service_->PollJob(deployment.id);
+  ASSERT_TRUE(job->has_value());
+  ASSERT_TRUE(service_->AppendLog((*job)->id, {"one"}).ok());
+
+  // Restart the service over the same store; the event sequence must
+  // continue past persisted events, keeping order stable.
+  std::string job_id = (*job)->id;
+  service_ = std::make_unique<ControlService>(db_.get(), &clock_, options_);
+  ASSERT_TRUE(service_->AppendLog(job_id, {"two", "three"}).ok());
+  EXPECT_EQ(service_->JobLog(job_id), "one\ntwo\nthree\n");
+  auto events = service_->JobEvents(job_id);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LT(events[i - 1].seq, events[i].seq);
+  }
+}
+
+TEST_F(ControlServiceTest, SummarizeMissingEvaluationFails) {
+  EXPECT_TRUE(service_->Summarize("ghost").status().IsNotFound());
+  EXPECT_TRUE(service_->CollectResults("ghost").status().IsNotFound());
+  EXPECT_TRUE(service_->EvaluationDiagrams("ghost").status().IsNotFound());
+}
+
+TEST_F(ControlServiceTest, DeploymentDeletionStopsDispatch) {
+  MakeDemoEvaluation();
+  model::Deployment deployment = AddDeployment(system_id_);
+  ASSERT_TRUE(service_->DeleteDeployment(deployment.id).ok());
+  EXPECT_TRUE(service_->PollJob(deployment.id).status().IsNotFound());
+  EXPECT_TRUE(service_->DeleteDeployment(deployment.id).IsNotFound());
+}
+
+// --- Analysis integration ---
+
+TEST_F(ControlServiceTest, DiagramsFromFinishedJobs) {
+  model::Evaluation evaluation = MakeDemoEvaluation();
+  model::Deployment deployment = AddDeployment(system_id_);
+  // Run all four jobs, uploading synthetic throughput results.
+  double throughput = 1000;
+  while (true) {
+    auto job = service_->PollJob(deployment.id);
+    ASSERT_TRUE(job.ok());
+    if (!job->has_value()) break;
+    json::Json data = json::Json::MakeObject();
+    data.Set("throughput", throughput);
+    throughput += 500;
+    ASSERT_TRUE(service_->UploadResult((*job)->id, data, "").ok());
+  }
+  auto results = service_->CollectResults(evaluation.id);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results->size(), 4u);
+
+  auto diagrams = service_->EvaluationDiagrams(evaluation.id);
+  ASSERT_TRUE(diagrams.ok());
+  ASSERT_EQ(diagrams->size(), 1u);
+  EXPECT_EQ((*diagrams)[0].series.size(), 2u);   // Two engines.
+  EXPECT_EQ((*diagrams)[0].x_values.size(), 2u); // Two thread counts.
+}
+
+// --- Archiving (requirement iv) ---
+
+TEST_F(ControlServiceTest, ProjectArchiveContainsEverything) {
+  model::Evaluation evaluation = MakeDemoEvaluation();
+  model::Deployment deployment = AddDeployment(system_id_);
+  auto job = service_->PollJob(deployment.id);
+  ASSERT_TRUE(job->has_value());
+  ASSERT_TRUE(service_->AppendLog((*job)->id, {"log line"}).ok());
+  json::Json data = json::Json::MakeObject();
+  data.Set("throughput", 99.0);
+  std::string bundle = archive::ZipFiles({{"raw.txt", "raw-bytes"}});
+  ASSERT_TRUE(service_
+                  ->UploadResult((*job)->id, data,
+                                 strings::Base64Encode(bundle))
+                  .ok());
+
+  auto archive_bytes = BuildProjectArchive(service_.get(), project_id_,
+                                           admin_id_);
+  ASSERT_TRUE(archive_bytes.ok()) << archive_bytes.status();
+  auto reader = archive::ZipReader::Open(*archive_bytes);
+  ASSERT_TRUE(reader.ok());
+
+  EXPECT_TRUE(reader->Has("project.json"));
+  std::string job_prefix = "experiments/" + experiment_id_ + "/evaluations/" +
+                           evaluation.id + "/jobs/" + (*job)->id + "/";
+  EXPECT_TRUE(reader->Has(job_prefix + "job.json"));
+  EXPECT_TRUE(reader->Has(job_prefix + "job.log"));
+  EXPECT_TRUE(reader->Has(job_prefix + "result.json"));
+  EXPECT_TRUE(reader->Has(job_prefix + "bundle.zip"));
+  // The nested bundle is itself a valid zip with the raw file.
+  auto nested = archive::ZipReader::Open(*reader->Read(job_prefix +
+                                                       "bundle.zip"));
+  ASSERT_TRUE(nested.ok());
+  EXPECT_EQ(*nested->Read("raw.txt"), "raw-bytes");
+  // Parameters that led to the results are preserved (requirement iv).
+  auto job_json = json::Parse(*reader->Read(job_prefix + "job.json"));
+  ASSERT_TRUE(job_json.ok());
+  EXPECT_TRUE(job_json->at("parameters").Has("engine"));
+}
+
+TEST_F(ControlServiceTest, ArchiveImportRecreatesExperiments) {
+  MakeDemoEvaluation();
+  auto archive_bytes =
+      BuildProjectArchive(service_.get(), project_id_, admin_id_);
+  ASSERT_TRUE(archive_bytes.ok());
+  auto imported =
+      ImportProjectArchive(service_.get(), *archive_bytes, admin_id_);
+  ASSERT_TRUE(imported.ok()) << imported.status();
+  EXPECT_EQ(*imported, 2);  // Project + one experiment.
+  EXPECT_EQ(service_->ListProjects(admin_id_).size(), 2u);
+}
+
+// --- Durability of control state ---
+
+TEST_F(ControlServiceTest, StateSurvivesServiceRestart) {
+  model::Evaluation evaluation = MakeDemoEvaluation();
+  model::Deployment deployment = AddDeployment(system_id_);
+  auto job = service_->PollJob(deployment.id);
+  ASSERT_TRUE(job->has_value());
+  std::string job_id = (*job)->id;
+
+  // Simulate a Chronos Control crash: reopen the MetaDb from disk.
+  service_.reset();
+  db_.reset();
+  auto db = model::MetaDb::Open(dir_.path());
+  ASSERT_TRUE(db.ok());
+  db_ = std::move(db).value();
+  service_ = std::make_unique<ControlService>(db_.get(), &clock_, options_);
+
+  auto recovered = service_->GetJob(job_id);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->state, JobState::kRunning);
+  // The recovered control plane can still fail/reschedule it.
+  clock_.AdvanceMs(5000);
+  EXPECT_EQ(service_->CheckHeartbeats(), 1);
+  EXPECT_EQ(service_->GetJob(job_id)->state, JobState::kScheduled);
+}
+
+}  // namespace
+}  // namespace chronos::control

@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "json/json.h"
+
+namespace chronos::json {
+namespace {
+
+// --- Construction / accessors ---
+
+TEST(JsonValueTest, DefaultIsNull) {
+  Json v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), Type::kNull);
+}
+
+TEST(JsonValueTest, ScalarTypes) {
+  EXPECT_TRUE(Json(true).is_bool());
+  EXPECT_TRUE(Json(42).is_int());
+  EXPECT_TRUE(Json(3.5).is_double());
+  EXPECT_TRUE(Json("s").is_string());
+  EXPECT_TRUE(Json(Array{}).is_array());
+  EXPECT_TRUE(Json(Object{}).is_object());
+  EXPECT_TRUE(Json(42).is_number());
+  EXPECT_TRUE(Json(3.5).is_number());
+}
+
+TEST(JsonValueTest, NumericCrossAccess) {
+  EXPECT_EQ(Json(42).as_double(), 42.0);
+  EXPECT_EQ(Json(42.9).as_int(), 42);
+}
+
+TEST(JsonValueTest, ObjectSetAndAt) {
+  Json obj = Json::MakeObject();
+  obj.Set("a", 1).Set("b", "two");
+  EXPECT_TRUE(obj.Has("a"));
+  EXPECT_FALSE(obj.Has("c"));
+  EXPECT_EQ(obj.at("a").as_int(), 1);
+  EXPECT_EQ(obj.at("b").as_string(), "two");
+  EXPECT_TRUE(obj.at("missing").is_null());
+}
+
+TEST(JsonValueTest, SetOnNullPromotesToObject) {
+  Json v;
+  v.Set("k", 1);
+  EXPECT_TRUE(v.is_object());
+  EXPECT_EQ(v.at("k").as_int(), 1);
+}
+
+TEST(JsonValueTest, AppendOnNullPromotesToArray) {
+  Json v;
+  v.Append(1);
+  v.Append("x");
+  EXPECT_TRUE(v.is_array());
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.at(0).as_int(), 1);
+  EXPECT_TRUE(v.at(5).is_null());  // Out of range.
+}
+
+TEST(JsonValueTest, CheckedGetters) {
+  Json obj = Json::MakeObject();
+  obj.Set("s", "str").Set("i", 7).Set("d", 1.5).Set("b", true);
+  EXPECT_EQ(*obj.GetString("s"), "str");
+  EXPECT_EQ(*obj.GetInt("i"), 7);
+  EXPECT_DOUBLE_EQ(*obj.GetDouble("d"), 1.5);
+  EXPECT_DOUBLE_EQ(*obj.GetDouble("i"), 7.0);  // Int readable as double.
+  EXPECT_TRUE(*obj.GetBool("b"));
+  EXPECT_FALSE(obj.GetString("i").ok());
+  EXPECT_FALSE(obj.GetInt("missing").ok());
+}
+
+TEST(JsonValueTest, GetOrDefaults) {
+  Json obj = Json::MakeObject();
+  obj.Set("i", 7);
+  EXPECT_EQ(obj.GetIntOr("i", -1), 7);
+  EXPECT_EQ(obj.GetIntOr("x", -1), -1);
+  EXPECT_EQ(obj.GetStringOr("x", "d"), "d");
+  EXPECT_TRUE(obj.GetBoolOr("x", true));
+  EXPECT_DOUBLE_EQ(obj.GetDoubleOr("x", 2.5), 2.5);
+}
+
+// --- Serialization ---
+
+TEST(JsonDumpTest, Scalars) {
+  EXPECT_EQ(Json().Dump(), "null");
+  EXPECT_EQ(Json(true).Dump(), "true");
+  EXPECT_EQ(Json(false).Dump(), "false");
+  EXPECT_EQ(Json(-17).Dump(), "-17");
+  EXPECT_EQ(Json("hi").Dump(), "\"hi\"");
+}
+
+TEST(JsonDumpTest, DoubleShortestRoundTrip) {
+  EXPECT_EQ(Json(0.5).Dump(), "0.5");
+  EXPECT_EQ(Json(1e100).Dump(), "1e+100");
+}
+
+TEST(JsonDumpTest, EscapesControlCharacters) {
+  EXPECT_EQ(Json("a\"b\\c\nd\te").Dump(), "\"a\\\"b\\\\c\\nd\\te\"");
+  EXPECT_EQ(Json(std::string("\x01", 1)).Dump(), "\"\\u0001\"");
+}
+
+TEST(JsonDumpTest, DeterministicKeyOrder) {
+  Json obj = Json::MakeObject();
+  obj.Set("zebra", 1).Set("alpha", 2);
+  EXPECT_EQ(obj.Dump(), "{\"alpha\":2,\"zebra\":1}");
+}
+
+TEST(JsonDumpTest, NestedCompact) {
+  Json obj = Json::MakeObject();
+  Json arr = Json::MakeArray();
+  arr.Append(1);
+  arr.Append(Json::MakeObject());
+  obj.Set("a", std::move(arr));
+  EXPECT_EQ(obj.Dump(), "{\"a\":[1,{}]}");
+}
+
+TEST(JsonDumpTest, PrettyHasIndentation) {
+  Json obj = Json::MakeObject();
+  obj.Set("a", 1);
+  EXPECT_EQ(obj.DumpPretty(), "{\n  \"a\": 1\n}");
+}
+
+// --- Parsing ---
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(Parse("null")->is_null());
+  EXPECT_TRUE(Parse("true")->as_bool());
+  EXPECT_EQ(Parse("-42")->as_int(), -42);
+  EXPECT_DOUBLE_EQ(Parse("2.5e3")->as_double(), 2500.0);
+  EXPECT_EQ(Parse("\"str\"")->as_string(), "str");
+}
+
+TEST(JsonParseTest, IntegerStaysInt) {
+  auto v = Parse("9007199254740993");  // 2^53+1, not representable as double.
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_int());
+  EXPECT_EQ(v->as_int(), 9007199254740993ll);
+}
+
+TEST(JsonParseTest, HugeIntegerFallsBackToDouble) {
+  auto v = Parse("123456789012345678901234567890");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_double());
+}
+
+TEST(JsonParseTest, WhitespaceTolerant) {
+  auto v = Parse(" { \"a\" : [ 1 , 2 ] } ");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->at("a").size(), 2u);
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  auto v = Parse(R"("a\"b\\c\/d\b\f\n\r\t")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->as_string(), "a\"b\\c/d\b\f\n\r\t");
+}
+
+TEST(JsonParseTest, UnicodeEscapes) {
+  EXPECT_EQ(Parse(R"("A")")->as_string(), "A");
+  EXPECT_EQ(Parse(R"("é")")->as_string(), "\xc3\xa9");      // é
+  EXPECT_EQ(Parse(R"("€")")->as_string(), "\xe2\x82\xac");  // €
+  // Surrogate pair: U+1D11E (musical G clef).
+  EXPECT_EQ(Parse(R"("𝄞")")->as_string(), "\xf0\x9d\x84\x9e");
+}
+
+TEST(JsonParseTest, RejectsMalformed) {
+  const char* bad_cases[] = {
+      "",           "{",           "}",
+      "[1,]",       "{\"a\":}",    "{\"a\" 1}",
+      "tru",        "nul",         "01",
+      "1.",         "1e",          "+1",
+      "\"abc",      "\"\\q\"",     "\"\\u12\"",
+      "\"\\ud834\"",               // Unpaired high surrogate.
+      "\"\\udd1e\"",               // Unpaired low surrogate.
+      "{\"a\":1} x",               // Trailing garbage.
+      "[1] [2]",
+      "'single'",
+      "{\"a\":1,}",
+  };
+  for (const char* bad : bad_cases) {
+    EXPECT_FALSE(Parse(bad).ok()) << "should reject: " << bad;
+  }
+}
+
+TEST(JsonParseTest, RejectsUnescapedControlChars) {
+  EXPECT_FALSE(Parse("\"a\nb\"").ok());
+}
+
+TEST(JsonParseTest, DepthLimitEnforced) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(Parse(deep).ok());
+  std::string ok_depth(100, '[');
+  ok_depth += std::string(100, ']');
+  EXPECT_TRUE(Parse(ok_depth).ok());
+}
+
+TEST(JsonParseTest, DuplicateKeysLastWins) {
+  auto v = Parse("{\"a\":1,\"a\":2}");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->at("a").as_int(), 2);
+}
+
+// --- Equality ---
+
+TEST(JsonEqualityTest, DeepEquality) {
+  auto a = Parse(R"({"x":[1,{"y":true}],"z":null})");
+  auto b = Parse(R"({"z":null,"x":[1,{"y":true}]})");
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(JsonEqualityTest, IntDoubleCrossEquality) {
+  EXPECT_EQ(Json(2), Json(2.0));
+  EXPECT_NE(Json(2), Json(2.5));
+}
+
+TEST(JsonEqualityTest, DifferentTypesUnequal) {
+  EXPECT_NE(Json(1), Json("1"));
+  EXPECT_NE(Json(), Json(false));
+}
+
+// --- Property-style round-trip on randomized documents ---
+
+Json RandomJson(Rng* rng, int depth) {
+  int pick = depth >= 4 ? static_cast<int>(rng->NextUint64(5))
+                        : static_cast<int>(rng->NextUint64(7));
+  switch (pick) {
+    case 0:
+      return Json();
+    case 1:
+      return Json(rng->NextBool());
+    case 2:
+      return Json(static_cast<int64_t>(rng->NextUint64()) / 2);
+    case 3:
+      return Json(rng->NextDouble() * 1e6 - 5e5);
+    case 4: {
+      std::string s;
+      size_t len = rng->NextUint64(20);
+      for (size_t i = 0; i < len; ++i) {
+        // Mix ASCII with escapes and multi-byte UTF-8.
+        uint64_t c = rng->NextUint64(40);
+        if (c < 30) {
+          s.push_back(static_cast<char>('a' + c % 26));
+        } else if (c < 34) {
+          s.push_back('"');
+        } else if (c < 37) {
+          s.push_back('\n');
+        } else {
+          s += "\xc3\xa9";
+        }
+      }
+      return Json(std::move(s));
+    }
+    case 5: {
+      Json arr = Json::MakeArray();
+      size_t n = rng->NextUint64(5);
+      for (size_t i = 0; i < n; ++i) arr.Append(RandomJson(rng, depth + 1));
+      return arr;
+    }
+    default: {
+      Json obj = Json::MakeObject();
+      size_t n = rng->NextUint64(5);
+      for (size_t i = 0; i < n; ++i) {
+        obj.Set("k" + std::to_string(rng->NextUint64(100)),
+                RandomJson(rng, depth + 1));
+      }
+      return obj;
+    }
+  }
+}
+
+class JsonRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(JsonRoundTripTest, DumpParseIsIdentity) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    Json original = RandomJson(&rng, 0);
+    auto reparsed = Parse(original.Dump());
+    ASSERT_TRUE(reparsed.ok()) << original.Dump();
+    EXPECT_EQ(original, *reparsed) << original.Dump();
+    // Pretty form parses back identically too.
+    auto pretty = Parse(original.DumpPretty());
+    ASSERT_TRUE(pretty.ok());
+    EXPECT_EQ(original, *pretty);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonRoundTripTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace chronos::json

@@ -1,0 +1,394 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/file_util.h"
+#include "common/random.h"
+#include "store/table_store.h"
+#include "store/wal.h"
+
+namespace chronos::store {
+namespace {
+
+using chronos::file::TempDir;
+
+json::Json Row(const std::string& name, int64_t value = 0) {
+  json::Json row = json::Json::MakeObject();
+  row.Set("name", name);
+  row.Set("value", value);
+  return row;
+}
+
+// --- WAL ---
+
+TEST(WalTest, AppendAndReplay) {
+  TempDir dir;
+  std::string path = dir.path() + "/wal.log";
+  {
+    auto wal = Wal::Open(path);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append("first", true).ok());
+    ASSERT_TRUE((*wal)->Append("second", true).ok());
+    ASSERT_TRUE((*wal)->Append("", true).ok());  // Empty payloads are legal.
+  }
+  auto records = Wal::Replay(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 3u);
+  EXPECT_EQ((*records)[0], "first");
+  EXPECT_EQ((*records)[1], "second");
+  EXPECT_EQ((*records)[2], "");
+}
+
+TEST(WalTest, ReplayMissingFileIsEmpty) {
+  auto records = Wal::Replay("/nonexistent/wal.log");
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records->empty());
+}
+
+TEST(WalTest, TornTailIsDropped) {
+  TempDir dir;
+  std::string path = dir.path() + "/wal.log";
+  {
+    auto wal = Wal::Open(path);
+    ASSERT_TRUE((*wal)->Append("intact", true).ok());
+    ASSERT_TRUE((*wal)->Append("will-be-torn", true).ok());
+  }
+  // Simulate a crash mid-write: chop the last 5 bytes.
+  auto contents = file::ReadFile(path);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_TRUE(
+      file::WriteFile(path, contents->substr(0, contents->size() - 5)).ok());
+
+  auto records = Wal::Replay(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0], "intact");
+}
+
+TEST(WalTest, CorruptTailIsDropped) {
+  TempDir dir;
+  std::string path = dir.path() + "/wal.log";
+  {
+    auto wal = Wal::Open(path);
+    ASSERT_TRUE((*wal)->Append("good", true).ok());
+    ASSERT_TRUE((*wal)->Append("soon-bad", true).ok());
+  }
+  auto contents = file::ReadFile(path);
+  std::string data = *contents;
+  data[data.size() - 2] ^= 0xFF;  // Flip a byte in the last payload.
+  ASSERT_TRUE(file::WriteFile(path, data).ok());
+
+  auto records = Wal::Replay(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0], "good");
+}
+
+TEST(WalTest, TruncateResets) {
+  TempDir dir;
+  std::string path = dir.path() + "/wal.log";
+  auto wal = Wal::Open(path);
+  ASSERT_TRUE((*wal)->Append("x", true).ok());
+  EXPECT_GT((*wal)->size_bytes(), 0u);
+  ASSERT_TRUE((*wal)->Truncate().ok());
+  EXPECT_EQ((*wal)->size_bytes(), 0u);
+  auto records = Wal::Replay(path);
+  EXPECT_TRUE(records->empty());
+}
+
+TEST(WalTest, ReopenAppends) {
+  TempDir dir;
+  std::string path = dir.path() + "/wal.log";
+  {
+    auto wal = Wal::Open(path);
+    ASSERT_TRUE((*wal)->Append("a", true).ok());
+  }
+  {
+    auto wal = Wal::Open(path);
+    ASSERT_TRUE((*wal)->Append("b", true).ok());
+  }
+  auto records = Wal::Replay(path);
+  ASSERT_EQ(records->size(), 2u);
+}
+
+// --- TableStore CRUD ---
+
+class TableStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto opened = TableStore::Open(dir_.path(), options_);
+    ASSERT_TRUE(opened.ok()) << opened.status();
+    ts_ = std::move(opened).value();
+  }
+
+  void Reopen() {
+    ts_.reset();
+    auto opened = TableStore::Open(dir_.path(), options_);
+    ASSERT_TRUE(opened.ok()) << opened.status();
+    ts_ = std::move(opened).value();
+  }
+
+  TempDir dir_;
+  TableStoreOptions options_;
+  std::unique_ptr<TableStore> ts_;
+};
+
+TEST_F(TableStoreTest, InsertGet) {
+  ASSERT_TRUE(ts_->Insert("t", "1", Row("alpha", 10)).ok());
+  auto row = ts_->Get("t", "1");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->at("name").as_string(), "alpha");
+  EXPECT_EQ(row->at("id").as_string(), "1");
+  EXPECT_EQ(row->at("_version").as_int(), 1);
+}
+
+TEST_F(TableStoreTest, InsertDuplicateFails) {
+  ASSERT_TRUE(ts_->Insert("t", "1", Row("a")).ok());
+  EXPECT_TRUE(ts_->Insert("t", "1", Row("b")).IsAlreadyExists());
+}
+
+TEST_F(TableStoreTest, InsertRejectsNonObject) {
+  EXPECT_TRUE(ts_->Insert("t", "1", json::Json(5)).IsInvalidArgument());
+}
+
+TEST_F(TableStoreTest, UpdateBumpsVersion) {
+  ASSERT_TRUE(ts_->Insert("t", "1", Row("a")).ok());
+  ASSERT_TRUE(ts_->Update("t", "1", Row("b")).ok());
+  auto row = ts_->Get("t", "1");
+  EXPECT_EQ(row->at("name").as_string(), "b");
+  EXPECT_EQ(row->at("_version").as_int(), 2);
+}
+
+TEST_F(TableStoreTest, UpdateMissingFails) {
+  EXPECT_TRUE(ts_->Update("t", "zzz", Row("x")).IsNotFound());
+}
+
+TEST_F(TableStoreTest, OptimisticVersionCheck) {
+  ASSERT_TRUE(ts_->Insert("t", "1", Row("a")).ok());
+  EXPECT_TRUE(ts_->Update("t", "1", Row("b"), /*expected_version=*/99)
+                  .IsFailedPrecondition());
+  EXPECT_TRUE(ts_->Update("t", "1", Row("b"), /*expected_version=*/1).ok());
+  // Version moved to 2; a stale retry with 1 must fail now.
+  EXPECT_TRUE(ts_->Update("t", "1", Row("c"), /*expected_version=*/1)
+                  .IsFailedPrecondition());
+}
+
+TEST_F(TableStoreTest, UpsertInsertsThenUpdates) {
+  ASSERT_TRUE(ts_->Upsert("t", "k", Row("first")).ok());
+  EXPECT_EQ(ts_->Get("t", "k")->at("_version").as_int(), 1);
+  ASSERT_TRUE(ts_->Upsert("t", "k", Row("second")).ok());
+  EXPECT_EQ(ts_->Get("t", "k")->at("_version").as_int(), 2);
+  EXPECT_EQ(ts_->Get("t", "k")->at("name").as_string(), "second");
+}
+
+TEST_F(TableStoreTest, DeleteRemoves) {
+  ASSERT_TRUE(ts_->Insert("t", "1", Row("a")).ok());
+  ASSERT_TRUE(ts_->Delete("t", "1").ok());
+  EXPECT_TRUE(ts_->Get("t", "1").status().IsNotFound());
+  EXPECT_TRUE(ts_->Delete("t", "1").IsNotFound());
+}
+
+TEST_F(TableStoreTest, ScanSortedById) {
+  ASSERT_TRUE(ts_->Insert("t", "b", Row("2")).ok());
+  ASSERT_TRUE(ts_->Insert("t", "a", Row("1")).ok());
+  ASSERT_TRUE(ts_->Insert("t", "c", Row("3")).ok());
+  auto rows = ts_->Scan("t");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].at("id").as_string(), "a");
+  EXPECT_EQ(rows[2].at("id").as_string(), "c");
+  EXPECT_TRUE(ts_->Scan("empty").empty());
+}
+
+TEST_F(TableStoreTest, FindByField) {
+  ASSERT_TRUE(ts_->Insert("t", "1", Row("x", 5)).ok());
+  ASSERT_TRUE(ts_->Insert("t", "2", Row("y", 5)).ok());
+  ASSERT_TRUE(ts_->Insert("t", "3", Row("z", 7)).ok());
+  auto rows = ts_->FindBy("t", "value", json::Json(5));
+  EXPECT_EQ(rows.size(), 2u);
+  auto none = ts_->FindBy("t", "value", json::Json(99));
+  EXPECT_TRUE(none.empty());
+}
+
+TEST_F(TableStoreTest, CountAndTableNames) {
+  ASSERT_TRUE(ts_->Insert("jobs", "1", Row("a")).ok());
+  ASSERT_TRUE(ts_->Insert("projects", "1", Row("b")).ok());
+  ASSERT_TRUE(ts_->Insert("projects", "2", Row("c")).ok());
+  EXPECT_EQ(ts_->Count("projects"), 2u);
+  EXPECT_EQ(ts_->Count("missing"), 0u);
+  auto names = ts_->TableNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "jobs");
+  EXPECT_EQ(names[1], "projects");
+}
+
+// --- Durability / recovery ---
+
+TEST_F(TableStoreTest, SurvivesReopen) {
+  ASSERT_TRUE(ts_->Insert("t", "1", Row("keep", 11)).ok());
+  ASSERT_TRUE(ts_->Insert("t", "2", Row("gone")).ok());
+  ASSERT_TRUE(ts_->Delete("t", "2").ok());
+  ASSERT_TRUE(ts_->Update("t", "1", Row("kept", 12)).ok());
+  Reopen();
+  auto row = ts_->Get("t", "1");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->at("name").as_string(), "kept");
+  EXPECT_EQ(row->at("_version").as_int(), 2);
+  EXPECT_TRUE(ts_->Get("t", "2").status().IsNotFound());
+}
+
+TEST_F(TableStoreTest, SurvivesCheckpointPlusWal) {
+  ASSERT_TRUE(ts_->Insert("t", "1", Row("snap")).ok());
+  ASSERT_TRUE(ts_->Checkpoint().ok());
+  EXPECT_EQ(ts_->wal_bytes(), 0u);
+  ASSERT_TRUE(ts_->Insert("t", "2", Row("walonly")).ok());
+  Reopen();
+  EXPECT_TRUE(ts_->Get("t", "1").ok());
+  EXPECT_TRUE(ts_->Get("t", "2").ok());
+  EXPECT_EQ(ts_->Count("t"), 2u);
+}
+
+TEST_F(TableStoreTest, TornWalTailRecoversPrefix) {
+  ASSERT_TRUE(ts_->Insert("t", "1", Row("committed")).ok());
+  ASSERT_TRUE(ts_->Insert("t", "2", Row("torn")).ok());
+  ts_.reset();
+  // Tear the last WAL record.
+  std::string wal_path = dir_.path() + "/wal.log";
+  auto contents = file::ReadFile(wal_path);
+  ASSERT_TRUE(
+      file::WriteFile(wal_path, contents->substr(0, contents->size() - 3))
+          .ok());
+  Reopen();
+  EXPECT_TRUE(ts_->Get("t", "1").ok());
+  EXPECT_TRUE(ts_->Get("t", "2").status().IsNotFound());
+}
+
+TEST_F(TableStoreTest, AutoCheckpointTriggers) {
+  ts_.reset();
+  options_.checkpoint_wal_bytes = 512;
+  Reopen();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        ts_->Insert("t", std::to_string(i), Row(std::string(64, 'p'))).ok());
+  }
+  // The WAL must have been truncated at least once.
+  EXPECT_LT(ts_->wal_bytes(), 50u * 64u);
+  EXPECT_TRUE(file::Exists(dir_.path() + "/snapshot.json"));
+  Reopen();
+  EXPECT_EQ(ts_->Count("t"), 50u);
+}
+
+TEST_F(TableStoreTest, CorruptSnapshotIsRejectedNotMisread) {
+  ASSERT_TRUE(ts_->Insert("t", "1", Row("a")).ok());
+  ASSERT_TRUE(ts_->Checkpoint().ok());
+  ts_.reset();
+  ASSERT_TRUE(
+      file::WriteFile(dir_.path() + "/snapshot.json", "{not json").ok());
+  auto reopened = store::TableStore::Open(dir_.path());
+  EXPECT_FALSE(reopened.ok());  // Refuse to open on corrupt snapshot.
+}
+
+TEST_F(TableStoreTest, NonObjectSnapshotIsCorruption) {
+  ASSERT_TRUE(ts_->Insert("t", "1", Row("a")).ok());
+  ASSERT_TRUE(ts_->Checkpoint().ok());
+  ts_.reset();
+  ASSERT_TRUE(file::WriteFile(dir_.path() + "/snapshot.json", "[1,2]").ok());
+  auto reopened = store::TableStore::Open(dir_.path());
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_TRUE(reopened.status().IsCorruption());
+}
+
+TEST_F(TableStoreTest, AppliedMutationsCounterAdvances) {
+  uint64_t before = ts_->applied_mutations();
+  ASSERT_TRUE(ts_->Insert("t", "1", Row("a")).ok());
+  ASSERT_TRUE(ts_->Update("t", "1", Row("b")).ok());
+  ASSERT_TRUE(ts_->Delete("t", "1").ok());
+  EXPECT_EQ(ts_->applied_mutations(), before + 3);
+}
+
+// Property: state after crash+recover equals state before crash, for a
+// randomized mutation stream with interleaved checkpoints.
+class StoreRecoveryPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StoreRecoveryPropertyTest, RecoveryIsLossless) {
+  TempDir dir;
+  Rng rng(GetParam() * 31337);
+  std::map<std::string, int64_t> expected;  // id -> value
+  {
+    auto ts = TableStore::Open(dir.path());
+    ASSERT_TRUE(ts.ok());
+    for (int op = 0; op < 300; ++op) {
+      std::string id = std::to_string(rng.NextUint64(40));
+      uint64_t action = rng.NextUint64(10);
+      if (action < 5) {
+        int64_t value = static_cast<int64_t>(rng.NextUint64(1000));
+        ASSERT_TRUE((*ts)->Upsert("t", id, Row("r", value)).ok());
+        expected[id] = value;
+      } else if (action < 8) {
+        Status st = (*ts)->Delete("t", id);
+        if (expected.count(id) > 0) {
+          ASSERT_TRUE(st.ok());
+          expected.erase(id);
+        } else {
+          ASSERT_TRUE(st.IsNotFound());
+        }
+      } else if (action == 8) {
+        ASSERT_TRUE((*ts)->Checkpoint().ok());
+      }
+    }
+  }
+  auto ts = TableStore::Open(dir.path());
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ((*ts)->Count("t"), expected.size());
+  for (const auto& [id, value] : expected) {
+    auto row = (*ts)->Get("t", id);
+    ASSERT_TRUE(row.ok()) << id;
+    EXPECT_EQ(row->at("value").as_int(), value) << id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreRecoveryPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// --- Concurrency ---
+
+TEST_F(TableStoreTest, ConcurrentInsertsAllLand) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        std::string id = std::to_string(t) + "-" + std::to_string(i);
+        ASSERT_TRUE(ts_->Insert("t", id, Row(id)).ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ts_->Count("t"), static_cast<size_t>(kThreads * kPerThread));
+}
+
+TEST_F(TableStoreTest, ConcurrentOptimisticUpdatesSerialize) {
+  ASSERT_TRUE(ts_->Insert("t", "ctr", Row("counter", 0)).ok());
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 25;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this] {
+      for (int i = 0; i < kIncrements; ++i) {
+        while (true) {  // Optimistic retry loop.
+          auto row = ts_->Get("t", "ctr");
+          ASSERT_TRUE(row.ok());
+          int64_t version = row->at("_version").as_int();
+          json::Json next = Row("counter", row->at("value").as_int() + 1);
+          if (ts_->Update("t", "ctr", next, version).ok()) break;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ts_->Get("t", "ctr")->at("value").as_int(),
+            kThreads * kIncrements);
+}
+
+}  // namespace
+}  // namespace chronos::store

@@ -1,0 +1,345 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/distributions.h"
+#include "workload/workload.h"
+
+namespace chronos::workload {
+namespace {
+
+// --- Distributions ---
+
+TEST(DistributionTest, UniformCoversRange) {
+  Rng rng(1);
+  UniformChooser chooser(100);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 10000; ++i) counts[chooser.Next(&rng)]++;
+  EXPECT_EQ(counts.size(), 100u);  // Every key hit at 100x expected samples.
+  for (const auto& [key, count] : counts) {
+    EXPECT_LT(key, 100u);
+    EXPECT_GT(count, 30);  // ~100 expected; very loose bound.
+    EXPECT_LT(count, 300);
+  }
+}
+
+TEST(DistributionTest, ZipfianIsSkewed) {
+  Rng rng(2);
+  ZipfianChooser chooser(1000);
+  std::map<uint64_t, int> counts;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) counts[chooser.Next(&rng)]++;
+  // Key 0 must be by far the most popular (~theta=0.99 zipf: >5%).
+  EXPECT_GT(counts[0], kSamples / 20);
+  // And the top-10 keys should dwarf a uniform share.
+  int top10 = 0;
+  for (uint64_t k = 0; k < 10; ++k) top10 += counts[k];
+  EXPECT_GT(top10, kSamples / 5);
+}
+
+TEST(DistributionTest, ZipfianStaysInRange) {
+  Rng rng(3);
+  ZipfianChooser chooser(50);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(chooser.Next(&rng), 50u);
+  }
+}
+
+TEST(DistributionTest, ScrambledZipfianSpreadsHotKeys) {
+  Rng rng(4);
+  ScrambledZipfianChooser chooser(1000);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) counts[chooser.Next(&rng)]++;
+  // The hottest key should NOT be key 0 systematically (it is hashed).
+  uint64_t hottest = 0;
+  int hottest_count = 0;
+  for (const auto& [key, count] : counts) {
+    if (count > hottest_count) {
+      hottest = key;
+      hottest_count = count;
+    }
+  }
+  EXPECT_GT(hottest_count, 1000);  // Still skewed...
+  EXPECT_NE(hottest, 0u);          // ...but scattered (hash of rank 0 != 0).
+}
+
+TEST(DistributionTest, LatestFavorsRecentKeys) {
+  Rng rng(5);
+  LatestChooser chooser(1000);
+  int recent = 0;
+  constexpr int kSamples = 10000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (chooser.Next(&rng) >= 900) ++recent;  // Top decile of recency.
+  }
+  EXPECT_GT(recent, kSamples / 2);  // Most traffic on newest 10%.
+}
+
+TEST(DistributionTest, LatestGrowTracksInserts) {
+  Rng rng(6);
+  LatestChooser chooser(10);
+  chooser.GrowTo(1000);
+  bool saw_beyond_initial = false;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t key = chooser.Next(&rng);
+    EXPECT_LT(key, 1000u);
+    if (key >= 10) saw_beyond_initial = true;
+  }
+  EXPECT_TRUE(saw_beyond_initial);
+}
+
+TEST(DistributionTest, HotSpotProportions) {
+  Rng rng(7);
+  HotSpotChooser chooser(1000, 0.2, 0.8);
+  int hot = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (chooser.Next(&rng) < 200) ++hot;
+  }
+  // 80% of ops should land in the hot 20% (±3%).
+  EXPECT_NEAR(static_cast<double>(hot) / kSamples, 0.8, 0.03);
+}
+
+TEST(DistributionTest, KindNamesRoundTrip) {
+  for (DistributionKind kind :
+       {DistributionKind::kUniform, DistributionKind::kZipfian,
+        DistributionKind::kScrambledZipfian, DistributionKind::kLatest,
+        DistributionKind::kHotSpot}) {
+    auto parsed = ParseDistributionKind(DistributionKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+    EXPECT_NE(MakeChooser(kind, 10), nullptr);
+  }
+  EXPECT_FALSE(ParseDistributionKind("normal").ok());
+}
+
+// --- WorkloadSpec ---
+
+TEST(WorkloadSpecTest, PresetsMatchYcsb) {
+  auto a = WorkloadSpec::Preset("a");
+  ASSERT_TRUE(a.ok());
+  EXPECT_DOUBLE_EQ(a->read_proportion, 0.5);
+  EXPECT_DOUBLE_EQ(a->update_proportion, 0.5);
+
+  auto c = WorkloadSpec::Preset("c");
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ(c->read_proportion, 1.0);
+
+  auto d = WorkloadSpec::Preset("d");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->distribution, DistributionKind::kLatest);
+  EXPECT_DOUBLE_EQ(d->insert_proportion, 0.05);
+
+  auto e = WorkloadSpec::Preset("e");
+  ASSERT_TRUE(e.ok());
+  EXPECT_DOUBLE_EQ(e->scan_proportion, 0.95);
+
+  auto f = WorkloadSpec::Preset("f");
+  ASSERT_TRUE(f.ok());
+  EXPECT_DOUBLE_EQ(f->read_proportion, 0.5);
+  EXPECT_DOUBLE_EQ(f->rmw_proportion, 0.5);
+  EXPECT_DOUBLE_EQ(f->update_proportion, 0.0);
+
+  EXPECT_FALSE(WorkloadSpec::Preset("z").ok());
+}
+
+TEST(WorkloadGeneratorTest, ReadModifyWriteOperations) {
+  WorkloadSpec spec;
+  spec.read_proportion = 0;
+  spec.update_proportion = 0;
+  spec.insert_proportion = 0;
+  spec.scan_proportion = 0;
+  spec.rmw_proportion = 1;
+  WorkloadGenerator generator(spec);
+  for (int i = 0; i < 50; ++i) {
+    Operation op = generator.NextOperation();
+    ASSERT_EQ(op.type, OpType::kReadModifyWrite);
+    EXPECT_FALSE(op.key.empty());
+    EXPECT_TRUE(op.document.Has("_id"));  // Carries the new image.
+  }
+  EXPECT_EQ(OpTypeName(OpType::kReadModifyWrite), "rmw");
+}
+
+TEST(WorkloadSpecTest, RatioWithRmw) {
+  WorkloadSpec spec;
+  ASSERT_TRUE(spec.ApplyRatio("read:50,rmw:50").ok());
+  EXPECT_DOUBLE_EQ(spec.read_proportion, 0.5);
+  EXPECT_DOUBLE_EQ(spec.rmw_proportion, 0.5);
+  EXPECT_DOUBLE_EQ(spec.update_proportion, 0.0);
+}
+
+TEST(WorkloadSpecTest, RmwSurvivesJsonRoundTrip) {
+  WorkloadSpec spec;
+  spec.rmw_proportion = 0.25;
+  auto parsed = WorkloadSpec::FromJson(spec.ToJson());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed->rmw_proportion, 0.25);
+}
+
+TEST(WorkloadSpecTest, ApplyRatioNormalizes) {
+  WorkloadSpec spec;
+  ASSERT_TRUE(spec.ApplyRatio("read:95,update:5").ok());
+  EXPECT_DOUBLE_EQ(spec.read_proportion, 0.95);
+  EXPECT_DOUBLE_EQ(spec.update_proportion, 0.05);
+  ASSERT_TRUE(spec.ApplyRatio("read:1,update:1,insert:1,scan:1").ok());
+  EXPECT_DOUBLE_EQ(spec.read_proportion, 0.25);
+  EXPECT_DOUBLE_EQ(spec.scan_proportion, 0.25);
+}
+
+TEST(WorkloadSpecTest, ApplyRatioRejectsMalformed) {
+  WorkloadSpec spec;
+  EXPECT_FALSE(spec.ApplyRatio("read").ok());
+  EXPECT_FALSE(spec.ApplyRatio("read:abc").ok());
+  EXPECT_FALSE(spec.ApplyRatio("fly:10").ok());
+  EXPECT_FALSE(spec.ApplyRatio("read:0,update:0").ok());
+  EXPECT_FALSE(spec.ApplyRatio("read:-5,update:5").ok());
+}
+
+TEST(WorkloadSpecTest, JsonRoundTrip) {
+  WorkloadSpec spec;
+  spec.record_count = 555;
+  spec.operation_count = 777;
+  spec.distribution = DistributionKind::kLatest;
+  spec.field_count = 3;
+  spec.seed = 99;
+  auto parsed = WorkloadSpec::FromJson(spec.ToJson());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->record_count, 555u);
+  EXPECT_EQ(parsed->operation_count, 777u);
+  EXPECT_EQ(parsed->distribution, DistributionKind::kLatest);
+  EXPECT_EQ(parsed->field_count, 3);
+  EXPECT_EQ(parsed->seed, 99u);
+}
+
+// --- Generator ---
+
+TEST(WorkloadGeneratorTest, KeyFormat) {
+  EXPECT_EQ(WorkloadGenerator::KeyForIndex(0), "user000000000000");
+  EXPECT_EQ(WorkloadGenerator::KeyForIndex(42), "user000000000042");
+}
+
+TEST(WorkloadGeneratorTest, LoadKeysCoverRecordCount) {
+  WorkloadSpec spec;
+  spec.record_count = 25;
+  WorkloadGenerator generator(spec);
+  auto keys = generator.LoadKeys();
+  ASSERT_EQ(keys.size(), 25u);
+  EXPECT_EQ(keys[0], "user000000000000");
+  EXPECT_EQ(keys[24], "user000000000024");
+}
+
+TEST(WorkloadGeneratorTest, DocumentShapeMatchesSpec) {
+  WorkloadSpec spec;
+  spec.field_count = 4;
+  spec.field_length = 16;
+  WorkloadGenerator generator(spec);
+  json::Json doc = generator.MakeDocument("user000000000001");
+  EXPECT_EQ(doc.at("_id").as_string(), "user000000000001");
+  EXPECT_EQ(doc.size(), 5u);  // _id + 4 fields.
+  EXPECT_EQ(doc.at("field0").as_string().size(), 16u);
+  EXPECT_EQ(doc.at("field3").as_string().size(), 16u);
+}
+
+TEST(WorkloadGeneratorTest, MixProportionsApproximatelyHonored) {
+  WorkloadSpec spec;
+  spec.record_count = 1000;
+  spec.read_proportion = 0.7;
+  spec.update_proportion = 0.2;
+  spec.insert_proportion = 0.1;
+  spec.scan_proportion = 0;
+  WorkloadGenerator generator(spec);
+  std::map<OpType, int> counts;
+  constexpr int kOps = 20000;
+  for (int i = 0; i < kOps; ++i) counts[generator.NextOperation().type]++;
+  EXPECT_NEAR(static_cast<double>(counts[OpType::kRead]) / kOps, 0.7, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[OpType::kUpdate]) / kOps, 0.2, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[OpType::kInsert]) / kOps, 0.1, 0.02);
+  EXPECT_EQ(counts[OpType::kScan], 0);
+}
+
+TEST(WorkloadGeneratorTest, InsertsUseFreshMonotonicKeys) {
+  WorkloadSpec spec;
+  spec.record_count = 10;
+  spec.read_proportion = 0;
+  spec.update_proportion = 0;
+  spec.insert_proportion = 1;
+  WorkloadGenerator generator(spec);
+  std::string previous;
+  for (int i = 0; i < 20; ++i) {
+    Operation op = generator.NextOperation();
+    ASSERT_EQ(op.type, OpType::kInsert);
+    EXPECT_GT(op.key, previous);
+    EXPECT_TRUE(op.document.Has("_id"));
+    previous = op.key;
+  }
+  // First fresh key continues after the loaded population.
+  WorkloadGenerator generator2(spec);
+  EXPECT_EQ(generator2.NextOperation().key, "user000000000010");
+}
+
+TEST(WorkloadGeneratorTest, ScansCarryBoundedLength) {
+  WorkloadSpec spec;
+  spec.read_proportion = 0;
+  spec.update_proportion = 0;
+  spec.insert_proportion = 0;
+  spec.scan_proportion = 1;
+  spec.max_scan_length = 10;
+  WorkloadGenerator generator(spec);
+  for (int i = 0; i < 100; ++i) {
+    Operation op = generator.NextOperation();
+    ASSERT_EQ(op.type, OpType::kScan);
+    EXPECT_GE(op.scan_length, 1u);
+    EXPECT_LE(op.scan_length, 10u);
+  }
+}
+
+TEST(WorkloadGeneratorTest, DeterministicPerSeedAndThread) {
+  WorkloadSpec spec;
+  spec.seed = 7;
+  WorkloadGenerator a(spec, 0), b(spec, 0), c(spec, 1);
+  bool any_difference_to_c = false;
+  for (int i = 0; i < 100; ++i) {
+    Operation op_a = a.NextOperation();
+    Operation op_b = b.NextOperation();
+    Operation op_c = c.NextOperation();
+    EXPECT_EQ(op_a.type, op_b.type);
+    EXPECT_EQ(op_a.key, op_b.key);
+    if (op_a.key != op_c.key || op_a.type != op_c.type) {
+      any_difference_to_c = true;
+    }
+  }
+  EXPECT_TRUE(any_difference_to_c);  // Threads get distinct streams.
+}
+
+// Property: operation keys always within the (growing) key space.
+class GeneratorPropertyTest
+    : public ::testing::TestWithParam<DistributionKind> {};
+
+TEST_P(GeneratorPropertyTest, KeysAlwaysValid) {
+  WorkloadSpec spec;
+  spec.record_count = 100;
+  spec.read_proportion = 0.5;
+  spec.update_proportion = 0.3;
+  spec.insert_proportion = 0.2;
+  spec.distribution = GetParam();
+  WorkloadGenerator generator(spec);
+  uint64_t key_space = 100;
+  for (int i = 0; i < 2000; ++i) {
+    Operation op = generator.NextOperation();
+    if (op.type == OpType::kInsert) {
+      ++key_space;
+    }
+    // Key must parse back to an index within the current space.
+    uint64_t index = std::stoull(op.key.substr(4));
+    EXPECT_LT(index, key_space);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDistributions, GeneratorPropertyTest,
+    ::testing::Values(DistributionKind::kUniform, DistributionKind::kZipfian,
+                      DistributionKind::kScrambledZipfian,
+                      DistributionKind::kLatest,
+                      DistributionKind::kHotSpot));
+
+}  // namespace
+}  // namespace chronos::workload
