@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_analysis_pipeline.dir/bench/bench_analysis_pipeline.cc.o"
+  "CMakeFiles/bench_analysis_pipeline.dir/bench/bench_analysis_pipeline.cc.o.d"
+  "bench/bench_analysis_pipeline"
+  "bench/bench_analysis_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_analysis_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_engine_workload_mix.dir/bench/bench_engine_workload_mix.cc.o"
+  "CMakeFiles/bench_engine_workload_mix.dir/bench/bench_engine_workload_mix.cc.o.d"
+  "bench/bench_engine_workload_mix"
+  "bench/bench_engine_workload_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_engine_workload_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3d_engine_threads.dir/bench/bench_fig3d_engine_threads.cc.o"
+  "CMakeFiles/bench_fig3d_engine_threads.dir/bench/bench_fig3d_engine_threads.cc.o.d"
+  "bench/bench_fig3d_engine_threads"
+  "bench/bench_fig3d_engine_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3d_engine_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

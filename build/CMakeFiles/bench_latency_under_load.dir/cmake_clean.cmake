@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_latency_under_load.dir/bench/bench_latency_under_load.cc.o"
+  "CMakeFiles/bench_latency_under_load.dir/bench/bench_latency_under_load.cc.o.d"
+  "bench/bench_latency_under_load"
+  "bench/bench_latency_under_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_latency_under_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

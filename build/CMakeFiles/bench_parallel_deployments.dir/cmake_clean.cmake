@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_deployments.dir/bench/bench_parallel_deployments.cc.o"
+  "CMakeFiles/bench_parallel_deployments.dir/bench/bench_parallel_deployments.cc.o.d"
+  "bench/bench_parallel_deployments"
+  "bench/bench_parallel_deployments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_deployments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rest_api.dir/bench/bench_rest_api.cc.o"
+  "CMakeFiles/bench_rest_api.dir/bench/bench_rest_api.cc.o.d"
+  "bench/bench_rest_api"
+  "bench/bench_rest_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rest_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

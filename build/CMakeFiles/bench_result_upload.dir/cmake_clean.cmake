@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_result_upload.dir/bench/bench_result_upload.cc.o"
+  "CMakeFiles/bench_result_upload.dir/bench/bench_result_upload.cc.o.d"
+  "bench/bench_result_upload"
+  "bench/bench_result_upload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_result_upload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

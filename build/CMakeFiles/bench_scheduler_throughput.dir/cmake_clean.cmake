@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scheduler_throughput.dir/bench/bench_scheduler_throughput.cc.o"
+  "CMakeFiles/bench_scheduler_throughput.dir/bench/bench_scheduler_throughput.cc.o.d"
+  "bench/bench_scheduler_throughput"
+  "bench/bench_scheduler_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scheduler_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ci_trigger.dir/ci_trigger.cpp.o"
+  "CMakeFiles/ci_trigger.dir/ci_trigger.cpp.o.d"
+  "ci_trigger"
+  "ci_trigger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ci_trigger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ci_trigger.
+# This may be replaced when dependencies are built.

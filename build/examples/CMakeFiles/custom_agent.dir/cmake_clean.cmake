@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_agent.dir/custom_agent.cpp.o"
+  "CMakeFiles/custom_agent.dir/custom_agent.cpp.o.d"
+  "custom_agent"
+  "custom_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

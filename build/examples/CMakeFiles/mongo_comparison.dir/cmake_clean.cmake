@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mongo_comparison.dir/mongo_comparison.cpp.o"
+  "CMakeFiles/mongo_comparison.dir/mongo_comparison.cpp.o.d"
+  "mongo_comparison"
+  "mongo_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mongo_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parameter_study.dir/parameter_study.cpp.o"
+  "CMakeFiles/parameter_study.dir/parameter_study.cpp.o.d"
+  "parameter_study"
+  "parameter_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parameter_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

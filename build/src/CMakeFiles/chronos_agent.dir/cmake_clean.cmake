@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronos_agent.dir/agent/agent.cc.o"
+  "CMakeFiles/chronos_agent.dir/agent/agent.cc.o.d"
+  "libchronos_agent.a"
+  "libchronos_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronos_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

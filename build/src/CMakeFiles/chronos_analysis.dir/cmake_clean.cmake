@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronos_analysis.dir/analysis/diagrams.cc.o"
+  "CMakeFiles/chronos_analysis.dir/analysis/diagrams.cc.o.d"
+  "CMakeFiles/chronos_analysis.dir/analysis/metrics.cc.o"
+  "CMakeFiles/chronos_analysis.dir/analysis/metrics.cc.o.d"
+  "libchronos_analysis.a"
+  "libchronos_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronos_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/archive/compress.cc" "src/CMakeFiles/chronos_archive.dir/archive/compress.cc.o" "gcc" "src/CMakeFiles/chronos_archive.dir/archive/compress.cc.o.d"
+  "/root/repo/src/archive/crc32.cc" "src/CMakeFiles/chronos_archive.dir/archive/crc32.cc.o" "gcc" "src/CMakeFiles/chronos_archive.dir/archive/crc32.cc.o.d"
+  "/root/repo/src/archive/zip.cc" "src/CMakeFiles/chronos_archive.dir/archive/zip.cc.o" "gcc" "src/CMakeFiles/chronos_archive.dir/archive/zip.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chronos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronos_archive.dir/archive/compress.cc.o"
+  "CMakeFiles/chronos_archive.dir/archive/compress.cc.o.d"
+  "CMakeFiles/chronos_archive.dir/archive/crc32.cc.o"
+  "CMakeFiles/chronos_archive.dir/archive/crc32.cc.o.d"
+  "CMakeFiles/chronos_archive.dir/archive/zip.cc.o"
+  "CMakeFiles/chronos_archive.dir/archive/zip.cc.o.d"
+  "libchronos_archive.a"
+  "libchronos_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronos_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronos_clients.dir/clients/mokka_client.cc.o"
+  "CMakeFiles/chronos_clients.dir/clients/mokka_client.cc.o.d"
+  "CMakeFiles/chronos_clients.dir/clients/mokka_provisioner.cc.o"
+  "CMakeFiles/chronos_clients.dir/clients/mokka_provisioner.cc.o.d"
+  "libchronos_clients.a"
+  "libchronos_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronos_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

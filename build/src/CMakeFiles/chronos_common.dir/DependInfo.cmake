@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/clock.cc" "src/CMakeFiles/chronos_common.dir/common/clock.cc.o" "gcc" "src/CMakeFiles/chronos_common.dir/common/clock.cc.o.d"
+  "/root/repo/src/common/file_util.cc" "src/CMakeFiles/chronos_common.dir/common/file_util.cc.o" "gcc" "src/CMakeFiles/chronos_common.dir/common/file_util.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/chronos_common.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/chronos_common.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/chronos_common.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/chronos_common.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/sha256.cc" "src/CMakeFiles/chronos_common.dir/common/sha256.cc.o" "gcc" "src/CMakeFiles/chronos_common.dir/common/sha256.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/chronos_common.dir/common/status.cc.o" "gcc" "src/CMakeFiles/chronos_common.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/chronos_common.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/chronos_common.dir/common/strings.cc.o.d"
+  "/root/repo/src/common/threading.cc" "src/CMakeFiles/chronos_common.dir/common/threading.cc.o" "gcc" "src/CMakeFiles/chronos_common.dir/common/threading.cc.o.d"
+  "/root/repo/src/common/uuid.cc" "src/CMakeFiles/chronos_common.dir/common/uuid.cc.o" "gcc" "src/CMakeFiles/chronos_common.dir/common/uuid.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronos_common.dir/common/clock.cc.o"
+  "CMakeFiles/chronos_common.dir/common/clock.cc.o.d"
+  "CMakeFiles/chronos_common.dir/common/file_util.cc.o"
+  "CMakeFiles/chronos_common.dir/common/file_util.cc.o.d"
+  "CMakeFiles/chronos_common.dir/common/histogram.cc.o"
+  "CMakeFiles/chronos_common.dir/common/histogram.cc.o.d"
+  "CMakeFiles/chronos_common.dir/common/logging.cc.o"
+  "CMakeFiles/chronos_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/chronos_common.dir/common/sha256.cc.o"
+  "CMakeFiles/chronos_common.dir/common/sha256.cc.o.d"
+  "CMakeFiles/chronos_common.dir/common/status.cc.o"
+  "CMakeFiles/chronos_common.dir/common/status.cc.o.d"
+  "CMakeFiles/chronos_common.dir/common/strings.cc.o"
+  "CMakeFiles/chronos_common.dir/common/strings.cc.o.d"
+  "CMakeFiles/chronos_common.dir/common/threading.cc.o"
+  "CMakeFiles/chronos_common.dir/common/threading.cc.o.d"
+  "CMakeFiles/chronos_common.dir/common/uuid.cc.o"
+  "CMakeFiles/chronos_common.dir/common/uuid.cc.o.d"
+  "libchronos_common.a"
+  "libchronos_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronos_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

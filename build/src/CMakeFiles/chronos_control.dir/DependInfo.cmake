@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/archiver.cc" "src/CMakeFiles/chronos_control.dir/control/archiver.cc.o" "gcc" "src/CMakeFiles/chronos_control.dir/control/archiver.cc.o.d"
+  "/root/repo/src/control/auth.cc" "src/CMakeFiles/chronos_control.dir/control/auth.cc.o" "gcc" "src/CMakeFiles/chronos_control.dir/control/auth.cc.o.d"
+  "/root/repo/src/control/control_service.cc" "src/CMakeFiles/chronos_control.dir/control/control_service.cc.o" "gcc" "src/CMakeFiles/chronos_control.dir/control/control_service.cc.o.d"
+  "/root/repo/src/control/heartbeat_monitor.cc" "src/CMakeFiles/chronos_control.dir/control/heartbeat_monitor.cc.o" "gcc" "src/CMakeFiles/chronos_control.dir/control/heartbeat_monitor.cc.o.d"
+  "/root/repo/src/control/provisioner.cc" "src/CMakeFiles/chronos_control.dir/control/provisioner.cc.o" "gcc" "src/CMakeFiles/chronos_control.dir/control/provisioner.cc.o.d"
+  "/root/repo/src/control/rest_api.cc" "src/CMakeFiles/chronos_control.dir/control/rest_api.cc.o" "gcc" "src/CMakeFiles/chronos_control.dir/control/rest_api.cc.o.d"
+  "/root/repo/src/control/web_ui.cc" "src/CMakeFiles/chronos_control.dir/control/web_ui.cc.o" "gcc" "src/CMakeFiles/chronos_control.dir/control/web_ui.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chronos_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chronos_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chronos_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chronos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chronos_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chronos_archive.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chronos_store.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

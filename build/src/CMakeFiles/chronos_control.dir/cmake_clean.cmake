@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronos_control.dir/control/archiver.cc.o"
+  "CMakeFiles/chronos_control.dir/control/archiver.cc.o.d"
+  "CMakeFiles/chronos_control.dir/control/auth.cc.o"
+  "CMakeFiles/chronos_control.dir/control/auth.cc.o.d"
+  "CMakeFiles/chronos_control.dir/control/control_service.cc.o"
+  "CMakeFiles/chronos_control.dir/control/control_service.cc.o.d"
+  "CMakeFiles/chronos_control.dir/control/heartbeat_monitor.cc.o"
+  "CMakeFiles/chronos_control.dir/control/heartbeat_monitor.cc.o.d"
+  "CMakeFiles/chronos_control.dir/control/provisioner.cc.o"
+  "CMakeFiles/chronos_control.dir/control/provisioner.cc.o.d"
+  "CMakeFiles/chronos_control.dir/control/rest_api.cc.o"
+  "CMakeFiles/chronos_control.dir/control/rest_api.cc.o.d"
+  "CMakeFiles/chronos_control.dir/control/web_ui.cc.o"
+  "CMakeFiles/chronos_control.dir/control/web_ui.cc.o.d"
+  "libchronos_control.a"
+  "libchronos_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronos_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

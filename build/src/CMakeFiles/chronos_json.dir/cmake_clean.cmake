@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronos_json.dir/json/json.cc.o"
+  "CMakeFiles/chronos_json.dir/json/json.cc.o.d"
+  "libchronos_json.a"
+  "libchronos_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronos_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

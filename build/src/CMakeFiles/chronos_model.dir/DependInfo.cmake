@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/entities.cc" "src/CMakeFiles/chronos_model.dir/model/entities.cc.o" "gcc" "src/CMakeFiles/chronos_model.dir/model/entities.cc.o.d"
+  "/root/repo/src/model/job_state.cc" "src/CMakeFiles/chronos_model.dir/model/job_state.cc.o" "gcc" "src/CMakeFiles/chronos_model.dir/model/job_state.cc.o.d"
+  "/root/repo/src/model/parameter_space.cc" "src/CMakeFiles/chronos_model.dir/model/parameter_space.cc.o" "gcc" "src/CMakeFiles/chronos_model.dir/model/parameter_space.cc.o.d"
+  "/root/repo/src/model/repository.cc" "src/CMakeFiles/chronos_model.dir/model/repository.cc.o" "gcc" "src/CMakeFiles/chronos_model.dir/model/repository.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chronos_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chronos_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chronos_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chronos_archive.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronos_model.dir/model/entities.cc.o"
+  "CMakeFiles/chronos_model.dir/model/entities.cc.o.d"
+  "CMakeFiles/chronos_model.dir/model/job_state.cc.o"
+  "CMakeFiles/chronos_model.dir/model/job_state.cc.o.d"
+  "CMakeFiles/chronos_model.dir/model/parameter_space.cc.o"
+  "CMakeFiles/chronos_model.dir/model/parameter_space.cc.o.d"
+  "CMakeFiles/chronos_model.dir/model/repository.cc.o"
+  "CMakeFiles/chronos_model.dir/model/repository.cc.o.d"
+  "libchronos_model.a"
+  "libchronos_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronos_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

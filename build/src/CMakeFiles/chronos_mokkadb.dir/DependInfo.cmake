@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sue/mokkadb/btree_engine.cc" "src/CMakeFiles/chronos_mokkadb.dir/sue/mokkadb/btree_engine.cc.o" "gcc" "src/CMakeFiles/chronos_mokkadb.dir/sue/mokkadb/btree_engine.cc.o.d"
+  "/root/repo/src/sue/mokkadb/collection.cc" "src/CMakeFiles/chronos_mokkadb.dir/sue/mokkadb/collection.cc.o" "gcc" "src/CMakeFiles/chronos_mokkadb.dir/sue/mokkadb/collection.cc.o.d"
+  "/root/repo/src/sue/mokkadb/database.cc" "src/CMakeFiles/chronos_mokkadb.dir/sue/mokkadb/database.cc.o" "gcc" "src/CMakeFiles/chronos_mokkadb.dir/sue/mokkadb/database.cc.o.d"
+  "/root/repo/src/sue/mokkadb/mmap_engine.cc" "src/CMakeFiles/chronos_mokkadb.dir/sue/mokkadb/mmap_engine.cc.o" "gcc" "src/CMakeFiles/chronos_mokkadb.dir/sue/mokkadb/mmap_engine.cc.o.d"
+  "/root/repo/src/sue/mokkadb/storage_engine.cc" "src/CMakeFiles/chronos_mokkadb.dir/sue/mokkadb/storage_engine.cc.o" "gcc" "src/CMakeFiles/chronos_mokkadb.dir/sue/mokkadb/storage_engine.cc.o.d"
+  "/root/repo/src/sue/mokkadb/wire.cc" "src/CMakeFiles/chronos_mokkadb.dir/sue/mokkadb/wire.cc.o" "gcc" "src/CMakeFiles/chronos_mokkadb.dir/sue/mokkadb/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chronos_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chronos_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chronos_archive.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chronos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chronos_store.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronos_mokkadb.dir/sue/mokkadb/btree_engine.cc.o"
+  "CMakeFiles/chronos_mokkadb.dir/sue/mokkadb/btree_engine.cc.o.d"
+  "CMakeFiles/chronos_mokkadb.dir/sue/mokkadb/collection.cc.o"
+  "CMakeFiles/chronos_mokkadb.dir/sue/mokkadb/collection.cc.o.d"
+  "CMakeFiles/chronos_mokkadb.dir/sue/mokkadb/database.cc.o"
+  "CMakeFiles/chronos_mokkadb.dir/sue/mokkadb/database.cc.o.d"
+  "CMakeFiles/chronos_mokkadb.dir/sue/mokkadb/mmap_engine.cc.o"
+  "CMakeFiles/chronos_mokkadb.dir/sue/mokkadb/mmap_engine.cc.o.d"
+  "CMakeFiles/chronos_mokkadb.dir/sue/mokkadb/storage_engine.cc.o"
+  "CMakeFiles/chronos_mokkadb.dir/sue/mokkadb/storage_engine.cc.o.d"
+  "CMakeFiles/chronos_mokkadb.dir/sue/mokkadb/wire.cc.o"
+  "CMakeFiles/chronos_mokkadb.dir/sue/mokkadb/wire.cc.o.d"
+  "libchronos_mokkadb.a"
+  "libchronos_mokkadb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronos_mokkadb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

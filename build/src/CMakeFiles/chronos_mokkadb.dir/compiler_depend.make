@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for chronos_mokkadb.
+# This may be replaced when dependencies are built.

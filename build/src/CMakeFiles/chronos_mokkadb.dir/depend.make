@@ -1,0 +1,2 @@
+# Empty dependencies file for chronos_mokkadb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronos_net.dir/net/ftp.cc.o"
+  "CMakeFiles/chronos_net.dir/net/ftp.cc.o.d"
+  "CMakeFiles/chronos_net.dir/net/http.cc.o"
+  "CMakeFiles/chronos_net.dir/net/http.cc.o.d"
+  "CMakeFiles/chronos_net.dir/net/router.cc.o"
+  "CMakeFiles/chronos_net.dir/net/router.cc.o.d"
+  "CMakeFiles/chronos_net.dir/net/tcp.cc.o"
+  "CMakeFiles/chronos_net.dir/net/tcp.cc.o.d"
+  "libchronos_net.a"
+  "libchronos_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronos_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

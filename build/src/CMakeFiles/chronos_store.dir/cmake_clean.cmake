@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronos_store.dir/store/table_store.cc.o"
+  "CMakeFiles/chronos_store.dir/store/table_store.cc.o.d"
+  "CMakeFiles/chronos_store.dir/store/wal.cc.o"
+  "CMakeFiles/chronos_store.dir/store/wal.cc.o.d"
+  "libchronos_store.a"
+  "libchronos_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronos_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronos_tools.dir/tools/chronosctl.cc.o"
+  "CMakeFiles/chronos_tools.dir/tools/chronosctl.cc.o.d"
+  "libchronos_tools.a"
+  "libchronos_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronos_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronos_workload.dir/workload/distributions.cc.o"
+  "CMakeFiles/chronos_workload.dir/workload/distributions.cc.o.d"
+  "CMakeFiles/chronos_workload.dir/workload/workload.cc.o"
+  "CMakeFiles/chronos_workload.dir/workload/workload.cc.o.d"
+  "libchronos_workload.a"
+  "libchronos_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronos_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tools/chronosctl_main.cc" "src/CMakeFiles/chronosctl.dir/tools/chronosctl_main.cc.o" "gcc" "src/CMakeFiles/chronosctl.dir/tools/chronosctl_main.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chronos_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chronos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chronos_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chronos_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chronos_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chronos_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chronos_archive.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chronos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

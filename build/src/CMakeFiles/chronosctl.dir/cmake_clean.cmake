@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronosctl.dir/tools/chronosctl_main.cc.o"
+  "CMakeFiles/chronosctl.dir/tools/chronosctl_main.cc.o.d"
+  "chronosctl"
+  "chronosctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronosctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

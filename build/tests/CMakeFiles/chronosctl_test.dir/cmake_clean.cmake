@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronosctl_test.dir/chronosctl_test.cc.o"
+  "CMakeFiles/chronosctl_test.dir/chronosctl_test.cc.o.d"
+  "chronosctl_test"
+  "chronosctl_test.pdb"
+  "chronosctl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronosctl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

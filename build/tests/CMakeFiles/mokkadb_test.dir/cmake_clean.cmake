@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mokkadb_test.dir/mokkadb_test.cc.o"
+  "CMakeFiles/mokkadb_test.dir/mokkadb_test.cc.o.d"
+  "mokkadb_test"
+  "mokkadb_test.pdb"
+  "mokkadb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mokkadb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
