@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, run the full test suite.
+#
+#   scripts/tier1.sh             # plain build
+#   CHRONOS_SANITIZE=ON scripts/tier1.sh   # ASan+UBSan build (build-asan/)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SANITIZE="${CHRONOS_SANITIZE:-OFF}"
+BUILD_DIR="build"
+if [ "${SANITIZE}" = "ON" ]; then
+  BUILD_DIR="build-asan"
+fi
+
+cmake -B "${BUILD_DIR}" -S . -DCHRONOS_SANITIZE="${SANITIZE}"
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+cd "${BUILD_DIR}"
+ctest --output-on-failure -j "$(nproc)"

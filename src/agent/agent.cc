@@ -4,6 +4,8 @@
 #include "common/logging.h"
 #include "common/strings.h"
 #include "net/ftp.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 
 namespace chronos::agent {
 
@@ -123,6 +125,9 @@ Status JobContext::FlushLogs() {
 }
 
 Status JobContext::SendHeartbeat() {
+  static obs::Counter* heartbeats = obs::MetricsRegistry::Get()->GetCounter(
+      "chronos_agent_heartbeats_total", "Job heartbeats sent to Control");
+  heartbeats->Increment();
   auto response = CheckedJson(
       http_->Post(api_base_ + "/agent/jobs/" + job_.id + "/heartbeat", "{}"));
   if (response.ok() &&
@@ -178,6 +183,15 @@ StatusOr<bool> ChronosAgent::RunOnce() {
   if (handler_ == nullptr) {
     return Status::FailedPrecondition("no evaluation handler registered");
   }
+  static obs::Counter* polls = obs::MetricsRegistry::Get()->GetCounter(
+      "chronos_agent_polls_total", "Job poll requests sent to Control");
+  polls->Increment();
+  // One trace per poll cycle: every request this agent sends until the next
+  // poll (poll, heartbeats, log batches, result upload) carries these ids, and
+  // Control adopts them at ingress so its log records correlate with ours.
+  obs::TraceContext trace = obs::TraceContext::Generate();
+  obs::TraceScope trace_scope(trace);
+  http_->SetDefaultHeader(obs::kTraceHeader, trace.ToHeader());
   json::Json poll_body = json::Json::MakeObject();
   poll_body.Set("deployment_id", options_.deployment_id);
   CHRONOS_ASSIGN_OR_RETURN(
@@ -198,9 +212,18 @@ Status ChronosAgent::ExecuteJob(model::Job job) {
   context.Log("agent picked up job (attempt " +
               std::to_string(context.job().attempt) + ")");
 
-  // Background heartbeat + periodic log shipping while the handler runs.
+  static obs::Counter* executed = obs::MetricsRegistry::Get()->GetCounter(
+      "chronos_agent_jobs_executed_total", "Jobs executed by this agent");
+  executed->Increment();
+
+  // Background heartbeat + periodic log shipping while the handler runs. The
+  // keepalive thread inherits the poll cycle's trace so its heartbeat logs
+  // correlate too (thread-local trace state doesn't cross threads on its own).
   std::atomic<bool> done{false};
-  std::thread keepalive([this, &context, &done] {
+  std::thread keepalive([this, &context, &done,
+                         trace = CurrentTraceIds()] {
+    obs::TraceScope trace_scope(
+        obs::TraceContext{trace.trace_id, trace.span_id});
     int64_t since_flush = 0;
     int64_t since_heartbeat = 0;
     while (!done.load()) {
@@ -275,6 +298,9 @@ Status ChronosAgent::UploadResult(JobContext* context) {
                               body.Dump()))
           .status();
   if (status.ok()) {
+    static obs::Counter* uploads = obs::MetricsRegistry::Get()->GetCounter(
+        "chronos_agent_uploads_total", "Result bundles uploaded to Control");
+    uploads->Increment();
     CHRONOS_LOG(kInfo, "agent") << "job " << job_id << " finished";
   }
   return status;

@@ -18,6 +18,20 @@ std::string_view LogLevelName(LogLevel level) {
   return "?";
 }
 
+namespace {
+
+thread_local TraceIds g_current_trace;
+
+}  // namespace
+
+const TraceIds& CurrentTraceIds() { return g_current_trace; }
+
+TraceIds SwapCurrentTraceIds(TraceIds ids) {
+  TraceIds previous = std::move(g_current_trace);
+  g_current_trace = std::move(ids);
+  return previous;
+}
+
 std::string LogRecord::Format() const {
   std::string out = FormatTimestamp(timestamp_ms);
   out += " [";
@@ -26,6 +40,12 @@ std::string LogRecord::Format() const {
   out += component;
   out += ": ";
   out += message;
+  if (!trace_id.empty()) {
+    out += " trace=";
+    out += trace_id;
+    out += " span=";
+    out += span_id;
+  }
   return out;
 }
 
@@ -41,6 +61,8 @@ void Logger::Log(LogLevel level, std::string component, std::string message) {
   record.level = level;
   record.component = std::move(component);
   record.message = std::move(message);
+  record.trace_id = g_current_trace.trace_id;
+  record.span_id = g_current_trace.span_id;
 
   std::vector<std::pair<int, LogSink>> sinks_copy;
   {
@@ -50,7 +72,15 @@ void Logger::Log(LogLevel level, std::string component, std::string message) {
       std::fprintf(stderr, "%s\n", record.Format().c_str());
     }
   }
-  for (auto& [id, sink] : sinks_copy) sink(record);
+  // Sinks run outside the lock, each behind its own catch: one misbehaving
+  // sink must not poison the mutex or starve the others.
+  for (auto& [id, sink] : sinks_copy) {
+    try {
+      sink(record);
+    } catch (...) {
+      dropped_records_.fetch_add(1);
+    }
+  }
 }
 
 int Logger::AddSink(LogSink sink) {

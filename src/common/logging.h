@@ -1,6 +1,8 @@
 #ifndef CHRONOS_COMMON_LOGGING_H_
 #define CHRONOS_COMMON_LOGGING_H_
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <sstream>
@@ -15,13 +17,32 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
 std::string_view LogLevelName(LogLevel level);
 
+// Thread-local trace identity stamped into every LogRecord. The slot lives
+// here (not in obs/) so the logger can read it without a layering cycle;
+// obs::TraceScope is the intended writer.
+struct TraceIds {
+  std::string trace_id;
+  std::string span_id;
+};
+
+// The calling thread's current trace ids (empty outside any trace scope).
+const TraceIds& CurrentTraceIds();
+
+// Installs `ids` as the calling thread's current trace and returns the
+// previous value (for RAII restore).
+TraceIds SwapCurrentTraceIds(TraceIds ids);
+
 struct LogRecord {
   TimestampMs timestamp_ms = 0;
   LogLevel level = LogLevel::kInfo;
   std::string component;
   std::string message;
+  // Trace correlation ids (empty when logged outside a trace scope).
+  std::string trace_id;
+  std::string span_id;
 
-  // "2020-03-30 10:00:00 [INFO] component: message"
+  // "2020-03-30 10:00:00 [INFO] component: message", plus
+  // " trace=<trace_id> span=<span_id>" when a trace is attached.
   std::string Format() const;
 };
 
@@ -48,6 +69,11 @@ class Logger {
   // still reach registered sinks.
   void set_stderr_enabled(bool enabled) { stderr_enabled_ = enabled; }
 
+  // Records dropped because a sink threw. A throwing sink never poisons the
+  // logger or starves the other sinks; the loss is just counted (exposed as
+  // a gauge by the obs metrics registry).
+  uint64_t dropped_records() const { return dropped_records_.load(); }
+
  private:
   Logger() = default;
 
@@ -56,6 +82,7 @@ class Logger {
   int next_sink_id_ = 1;
   LogLevel min_level_ = LogLevel::kInfo;
   bool stderr_enabled_ = true;
+  std::atomic<uint64_t> dropped_records_{0};
 };
 
 // In-memory sink that buffers records; Drain() hands them off and clears the

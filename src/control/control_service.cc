@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/uuid.h"
+#include "obs/metrics_registry.h"
 
 namespace chronos::control {
 
@@ -19,6 +20,63 @@ std::string PadSequence(int sequence) {
   char buf[16];
   std::snprintf(buf, sizeof(buf), "%06d", sequence);
   return buf;
+}
+
+// Scheduler metrics (process-wide; handles cached in local statics).
+
+obs::Counter* JobsScheduledTotal() {
+  static obs::Counter* counter = obs::MetricsRegistry::Get()->GetCounter(
+      "chronos_jobs_scheduled_total",
+      "Jobs entering the scheduled state (incl. reschedules)");
+  return counter;
+}
+
+obs::Gauge* JobQueueDepth() {
+  static obs::Gauge* gauge = obs::MetricsRegistry::Get()->GetGauge(
+      "chronos_jobs_queue_depth", "Jobs currently waiting in scheduled state");
+  return gauge;
+}
+
+// Bookkeeping shared by every observed state change: queue-depth gauge,
+// per-transition counters, and an operator-facing log line that carries the
+// request's trace ids.
+void ObserveTransition(const std::string& job_id, JobState from,
+                       JobState to) {
+  auto* registry = obs::MetricsRegistry::Get();
+  if (from == JobState::kScheduled) JobQueueDepth()->Add(-1);
+  switch (to) {
+    case JobState::kScheduled:
+      JobQueueDepth()->Add(1);
+      JobsScheduledTotal()->Increment();
+      break;
+    case JobState::kRunning: {
+      static obs::Counter* claimed = registry->GetCounter(
+          "chronos_jobs_claimed_total", "Jobs claimed by agents");
+      claimed->Increment();
+      break;
+    }
+    case JobState::kFinished: {
+      static obs::Counter* finished = registry->GetCounter(
+          "chronos_jobs_finished_total", "Jobs finished with a result");
+      finished->Increment();
+      break;
+    }
+    case JobState::kFailed: {
+      static obs::Counter* failed = registry->GetCounter(
+          "chronos_jobs_failed_total", "Jobs transitioned to failed");
+      failed->Increment();
+      break;
+    }
+    case JobState::kAborted: {
+      static obs::Counter* aborted = registry->GetCounter(
+          "chronos_jobs_aborted_total", "Jobs aborted by users");
+      aborted->Increment();
+      break;
+    }
+  }
+  CHRONOS_LOG(kInfo, "control.job")
+      << job_id << ": " << model::JobStateName(from) << " -> "
+      << model::JobStateName(to);
 }
 
 }  // namespace
@@ -322,6 +380,8 @@ StatusOr<model::Evaluation> ControlService::CreateEvaluation(
     job.created_at = clock_->NowMs();
     CHRONOS_RETURN_IF_ERROR(db_->jobs().Insert(job));
     RecordEvent(job.id, "state", "job created (scheduled)");
+    JobsScheduledTotal()->Increment();
+    JobQueueDepth()->Add(1);
   }
   return evaluation;
 }
@@ -390,6 +450,7 @@ Status ControlService::TransitionJob(
       RecordEvent(job_id, "state",
                   std::string(model::JobStateName(from)) + " -> " +
                       std::string(model::JobStateName(to)));
+      ObserveTransition(job_id, from, to);
       return Status::Ok();
     }
     if (!status.IsFailedPrecondition()) return status;

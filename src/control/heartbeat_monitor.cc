@@ -1,5 +1,7 @@
 #include "control/heartbeat_monitor.h"
 
+#include "obs/metrics_registry.h"
+
 namespace chronos::control {
 
 HeartbeatMonitor::HeartbeatMonitor(ControlService* service,
@@ -25,10 +27,20 @@ void HeartbeatMonitor::Stop() {
 }
 
 void HeartbeatMonitor::Loop() {
+  static obs::Counter* sweep_counter = obs::MetricsRegistry::Get()->GetCounter(
+      "chronos_heartbeat_sweeps_total",
+      "Heartbeat reliability sweeps executed");
+  static obs::Counter* failed_counter = obs::MetricsRegistry::Get()->GetCounter(
+      "chronos_heartbeat_jobs_failed_total",
+      "Jobs failed by the heartbeat monitor (stale agents)");
   std::unique_lock<std::mutex> lock(mu_);
   while (!stop_requested_) {
     lock.unlock();
-    jobs_failed_.fetch_add(service_->CheckHeartbeats());
+    int failed = service_->CheckHeartbeats();
+    jobs_failed_.fetch_add(failed);
+    sweeps_.fetch_add(1);
+    sweep_counter->Increment();
+    failed_counter->Increment(static_cast<uint64_t>(failed));
     lock.lock();
     cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
                  [this] { return stop_requested_; });

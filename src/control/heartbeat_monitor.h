@@ -27,6 +27,9 @@ class HeartbeatMonitor {
   // Total jobs failed by this monitor since Start.
   int64_t jobs_failed() const { return jobs_failed_.load(); }
 
+  // Sweeps executed since Start (each sweep is one CheckHeartbeats pass).
+  int64_t sweeps() const { return sweeps_.load(); }
+
  private:
   void Loop();
 
@@ -37,6 +40,7 @@ class HeartbeatMonitor {
   std::condition_variable cv_;
   bool stop_requested_ = false;
   std::atomic<int64_t> jobs_failed_{0};
+  std::atomic<int64_t> sweeps_{0};
 };
 
 }  // namespace chronos::control

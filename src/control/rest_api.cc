@@ -4,6 +4,7 @@
 #include "control/archiver.h"
 #include "control/web_ui.h"
 #include "common/strings.h"
+#include "obs/metrics_registry.h"
 
 namespace chronos::control {
 
@@ -43,14 +44,26 @@ HttpResponse RequireAdmin(const model::User& user) {
   return HttpResponse();  // 200 sentinel, body unused.
 }
 
+// Prometheus text exposition of the process-wide registry. Unauthenticated
+// like /status: scrapers and operators need it without a session.
+HttpResponse MetricsExposition(const HttpRequest&) {
+  HttpResponse response;
+  response.status_code = 200;
+  response.headers.Set("Content-Type",
+                       "text/plain; version=0.0.4; charset=utf-8");
+  response.body = obs::MetricsRegistry::Get()->RenderPrometheus();
+  return response;
+}
+
 // Shared route set; `version` selects contract details (v2 additions).
 void MountVersion(net::Router* router, ControlService* service,
-                  int version) {
+                  HeartbeatMonitor* monitor, int version) {
   const std::string base = "/api/v" + std::to_string(version);
 
   // --- Unauthenticated ---
 
-  router->Get(base + "/status", [service, version](const HttpRequest&) {
+  router->Get(base + "/status",
+              [service, monitor, version](const HttpRequest&) {
     json::Json body = json::Json::MakeObject();
     body.Set("service", "chronos-control");
     body.Set("api_version", static_cast<int64_t>(version));
@@ -58,8 +71,15 @@ void MountVersion(net::Router* router, ControlService* service,
     body.Set("projects", service->db()->projects().Count());
     body.Set("systems", service->db()->systems().Count());
     body.Set("jobs", service->db()->jobs().Count());
+    if (monitor != nullptr) {
+      // Reliability activity at a glance, no metrics scrape needed.
+      body.Set("heartbeat_sweeps", monitor->sweeps());
+      body.Set("heartbeat_jobs_failed", monitor->jobs_failed());
+    }
     return HttpResponse::Json(body);
   });
+
+  router->Get(base + "/metrics", MetricsExposition);
 
   router->Post(base + "/auth/login", [service](const HttpRequest& request) {
     auto body = request.JsonBody();
@@ -578,9 +598,12 @@ void MountVersion(net::Router* router, ControlService* service,
 
 }  // namespace
 
-void MountRestApi(net::Router* router, ControlService* service) {
-  MountVersion(router, service, 1);
-  MountVersion(router, service, 2);
+void MountRestApi(net::Router* router, ControlService* service,
+                  HeartbeatMonitor* monitor) {
+  MountVersion(router, service, monitor, 1);
+  MountVersion(router, service, monitor, 2);
+  // Conventional scrape path for Prometheus-style collectors.
+  router->Get("/metrics", MetricsExposition);
 }
 
 void MountProvisioningApi(net::Router* router, ControlService* service,
@@ -638,7 +661,10 @@ StatusOr<std::unique_ptr<ControlServer>> ControlServer::Start(
     ControlService* service, int port, int64_t monitor_interval_ms,
     ProvisioningManager* provisioning) {
   std::unique_ptr<ControlServer> server(new ControlServer(service));
-  MountRestApi(server->router_.get(), service);
+  // Create (but don't start) the monitor first so /status can report it.
+  server->monitor_ =
+      std::make_unique<HeartbeatMonitor>(service, monitor_interval_ms);
+  MountRestApi(server->router_.get(), service, server->monitor_.get());
   MountWebUi(server->router_.get(), service);
   if (provisioning != nullptr) {
     MountProvisioningApi(server->router_.get(), service, provisioning);
@@ -649,8 +675,6 @@ StatusOr<std::unique_ptr<ControlServer>> ControlServer::Start(
       net::HttpServer::Start(port, [router](const HttpRequest& request) {
         return router->Dispatch(request);
       }));
-  server->monitor_ =
-      std::make_unique<HeartbeatMonitor>(service, monitor_interval_ms);
   server->monitor_->Start();
   return server;
 }

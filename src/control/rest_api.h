@@ -20,9 +20,13 @@ namespace chronos::control {
 //   /api/v2/... — adds one-round-trip agent polls that bundle the job with
 //                 its experiment and system, and a batch log endpoint.
 //
-// Every route except /api/*/status and /api/*/auth/login requires a valid
-// X-Session token.
-void MountRestApi(net::Router* router, ControlService* service);
+// Every route except /api/*/status, /api/*/auth/login and the metrics
+// exposition (/metrics and /api/*/metrics) requires a valid X-Session token.
+//
+// When `monitor` is non-null, /api/*/status additionally reports the
+// reliability sweep activity (heartbeat_sweeps, heartbeat_jobs_failed).
+void MountRestApi(net::Router* router, ControlService* service,
+                  HeartbeatMonitor* monitor = nullptr);
 
 // Mounts the v2-only infrastructure-provisioning endpoints (§5 future work:
 // automatic SuE set-up). Admin-only:

@@ -1,6 +1,9 @@
 #include "net/router.h"
 
+#include "common/clock.h"
 #include "common/strings.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 
 namespace chronos::net {
 
@@ -15,12 +18,29 @@ bool IsCapture(const std::string& segment) {
          segment.back() == '}';
 }
 
+// Metric labels must stay bounded; arbitrary client methods would otherwise
+// mint unbounded series.
+const std::string& MethodLabel(const std::string& method) {
+  static const std::string kKnown[] = {"GET", "POST", "PUT", "DELETE",
+                                       "HEAD", "PATCH", "OPTIONS"};
+  for (const std::string& known : kKnown) {
+    if (method == known) return known;
+  }
+  static const std::string kOther = "OTHER";
+  return kOther;
+}
+
+std::string StatusClass(int code) {
+  return std::to_string(code / 100) + "xx";
+}
+
 }  // namespace
 
 void Router::Handle(const std::string& method, const std::string& pattern,
                     HttpHandler handler) {
   Route route;
   route.method = strings::ToUpper(method);
+  route.pattern = pattern;
   route.segments = SplitPath(pattern);
   route.handler = std::move(handler);
   routes_.push_back(std::move(route));
@@ -53,6 +73,14 @@ int Router::Specificity(const Route& route) {
 }
 
 HttpResponse Router::Dispatch(const HttpRequest& request) const {
+  uint64_t start_nanos = SystemClock::Get()->MonotonicNanos();
+
+  // Adopt the caller's propagated trace (a child span of it) or start a
+  // fresh one at ingress; handler log lines on this thread carry the ids.
+  obs::TraceContext trace =
+      obs::TraceContext::FromHeaderOrNew(request.headers.Get(obs::kTraceHeader));
+  obs::TraceScope trace_scope(trace);
+
   std::vector<std::string> path_segments = SplitPath(request.path);
   const Route* best = nullptr;
   std::map<std::string, std::string> best_params;
@@ -69,16 +97,45 @@ HttpResponse Router::Dispatch(const HttpRequest& request) const {
     }
   }
 
+  HttpResponse response;
+  std::string route_label = "(unmatched)";
   if (best == nullptr) {
-    if (path_matched_any_method) {
-      return HttpResponse::Error(405, "method not allowed: " + request.method +
-                                          " " + request.path);
-    }
-    return HttpResponse::Error(404, "no route for " + request.path);
+    response = path_matched_any_method
+                   ? HttpResponse::Error(405, "method not allowed: " +
+                                                  request.method + " " +
+                                                  request.path)
+                   : HttpResponse::Error(404, "no route for " + request.path);
+  } else {
+    route_label = best->pattern;
+    HttpRequest enriched = request;
+    enriched.path_params = std::move(best_params);
+    response = best->handler(enriched);
   }
-  HttpRequest enriched = request;
-  enriched.path_params = std::move(best_params);
-  return best->handler(enriched);
+
+  uint64_t elapsed_us =
+      (SystemClock::Get()->MonotonicNanos() - start_nanos) / 1000;
+  auto* registry = obs::MetricsRegistry::Get();
+  registry
+      ->GetCounter("chronos_http_requests_total",
+                   "HTTP requests dispatched, by method and route",
+                   {{"method", MethodLabel(request.method)},
+                    {"route", route_label}})
+      ->Increment();
+  registry
+      ->GetCounter("chronos_http_responses_total",
+                   "HTTP responses, by status class",
+                   {{"class", StatusClass(response.status_code)}})
+      ->Increment();
+  registry
+      ->GetHistogram("chronos_http_request_latency_us",
+                     "Request dispatch latency in microseconds, by route",
+                     {{"route", route_label}})
+      ->Observe(elapsed_us);
+
+  // Echo the context so clients can correlate without sniffing their own
+  // header.
+  response.headers.Set(obs::kTraceHeader, trace.ToHeader());
+  return response;
 }
 
 HttpHandler Router::AsHandler() const {

@@ -45,6 +45,7 @@ class Router {
  private:
   struct Route {
     std::string method;
+    std::string pattern;                // As registered; the metrics label.
     std::vector<std::string> segments;  // "{x}" marks a capture.
     HttpHandler handler;
   };

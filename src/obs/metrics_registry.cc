@@ -1,0 +1,212 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace chronos::obs {
+
+namespace {
+
+// Prometheus label values escape backslash, double quote and newline.
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+// 'k1="v1",k2="v2"' with keys sorted — the canonical series key and the
+// rendered label body in one.
+std::string SerializeLabels(const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (const auto& [key, value] : sorted) {
+    if (!out.empty()) out += ',';
+    out += key;
+    out += "=\"";
+    out += EscapeLabelValue(value);
+    out += '"';
+  }
+  return out;
+}
+
+void AppendSample(std::string* out, const std::string& name,
+                  const std::string& labels, const std::string& extra_label,
+                  uint64_t value) {
+  *out += name;
+  if (!labels.empty() || !extra_label.empty()) {
+    *out += '{';
+    *out += labels;
+    if (!labels.empty() && !extra_label.empty()) *out += ',';
+    *out += extra_label;
+    *out += '}';
+  }
+  *out += ' ';
+  *out += std::to_string(value);
+  *out += '\n';
+}
+
+}  // namespace
+
+MetricsRegistry* MetricsRegistry::Get() {
+  static MetricsRegistry* registry = [] {
+    auto* created = new MetricsRegistry();
+    // Default hook: surface the logger's dropped-record count (sinks that
+    // threw) without making the common layer depend on obs.
+    Gauge* dropped =
+        created->GetGauge("chronos_logger_dropped_records",
+                          "Log records dropped because a sink threw");
+    created->AddCollectionHook([dropped] {
+      dropped->Set(
+          static_cast<int64_t>(Logger::Get()->dropped_records()));
+    });
+    return created;
+  }();
+  return registry;
+}
+
+MetricsRegistry::Family* MetricsRegistry::FamilyFor(const std::string& name,
+                                                    const std::string& help,
+                                                    Kind kind) {
+  // Caller holds mu_.
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    Family family;
+    family.kind = kind;
+    family.help = help;
+    it = families_.emplace(name, std::move(family)).first;
+  } else if (it->second.kind != kind) {
+    return nullptr;  // Kind conflict; caller hands out a dummy.
+  }
+  if (it->second.help.empty() && !help.empty()) it->second.help = help;
+  return &it->second;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help,
+                                     const Labels& labels) {
+  std::string key = SerializeLabels(labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = FamilyFor(name, help, Kind::kCounter);
+  if (family == nullptr) {
+    static Counter* mismatch = new Counter();
+    return mismatch;
+  }
+  auto& slot = family->counters[key];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help,
+                                 const Labels& labels) {
+  std::string key = SerializeLabels(labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = FamilyFor(name, help, Kind::kGauge);
+  if (family == nullptr) {
+    static Gauge* mismatch = new Gauge();
+    return mismatch;
+  }
+  auto& slot = family->gauges[key];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name,
+                                               const std::string& help,
+                                               const Labels& labels) {
+  std::string key = SerializeLabels(labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = FamilyFor(name, help, Kind::kHistogram);
+  if (family == nullptr) {
+    static HistogramMetric* mismatch = new HistogramMetric();
+    return mismatch;
+  }
+  auto& slot = family->histograms[key];
+  if (slot == nullptr) slot = std::make_unique<HistogramMetric>();
+  return slot.get();
+}
+
+void MetricsRegistry::AddCollectionHook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hooks_.push_back(std::move(hook));
+}
+
+std::string MetricsRegistry::RenderPrometheus() {
+  // Hooks run outside the lock: they are allowed to register/update metrics.
+  std::vector<std::function<void()>> hooks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hooks = hooks_;
+  }
+  for (const auto& hook : hooks) hook();
+
+  static constexpr double kQuantiles[] = {0.5, 0.9, 0.99};
+
+  std::string out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, family] : families_) {
+    if (!family.help.empty()) {
+      out += "# HELP " + name + " " + family.help + "\n";
+    }
+    out += "# TYPE " + name + " ";
+    switch (family.kind) {
+      case Kind::kCounter:
+        out += "counter\n";
+        for (const auto& [labels, counter] : family.counters) {
+          AppendSample(&out, name, labels, "", counter->value());
+        }
+        break;
+      case Kind::kGauge:
+        out += "gauge\n";
+        for (const auto& [labels, gauge] : family.gauges) {
+          out += name;
+          if (!labels.empty()) out += "{" + labels + "}";
+          out += ' ';
+          out += std::to_string(gauge->value());
+          out += '\n';
+        }
+        break;
+      case Kind::kHistogram:
+        out += "summary\n";
+        for (const auto& [labels, histogram] : family.histograms) {
+          for (double q : kQuantiles) {
+            char quantile_label[32];
+            std::snprintf(quantile_label, sizeof(quantile_label),
+                          "quantile=\"%g\"", q);
+            AppendSample(&out, name, labels, quantile_label,
+                         histogram->Percentile(q));
+          }
+          AppendSample(&out, name + "_sum", labels, "", histogram->sum());
+          AppendSample(&out, name + "_count", labels, "",
+                       histogram->count());
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+size_t MetricsRegistry::family_count() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return families_.size();
+}
+
+}  // namespace chronos::obs

@@ -1,0 +1,135 @@
+#ifndef CHRONOS_OBS_METRICS_REGISTRY_H_
+#define CHRONOS_OBS_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace chronos::obs {
+
+// Label set identifying one time series within a metric family,
+// e.g. {{"method", "GET"}, {"route", "/api/v1/status"}}. Order is
+// irrelevant; the registry sorts by key.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+// Monotonically increasing count. Lock-free; handles are shared across
+// threads freely.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Point-in-time value that can go up and down (queue depths, pool sizes).
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Distribution metric backed by the shared log-bucketed Histogram; exposed
+// in the Prometheus text format as a summary whose quantiles are derived at
+// scrape time.
+class HistogramMetric {
+ public:
+  void Observe(uint64_t value) {
+    histogram_.Record(value);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return histogram_.count(); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t Percentile(double q) const { return histogram_.Percentile(q); }
+  const Histogram& histogram() const { return histogram_; }
+
+ private:
+  Histogram histogram_;
+  std::atomic<uint64_t> sum_{0};
+};
+
+// Thread-safe registry of named + labelled metrics with a Prometheus text
+// exposition writer. Get* registers on first use and returns the existing
+// handle afterwards; handles are stable for the registry's lifetime, so hot
+// paths may cache them in function-local statics.
+//
+// The process-wide instance (MetricsRegistry::Get()) is what the toolkit's
+// instrumentation writes to and what GET /metrics renders; tests that need
+// isolation construct their own registry.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Process-wide instance (never destroyed).
+  static MetricsRegistry* Get();
+
+  // Registering the same name with a different metric kind is a programming
+  // error; the misfit caller gets a detached dummy handle so the process
+  // keeps running and the original family keeps its type.
+  Counter* GetCounter(const std::string& name, const std::string& help = "",
+                      const Labels& labels = {});
+  Gauge* GetGauge(const std::string& name, const std::string& help = "",
+                  const Labels& labels = {});
+  HistogramMetric* GetHistogram(const std::string& name,
+                                const std::string& help = "",
+                                const Labels& labels = {});
+
+  // Hooks run at the start of every Render — the place to refresh gauges
+  // that mirror external state (e.g. logger drop counts). Hooks may call
+  // Get*/Set but must not call AddCollectionHook or Render.
+  void AddCollectionHook(std::function<void()> hook);
+
+  // Prometheus text exposition format 0.0.4: "# HELP"/"# TYPE" per family,
+  // one sample line per series. Families sort by name, series by label set,
+  // so output is deterministic.
+  std::string RenderPrometheus();
+
+  // Number of registered families (for tests).
+  size_t family_count();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Family {
+    Kind kind = Kind::kCounter;
+    std::string help;
+    // Keyed by the serialized label set ('k1="v1",k2="v2"', escaped), which
+    // doubles as the rendered label body. Only the map matching `kind` is
+    // populated.
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<HistogramMetric>> histograms;
+  };
+
+  Family* FamilyFor(const std::string& name, const std::string& help,
+                    Kind kind);
+
+  std::mutex mu_;
+  std::map<std::string, Family> families_;
+  std::vector<std::function<void()>> hooks_;
+};
+
+}  // namespace chronos::obs
+
+#endif  // CHRONOS_OBS_METRICS_REGISTRY_H_

@@ -1,0 +1,85 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "common/uuid.h"
+
+namespace chronos::obs {
+
+namespace {
+
+constexpr size_t kTraceIdLen = 32;
+constexpr size_t kSpanIdLen = 16;
+
+bool IsLowerHex(std::string_view s) {
+  return std::all_of(s.begin(), s.end(), [](char c) {
+    return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+  });
+}
+
+// GenerateUuid gives 32 hex chars once the hyphens are stripped.
+std::string RandomHex(size_t length) {
+  std::string hex;
+  while (hex.size() < length) {
+    for (char c : GenerateUuid()) {
+      if (c != '-') hex += c;
+    }
+  }
+  hex.resize(length);
+  return hex;
+}
+
+}  // namespace
+
+TraceContext TraceContext::Generate() {
+  TraceContext context;
+  context.trace_id = RandomHex(kTraceIdLen);
+  context.span_id = RandomHex(kSpanIdLen);
+  return context;
+}
+
+TraceContext TraceContext::Child() const {
+  TraceContext child;
+  child.trace_id = trace_id;
+  child.span_id = RandomHex(kSpanIdLen);
+  return child;
+}
+
+std::string TraceContext::ToHeader() const { return trace_id + "-" + span_id; }
+
+StatusOr<TraceContext> TraceContext::Parse(std::string_view header) {
+  if (header.size() != kTraceIdLen + 1 + kSpanIdLen ||
+      header[kTraceIdLen] != '-') {
+    return Status::InvalidArgument("bad trace header layout");
+  }
+  TraceContext context;
+  context.trace_id = std::string(header.substr(0, kTraceIdLen));
+  context.span_id = std::string(header.substr(kTraceIdLen + 1));
+  if (!IsLowerHex(context.trace_id) || !IsLowerHex(context.span_id)) {
+    return Status::InvalidArgument("trace ids must be lowercase hex");
+  }
+  return context;
+}
+
+TraceContext TraceContext::FromHeaderOrNew(std::string_view header) {
+  if (!header.empty()) {
+    auto parsed = Parse(header);
+    if (parsed.ok()) return parsed->Child();
+  }
+  return Generate();
+}
+
+TraceScope::TraceScope(const TraceContext& context)
+    : previous_(SwapCurrentTraceIds({context.trace_id, context.span_id})) {}
+
+TraceScope::~TraceScope() { SwapCurrentTraceIds(std::move(previous_)); }
+
+TraceContext CurrentTrace() {
+  const TraceIds& ids = CurrentTraceIds();
+  TraceContext context;
+  context.trace_id = ids.trace_id;
+  context.span_id = ids.span_id;
+  return context;
+}
+
+}  // namespace chronos::obs

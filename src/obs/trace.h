@@ -1,0 +1,64 @@
+#ifndef CHRONOS_OBS_TRACE_H_
+#define CHRONOS_OBS_TRACE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/logging.h"
+#include "common/statusor.h"
+
+namespace chronos::obs {
+
+// Header carrying the trace context across the Control <-> Agent wire.
+// Value format: "<32 hex trace_id>-<16 hex span_id>", e.g.
+//   X-Chronos-Trace: 9f86d081884c7d659a2feaa0c55ad015-4355a46b19d348dc
+inline constexpr char kTraceHeader[] = "X-Chronos-Trace";
+
+// One hop of a distributed trace. The trace_id is shared by every request
+// belonging to one logical operation (e.g. an agent's job execution); each
+// hop gets its own span_id.
+struct TraceContext {
+  std::string trace_id;  // 32 lowercase hex chars.
+  std::string span_id;   // 16 lowercase hex chars.
+
+  bool valid() const { return !trace_id.empty(); }
+
+  // Fresh trace with a root span.
+  static TraceContext Generate();
+
+  // Same trace, new span (the receiving side of a propagated context).
+  TraceContext Child() const;
+
+  // "<trace_id>-<span_id>".
+  std::string ToHeader() const;
+
+  // Strict parse of a header value; rejects malformed ids.
+  static StatusOr<TraceContext> Parse(std::string_view header);
+
+  // Adopts a propagated context (as a child span) or starts a fresh trace
+  // when the header is absent/garbage — the HTTP-ingress policy.
+  static TraceContext FromHeaderOrNew(std::string_view header);
+};
+
+// RAII: installs `context` as the calling thread's current trace so every
+// LogRecord emitted on this thread carries its ids; restores the previous
+// context on destruction. Scopes nest.
+class TraceScope {
+ public:
+  explicit TraceScope(const TraceContext& context);
+  ~TraceScope();
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TraceIds previous_;
+};
+
+// The calling thread's current trace context (empty ids when no scope is
+// active).
+TraceContext CurrentTrace();
+
+}  // namespace chronos::obs
+
+#endif  // CHRONOS_OBS_TRACE_H_

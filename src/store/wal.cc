@@ -6,6 +6,7 @@
 
 #include "archive/crc32.h"
 #include "common/file_util.h"
+#include "obs/metrics_registry.h"
 
 namespace chronos::store {
 
@@ -56,6 +57,12 @@ Status Wal::Append(std::string_view payload, bool sync) {
     return Status::IoError("WAL write failed: " + path_);
   }
   size_bytes_ += sizeof(header) + payload.size();
+  static obs::Counter* appends = obs::MetricsRegistry::Get()->GetCounter(
+      "chronos_wal_appends_total", "Records appended to any WAL");
+  static obs::Counter* bytes = obs::MetricsRegistry::Get()->GetCounter(
+      "chronos_wal_bytes_total", "Bytes appended to any WAL (incl. framing)");
+  appends->Increment();
+  bytes->Increment(sizeof(header) + payload.size());
   if (sync) {
     if (std::fflush(file_) != 0) return Status::IoError("WAL flush failed");
     if (::fsync(::fileno(file_)) != 0) return Status::IoError("WAL fsync failed");

@@ -17,6 +17,8 @@ constexpr char kUsage[] =
     "commands:\n"
     "  login --user U --password P      print a session token\n"
     "  status                           server info\n"
+    "  metrics [--raw]                  metrics snapshot (--raw: Prometheus "
+    "text)\n"
     "  projects list|create             manage projects\n"
     "  systems list                     registered SuEs\n"
     "  systems import --file F.json     register an SuE from a descriptor\n"
@@ -96,6 +98,25 @@ int Fail(std::ostream& out, const Status& status) {
   return 1;
 }
 
+// Renders a Prometheus text exposition for reading: one block per family
+// headed by its HELP line, samples indented underneath, # TYPE lines dropped.
+void PrintMetricsPretty(std::ostream& out, const std::string& exposition) {
+  for (const std::string& line : strings::Split(exposition, '\n')) {
+    if (line.empty()) continue;
+    if (strings::StartsWith(line, "# HELP ")) {
+      std::string rest = line.substr(7);  // "<name> <help text>"
+      size_t space = rest.find(' ');
+      out << rest.substr(0, space);
+      if (space != std::string::npos) {
+        out << "  (" << rest.substr(space + 1) << ")";
+      }
+      out << "\n";
+    } else if (!strings::StartsWith(line, "#")) {
+      out << "  " << line << "\n";
+    }
+  }
+}
+
 }  // namespace
 
 CommandLine CommandLine::Parse(const std::vector<std::string>& args) {
@@ -156,6 +177,17 @@ int RunChronosctl(const std::vector<std::string>& args, std::ostream& out) {
     out << "chronos-control at " << server << "\n";
     for (const char* key : {"users", "projects", "systems", "jobs"}) {
       PrintKv(out, key, std::to_string(response->GetIntOr(key, 0)));
+    }
+    return 0;
+  }
+
+  if (command == "metrics") {
+    auto response = client.GetRaw("/metrics");
+    if (!response.ok()) return Fail(out, response.status());
+    if (cmd.HasFlag("raw")) {
+      out << *response;
+    } else {
+      PrintMetricsPretty(out, *response);
     }
     return 0;
   }

@@ -26,6 +26,7 @@ struct CommandLine {
 //
 //   chronosctl --server 127.0.0.1:8080 login --user admin --password s
 //   chronosctl --server ... --token T status
+//   chronosctl ... metrics [--raw]
 //   chronosctl ... projects list
 //   chronosctl ... projects create --name <name> [--description d]
 //   chronosctl ... systems list

@@ -107,6 +107,19 @@ TEST_F(ChronosctlTest, StatusWorksUnauthenticated) {
   EXPECT_NE(out.find("users: 1"), std::string::npos);
 }
 
+TEST_F(ChronosctlTest, MetricsWorksUnauthenticated) {
+  Run({"status"});  // Generate at least one request to count.
+  std::string pretty = Run({"metrics"});
+  EXPECT_NE(pretty.find("chronos_http_requests_total"), std::string::npos);
+  // Pretty mode folds the help text next to the family name.
+  EXPECT_NE(pretty.find("(HTTP requests dispatched"), std::string::npos);
+  EXPECT_EQ(pretty.find("# TYPE"), std::string::npos);
+
+  std::string raw = Run({"metrics", "--raw"});
+  EXPECT_NE(raw.find("# TYPE chronos_http_requests_total counter"),
+            std::string::npos);
+}
+
 TEST_F(ChronosctlTest, LoginFailsWithBadPassword) {
   std::ostringstream out;
   int code = RunChronosctl({"--server", server_flag_, "login", "--user",

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
 #include <thread>
 
 #include "common/clock.h"
@@ -363,6 +364,27 @@ TEST(LoggingTest, MinLevelFilters) {
   EXPECT_EQ(records[0].message, "kept");
 }
 
+TEST(LoggingTest, ThrowingSinkDoesNotStarveOthers) {
+  Logger::Get()->set_stderr_enabled(false);
+  uint64_t dropped_before = Logger::Get()->dropped_records();
+  int throwing_id = Logger::Get()->AddSink(
+      [](const LogRecord&) { throw std::runtime_error("bad sink"); });
+  CaptureLogSink sink;
+  CHRONOS_LOG(kInfo, "test") << "survives";
+  CHRONOS_LOG(kInfo, "test") << "still survives";
+  Logger::Get()->RemoveSink(throwing_id);
+
+  // The well-behaved sink saw every record and the losses were counted.
+  auto records = sink.Drain();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].message, "survives");
+  EXPECT_EQ(Logger::Get()->dropped_records(), dropped_before + 2);
+
+  // The logger itself is unharmed (mutex not poisoned, sinks still fire).
+  CHRONOS_LOG(kInfo, "test") << "after removal";
+  EXPECT_EQ(sink.Drain().size(), 1u);
+}
+
 TEST(LoggingTest, FormatContainsLevelAndComponent) {
   LogRecord record;
   record.timestamp_ms = 1585526400000ll;
@@ -470,6 +492,57 @@ TEST(HistogramTest, StddevOfConstantIsZero) {
   Histogram h;
   for (int i = 0; i < 10; ++i) h.Record(42);
   EXPECT_NEAR(h.stddev(), 0.0, 1e-9);
+}
+
+TEST(HistogramTest, EmptyPercentileIsZeroForAllQuantiles) {
+  Histogram h;
+  EXPECT_EQ(h.Percentile(0.0), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0u);
+  EXPECT_EQ(h.Percentile(1.0), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.stddev(), 0.0);
+}
+
+TEST(HistogramTest, MergeDisjointRanges) {
+  Histogram low, high;
+  for (uint64_t v = 1; v <= 10; ++v) low.Record(v);
+  for (uint64_t v = 1000000; v <= 1000009; ++v) high.Record(v);
+  low.Merge(high);
+  EXPECT_EQ(low.count(), 20u);
+  EXPECT_EQ(low.min(), 1u);
+  EXPECT_EQ(low.max(), 1000009u);
+  // Median sits at the top of the low cluster; p99 lands in the high one.
+  EXPECT_LE(low.Percentile(0.5), 11u);
+  EXPECT_GE(low.Percentile(0.99), 1000000u);
+  // Merging into an empty histogram adopts the source's extrema.
+  Histogram empty;
+  empty.Merge(low);
+  EXPECT_EQ(empty.count(), 20u);
+  EXPECT_EQ(empty.min(), 1u);
+  EXPECT_EQ(empty.max(), 1000009u);
+}
+
+TEST(HistogramTest, RecordManyExtremeValuesAndCounts) {
+  Histogram h;
+  h.RecordMany(UINT64_MAX, 3);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.max(), UINT64_MAX);
+  // The top bucket's upper bound saturates instead of overflowing.
+  EXPECT_EQ(h.Percentile(1.0), UINT64_MAX);
+
+  // Huge counts don't overflow the total.
+  Histogram many;
+  many.RecordMany(5, 1ull << 40);
+  EXPECT_EQ(many.count(), 1ull << 40);
+  EXPECT_EQ(many.Percentile(0.5), many.Percentile(1.0));
+  EXPECT_NEAR(many.mean(), 5.0, 1e-6);
+
+  // count = 0 is a no-op.
+  Histogram none;
+  none.RecordMany(7, 0);
+  EXPECT_EQ(none.count(), 0u);
+  EXPECT_EQ(none.max(), 0u);
 }
 
 TEST(HistogramTest, ConcurrentRecordIsSafe) {

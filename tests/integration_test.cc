@@ -237,6 +237,134 @@ TEST_F(IntegrationTest, NonAdminCannotCreateUsers) {
   EXPECT_EQ(response->status_code, 403);
 }
 
+// --- Observability: /metrics exposition + trace propagation ---
+
+// Value of the first sample whose line starts with `prefix`, or -1.
+double MetricValue(const std::string& exposition, const std::string& prefix) {
+  size_t position = 0;
+  while (position < exposition.size()) {
+    size_t end = exposition.find('\n', position);
+    if (end == std::string::npos) end = exposition.size();
+    std::string line = exposition.substr(position, end - position);
+    if (line.rfind(prefix, 0) == 0) {
+      size_t space = line.rfind(' ');
+      if (space != std::string::npos) {
+        return std::stod(line.substr(space + 1));
+      }
+    }
+    position = end + 1;
+  }
+  return -1;
+}
+
+TEST_F(IntegrationTest, MetricsEndpointExposesToolkitActivity) {
+  StartMokkaDeployments(1);
+  std::string evaluation_id =
+      MakeEvaluation({json::Json("wiredtiger")}, {json::Json(1)});
+  agent::ChronosAgent chronos_agent(AgentOptionsFor(0));
+  chronos_agent.SetHandler(
+      clients::MakeMokkaEvaluationHandler(endpoints_[0]));
+  ASSERT_TRUE(chronos_agent.Connect().ok());
+  ASSERT_TRUE(chronos_agent.Run(/*max_jobs=*/1).ok());
+
+  // Unauthenticated, like /status; also served under the versioned API.
+  net::HttpClient client("127.0.0.1", server_->port());
+  auto alias = client.Get("/api/v1/metrics");
+  ASSERT_TRUE(alias.ok());
+  EXPECT_EQ(alias->status_code, 200);
+
+  // The monitor (500ms interval) has certainly swept at least once within
+  // a few seconds; poll until its counter shows up non-zero.
+  std::string text;
+  for (int i = 0; i < 100; ++i) {
+    auto response = client.Get("/metrics");
+    ASSERT_TRUE(response.ok());
+    ASSERT_EQ(response->status_code, 200);
+    EXPECT_NE(response->headers.Get("Content-Type").find("text/plain"),
+              std::string::npos);
+    text = response->body;
+    if (MetricValue(text, "chronos_heartbeat_sweeps_total") > 0) break;
+    SystemClock::Get()->SleepMs(50);
+  }
+
+  // A full quickstart run leaves every instrumented layer non-zero. (The
+  // registry is process-wide, so values only grow across tests.)
+  EXPECT_GT(MetricValue(text, "chronos_http_requests_total"), 0);
+  EXPECT_GT(MetricValue(text, "chronos_jobs_scheduled_total"), 0);
+  EXPECT_GT(MetricValue(text, "chronos_jobs_claimed_total"), 0);
+  EXPECT_GT(MetricValue(text, "chronos_jobs_finished_total"), 0);
+  EXPECT_GT(MetricValue(text, "chronos_heartbeat_sweeps_total"), 0);
+  EXPECT_GT(MetricValue(text, "chronos_agent_polls_total"), 0);
+  EXPECT_GT(MetricValue(text, "chronos_agent_uploads_total"), 0);
+  EXPECT_GT(MetricValue(text, "chronos_wal_appends_total"), 0);
+  // Latency renders as a summary with derived quantiles.
+  EXPECT_NE(text.find("chronos_http_request_latency_us"), std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
+  EXPECT_GT(MetricValue(text, "chronos_http_request_latency_us_count"), 0);
+
+  // Every response carries the trace header assigned at ingress.
+  auto traced = client.Get("/api/v1/status");
+  ASSERT_TRUE(traced.ok());
+  EXPECT_TRUE(traced->headers.Has("X-Chronos-Trace"));
+}
+
+TEST_F(IntegrationTest, StatusReportsHeartbeatActivity) {
+  net::HttpClient client("127.0.0.1", server_->port());
+  json::Json body;
+  for (int i = 0; i < 100; ++i) {
+    auto response = client.Get("/api/v1/status");
+    ASSERT_TRUE(response.ok());
+    auto parsed = json::Parse(response->body);
+    ASSERT_TRUE(parsed.ok());
+    body = std::move(parsed).value();
+    if (body.GetIntOr("heartbeat_sweeps", 0) > 0) break;
+    SystemClock::Get()->SleepMs(50);
+  }
+  EXPECT_GT(body.GetIntOr("heartbeat_sweeps", 0), 0);
+  ASSERT_TRUE(body.Has("heartbeat_jobs_failed"));
+  EXPECT_EQ(body.GetIntOr("heartbeat_jobs_failed", -1), 0);
+}
+
+TEST_F(IntegrationTest, AgentTraceIdReachesControlLogs) {
+  StartMokkaDeployments(1);
+  MakeEvaluation({json::Json("wiredtiger")}, {json::Json(1)});
+
+  CaptureLogSink capture;
+  agent::ChronosAgent chronos_agent(AgentOptionsFor(0));
+  chronos_agent.SetHandler(
+      clients::MakeMokkaEvaluationHandler(endpoints_[0]));
+  ASSERT_TRUE(chronos_agent.Connect().ok());
+  ASSERT_TRUE(chronos_agent.Run(/*max_jobs=*/1).ok());
+
+  // The agent logs "starting job <id>" inside its per-poll trace scope;
+  // Chronos Control adopts the propagated trace at HTTP ingress, so its own
+  // job-transition records for the same job must carry the agent's trace id.
+  std::vector<LogRecord> records = capture.Drain();
+  std::string job_id, agent_trace;
+  for (const LogRecord& record : records) {
+    if (record.component == "agent" &&
+        record.message.rfind("starting job ", 0) == 0) {
+      job_id = record.message.substr(std::string("starting job ").size());
+      agent_trace = record.trace_id;
+    }
+  }
+  ASSERT_FALSE(job_id.empty());
+  ASSERT_EQ(agent_trace.size(), 32u);
+
+  int control_records = 0;
+  for (const LogRecord& record : records) {
+    if (record.component == "control.job" &&
+        record.message.rfind(job_id + ":", 0) == 0) {
+      ++control_records;
+      EXPECT_EQ(record.trace_id, agent_trace) << record.message;
+      // Control is a separate hop: same trace, its own span.
+      EXPECT_EQ(record.span_id.size(), 16u);
+    }
+  }
+  // At least claim (scheduled -> running) and finish (running -> finished).
+  EXPECT_GE(control_records, 2);
+}
+
 // --- The full demo: agent + MokkaDB through Chronos ---
 
 TEST_F(IntegrationTest, FullDemoWorkflowSingleDeployment) {

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
+namespace chronos::obs {
+namespace {
+
+TEST(MetricsRegistryTest, CounterIncrements) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test_total", "help");
+  EXPECT_EQ(counter->value(), 0u);
+  counter->Increment();
+  counter->Increment(41);
+  EXPECT_EQ(counter->value(), 42u);
+}
+
+TEST(MetricsRegistryTest, GaugeSetAndAdd) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.GetGauge("test_depth", "help");
+  gauge->Set(10);
+  gauge->Add(-3);
+  EXPECT_EQ(gauge->value(), 7);
+  gauge->Add(3);
+  EXPECT_EQ(gauge->value(), 10);
+}
+
+TEST(MetricsRegistryTest, HistogramObserves) {
+  MetricsRegistry registry;
+  HistogramMetric* histogram = registry.GetHistogram("test_latency_us");
+  histogram->Observe(100);
+  histogram->Observe(200);
+  histogram->Observe(300);
+  EXPECT_EQ(histogram->count(), 3u);
+  EXPECT_EQ(histogram->sum(), 600u);
+  EXPECT_GE(histogram->Percentile(1.0), 300u);
+}
+
+TEST(MetricsRegistryTest, SameNameAndLabelsReturnsSameHandle) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("requests_total", "help",
+                                   {{"route", "/x"}});
+  Counter* b = registry.GetCounter("requests_total", "",
+                                   {{"route", "/x"}});
+  EXPECT_EQ(a, b);
+  // A different label set is a different series in the same family.
+  Counter* c = registry.GetCounter("requests_total", "", {{"route", "/y"}});
+  EXPECT_NE(a, c);
+  EXPECT_EQ(registry.family_count(), 1u);
+}
+
+TEST(MetricsRegistryTest, LabelOrderDoesNotMatter) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("t", "", {{"a", "1"}, {"b", "2"}});
+  Counter* b = registry.GetCounter("t", "", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(a, b);
+}
+
+TEST(MetricsRegistryTest, KindConflictReturnsDetachedDummy) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("mixed", "first registration wins");
+  counter->Increment();
+  // Asking for the same name as a gauge must not crash or disturb the
+  // counter; the caller gets a detached handle.
+  Gauge* gauge = registry.GetGauge("mixed");
+  ASSERT_NE(gauge, nullptr);
+  gauge->Set(99);
+  EXPECT_EQ(counter->value(), 1u);
+  std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# TYPE mixed counter"), std::string::npos);
+  EXPECT_EQ(text.find("# TYPE mixed gauge"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, RenderPrometheusFormat) {
+  MetricsRegistry registry;
+  registry.GetCounter("b_total", "b help")->Increment(7);
+  registry.GetGauge("a_depth", "a help")->Set(-2);
+  registry.GetCounter("c_total", "", {{"route", "/api"}})->Increment(3);
+
+  std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# HELP b_total b help\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE b_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("b_total 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE a_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("a_depth -2\n"), std::string::npos);
+  EXPECT_NE(text.find("c_total{route=\"/api\"} 3\n"), std::string::npos);
+  // Families render sorted by name.
+  EXPECT_LT(text.find("a_depth"), text.find("b_total"));
+  EXPECT_LT(text.find("b_total"), text.find("c_total"));
+}
+
+TEST(MetricsRegistryTest, RenderEscapesLabelValues) {
+  MetricsRegistry registry;
+  registry.GetCounter("esc_total", "", {{"path", "a\\b\"c\nd"}})->Increment();
+  std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("esc_total{path=\"a\\\\b\\\"c\\nd\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, HistogramRendersAsSummaryWithQuantiles) {
+  MetricsRegistry registry;
+  HistogramMetric* histogram =
+      registry.GetHistogram("lat_us", "latency", {{"route", "/r"}});
+  for (int i = 1; i <= 100; ++i) histogram->Observe(i);
+
+  std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# TYPE lat_us summary\n"), std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.5\""), std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.9\""), std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
+  EXPECT_NE(text.find("lat_us_sum{route=\"/r\"} 5050\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_count{route=\"/r\"} 100\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, CollectionHooksRunOnRender) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.GetGauge("hooked");
+  int runs = 0;
+  registry.AddCollectionHook([&] {
+    ++runs;
+    gauge->Set(runs);
+  });
+  std::string text = registry.RenderPrometheus();
+  EXPECT_EQ(runs, 1);
+  EXPECT_NE(text.find("hooked 1\n"), std::string::npos);
+  registry.RenderPrometheus();
+  EXPECT_EQ(runs, 2);
+}
+
+TEST(MetricsRegistryTest, ConcurrentGetAndIncrement) {
+  MetricsRegistry registry;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < 1000; ++i) {
+        registry.GetCounter("contended_total")->Increment();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(registry.GetCounter("contended_total")->value(), 8000u);
+}
+
+TEST(MetricsRegistryTest, GlobalInstanceExposesLoggerDrops) {
+  std::string text = MetricsRegistry::Get()->RenderPrometheus();
+  EXPECT_NE(text.find("chronos_logger_dropped_records"), std::string::npos);
+}
+
+TEST(TraceTest, GenerateProducesValidContext) {
+  TraceContext trace = TraceContext::Generate();
+  EXPECT_EQ(trace.trace_id.size(), 32u);
+  EXPECT_EQ(trace.span_id.size(), 16u);
+  EXPECT_TRUE(trace.valid());
+  // Distinct per call.
+  EXPECT_NE(trace.trace_id, TraceContext::Generate().trace_id);
+}
+
+TEST(TraceTest, HeaderRoundTrip) {
+  TraceContext trace = TraceContext::Generate();
+  std::string header = trace.ToHeader();
+  EXPECT_EQ(header, trace.trace_id + "-" + trace.span_id);
+  auto parsed = TraceContext::Parse(header);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->trace_id, trace.trace_id);
+  EXPECT_EQ(parsed->span_id, trace.span_id);
+}
+
+TEST(TraceTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(TraceContext::Parse("").ok());
+  EXPECT_FALSE(TraceContext::Parse("not-a-trace").ok());
+  EXPECT_FALSE(TraceContext::Parse(std::string(32, 'g') + "-" +
+                                   std::string(16, '0'))
+                   .ok());
+  EXPECT_FALSE(TraceContext::Parse(std::string(32, '0') + ":" +
+                                   std::string(16, '0'))
+                   .ok());
+  EXPECT_FALSE(
+      TraceContext::Parse(std::string(31, '0') + "-" + std::string(17, '0'))
+          .ok());
+  EXPECT_TRUE(TraceContext::Parse(std::string(32, 'a') + "-" +
+                                  std::string(16, '0'))
+                  .ok());
+}
+
+TEST(TraceTest, ChildKeepsTraceIdChangesSpan) {
+  TraceContext parent = TraceContext::Generate();
+  TraceContext child = parent.Child();
+  EXPECT_EQ(child.trace_id, parent.trace_id);
+  EXPECT_NE(child.span_id, parent.span_id);
+}
+
+TEST(TraceTest, FromHeaderOrNewAdoptsOrStartsFresh) {
+  TraceContext remote = TraceContext::Generate();
+  TraceContext adopted = TraceContext::FromHeaderOrNew(remote.ToHeader());
+  EXPECT_EQ(adopted.trace_id, remote.trace_id);
+  EXPECT_NE(adopted.span_id, remote.span_id);
+
+  TraceContext fresh = TraceContext::FromHeaderOrNew("garbage");
+  EXPECT_TRUE(fresh.valid());
+  EXPECT_NE(fresh.trace_id, remote.trace_id);
+}
+
+TEST(TraceTest, ScopeStampsLogRecordsAndRestores) {
+  CaptureLogSink capture;
+  CHRONOS_LOG(kInfo, "test") << "before";
+  TraceContext trace = TraceContext::Generate();
+  {
+    TraceScope scope(trace);
+    EXPECT_EQ(CurrentTrace().trace_id, trace.trace_id);
+    CHRONOS_LOG(kInfo, "test") << "inside";
+    {
+      TraceScope nested(trace.Child());
+      EXPECT_EQ(CurrentTrace().trace_id, trace.trace_id);
+      EXPECT_NE(CurrentTrace().span_id, trace.span_id);
+    }
+    // Inner scope restored the outer span.
+    EXPECT_EQ(CurrentTrace().span_id, trace.span_id);
+  }
+  EXPECT_FALSE(CurrentTrace().valid());
+  CHRONOS_LOG(kInfo, "test") << "after";
+
+  std::vector<LogRecord> records = capture.Drain();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_TRUE(records[0].trace_id.empty());
+  EXPECT_EQ(records[1].trace_id, trace.trace_id);
+  EXPECT_EQ(records[1].span_id, trace.span_id);
+  EXPECT_TRUE(records[2].trace_id.empty());
+  // The formatted line carries the ids for grep-ability.
+  EXPECT_NE(records[1].Format().find("trace=" + trace.trace_id),
+            std::string::npos);
+}
+
+TEST(TraceTest, ScopeIsPerThread) {
+  TraceContext trace = TraceContext::Generate();
+  TraceScope scope(trace);
+  std::string other_thread_trace = "unset";
+  std::thread thread([&other_thread_trace] {
+    other_thread_trace = CurrentTrace().trace_id;
+  });
+  thread.join();
+  EXPECT_EQ(other_thread_trace, "");
+  EXPECT_EQ(CurrentTrace().trace_id, trace.trace_id);
+}
+
+}  // namespace
+}  // namespace chronos::obs
