@@ -43,7 +43,7 @@ void Populate(StorageEngine* engine, size_t doc_size) {
   for (int i = 0; i < kPopulation; ++i) {
     engine->Insert(workload::WorkloadGenerator::KeyForIndex(i),
                    MakeDoc(doc_size, &rng))
-        .ok();
+        .IgnoreError();
   }
 }
 

@@ -33,7 +33,7 @@ void BenchStoreRecovery() {
       row.Set("payload", std::string(64, 'x'));
       for (int i = 0; i < records; ++i) {
         (*table_store)->Upsert("jobs", std::to_string(i % (records / 2)), row)
-            .ok();
+            .IgnoreError();
       }
       // No Checkpoint(): simulate a crash with a full WAL.
     }
@@ -95,7 +95,7 @@ void BenchFailureHandling() {
       deployment_ids.push_back(*&service.CreateDeployment(deployment)->id);
     }
     for (const std::string& deployment_id : deployment_ids) {
-      service.PollJob(deployment_id).ok();
+      service.PollJob(deployment_id).IgnoreError();
     }
 
     // All agents "die": advance past the heartbeat timeout and sweep.

@@ -105,7 +105,7 @@ int main() {
           std::fprintf(stderr, "ftp upload failed\n");
           return 1;
         }
-        (*client)->Quit().ok();
+        (*client)->Quit().IgnoreError();
         json::Json body = json::Json::MakeObject();
         json::Json data = json::Json::MakeObject();
         data.Set("bundle_ftp_ref", "job-" + job_id + ".zip");

@@ -27,7 +27,7 @@ double RunDispatchCycle(control::ControlService* service,
     for (const std::string& deployment_id : deployment_ids) {
       auto job = service->PollJob(deployment_id);
       if (!job.ok() || !job->has_value()) continue;
-      service->UploadResult((*job)->id, data, "").ok();
+      service->UploadResult((*job)->id, data, "").IgnoreError();
       progressed = true;
     }
   }

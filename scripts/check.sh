@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Full verification matrix for the Chronos tree.
+#
+#   scripts/check.sh             # everything below
+#   scripts/check.sh --quick     # lint + plain build + ctest only
+#
+# Legs (each can be skipped by the environment lacking the tool):
+#   1. chronos_lint self-test + tree lint          (scripts/chronos_lint.py)
+#   2. plain build (-Wall -Wextra -Werror) + ctest (build/)
+#   3. ASan+UBSan build + ctest                    (build-asan/)
+#   4. TSan build + concurrency-focused tests      (build-tsan/)
+#   5. clang thread-safety build, if clang++ found (build-clang/, compile only)
+#   6. clang-tidy over src/, if clang-tidy found
+#
+# The sanitizer legs rerun the full suite; the TSan leg restricts ctest to
+# the concurrency/network/store suites to keep wall-clock sane (TSan is
+# ~10-20x) while still covering every annotated component.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+QUICK=0
+if [ "${1:-}" = "--quick" ]; then
+  QUICK=1
+fi
+
+JOBS="$(nproc)"
+FAILED=()
+
+note() { printf '\n=== %s ===\n' "$*"; }
+
+run_leg() {
+  local name="$1"
+  shift
+  note "${name}"
+  if "$@"; then
+    echo "--- ${name}: OK"
+  else
+    echo "--- ${name}: FAILED"
+    FAILED+=("${name}")
+  fi
+}
+
+lint_leg() {
+  python3 scripts/chronos_lint.py --self-test &&
+    python3 scripts/chronos_lint.py
+}
+
+plain_leg() {
+  cmake -B build -S . >/dev/null &&
+    cmake --build build -j "${JOBS}" &&
+    (cd build && ctest --output-on-failure -j "${JOBS}")
+}
+
+asan_leg() {
+  cmake -B build-asan -S . -DCHRONOS_SANITIZE=ON >/dev/null &&
+    cmake --build build-asan -j "${JOBS}" &&
+    (cd build-asan && ctest --output-on-failure -j "${JOBS}")
+}
+
+tsan_leg() {
+  cmake -B build-tsan -S . -DCHRONOS_TSAN=ON >/dev/null &&
+    cmake --build build-tsan -j "${JOBS}" \
+      --target concurrency_test control_test store_test net_test \
+               mokkadb_test obs_test common_test agent_test &&
+    (cd build-tsan && ctest --output-on-failure -j "${JOBS}" \
+       -R 'Concurrency|Control|Store|Net|Mokka|Wire|Obs|Metrics|Thread|Latch|Queue|Logger|Mutex|CondVar|Agent|Wal|Table|Heartbeat|Engine')
+}
+
+clang_build_leg() {
+  # Thread-safety analysis is Clang-only; this leg is where the
+  # CHRONOS_GUARDED_BY/REQUIRES annotations become compile errors.
+  cmake -B build-clang -S . \
+    -DCMAKE_CXX_COMPILER=clang++ >/dev/null &&
+    cmake --build build-clang -j "${JOBS}"
+}
+
+tidy_leg() {
+  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  # shellcheck disable=SC2046
+  clang-tidy -p build --quiet $(git ls-files 'src/*.cc')
+}
+
+run_leg "lint" lint_leg
+run_leg "build+ctest (plain, -Werror)" plain_leg
+
+if [ "${QUICK}" = "0" ]; then
+  run_leg "build+ctest (ASan+UBSan)" asan_leg
+  run_leg "build+ctest (TSan, concurrency suites)" tsan_leg
+  if command -v clang++ >/dev/null 2>&1; then
+    run_leg "clang -Wthread-safety build" clang_build_leg
+  else
+    note "clang -Wthread-safety build"
+    echo "--- skipped: clang++ not on PATH (annotations are no-ops on GCC)"
+  fi
+  if command -v clang-tidy >/dev/null 2>&1; then
+    run_leg "clang-tidy" tidy_leg
+  else
+    note "clang-tidy"
+    echo "--- skipped: clang-tidy not on PATH"
+  fi
+fi
+
+note "summary"
+if [ "${#FAILED[@]}" -gt 0 ]; then
+  echo "FAILED legs: ${FAILED[*]}"
+  exit 1
+fi
+echo "all legs passed"

@@ -91,27 +91,27 @@ bool JobContext::SetProgress(int percent) {
 
 void JobContext::Log(const std::string& line) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     pending_log_lines_.push_back(line);
   }
   CHRONOS_LOG(kDebug, "agent.job") << job_.id << ": " << line;
 }
 
 void JobContext::SetResultField(const std::string& name, json::Json value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   result_fields_.Set(name, std::move(value));
 }
 
 void JobContext::AddResultFile(const std::string& name,
                                std::string contents) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   result_files_[name] = std::move(contents);
 }
 
 Status JobContext::FlushLogs() {
   std::vector<std::string> lines;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     lines.swap(pending_log_lines_);
   }
   if (lines.empty()) return Status::Ok();
@@ -138,7 +138,7 @@ Status JobContext::SendHeartbeat() {
 }
 
 json::Json JobContext::BuildResultJson() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   json::Json result = result_fields_;
   result.Set("metrics", metrics_.ToJson());
   // Parameters travel with the result so analysis can group/bucket without
@@ -148,7 +148,7 @@ json::Json JobContext::BuildResultJson() {
 }
 
 std::map<std::string, std::string> JobContext::TakeResultFiles() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::map<std::string, std::string> files;
   files.swap(result_files_);
   return files;
@@ -232,11 +232,11 @@ Status ChronosAgent::ExecuteJob(model::Job job) {
       since_heartbeat += 50;
       if (done.load()) break;
       if (since_flush >= options_.log_flush_interval_ms) {
-        context.FlushLogs().ok();
+        context.FlushLogs().IgnoreError();
         since_flush = 0;
       }
       if (since_heartbeat >= options_.heartbeat_interval_ms) {
-        context.SendHeartbeat().ok();
+        context.SendHeartbeat().IgnoreError();
         since_heartbeat = 0;
       }
     }
@@ -245,7 +245,7 @@ Status ChronosAgent::ExecuteJob(model::Job job) {
   Status handler_status = handler_(&context);
   done.store(true);
   keepalive.join();
-  context.FlushLogs().ok();
+  context.FlushLogs().IgnoreError();
   jobs_executed_.fetch_add(1);
 
   if (context.IsAborted()) {
@@ -284,7 +284,7 @@ Status ChronosAgent::UploadResult(JobContext* context) {
                                 options_.ftp_password));
     std::string remote_name = "job-" + job_id + ".zip";
     CHRONOS_RETURN_IF_ERROR(ftp->Store(remote_name, bundle));
-    ftp->Quit().ok();
+    ftp->Quit().IgnoreError();
     data.Set("bundle_ftp_ref", remote_name);
   } else {
     zip_base64 = strings::Base64Encode(bundle);

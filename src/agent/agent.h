@@ -5,7 +5,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -13,6 +12,8 @@
 
 #include "analysis/metrics.h"
 #include "common/clock.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "model/entities.h"
 #include "net/http.h"
 
@@ -100,10 +101,10 @@ class JobContext {
   analysis::MetricsCollector metrics_;
   std::atomic<bool> aborted_{false};
 
-  std::mutex mu_;
-  std::vector<std::string> pending_log_lines_;
-  json::Json result_fields_;
-  std::map<std::string, std::string> result_files_;
+  Mutex mu_;
+  std::vector<std::string> pending_log_lines_ CHRONOS_GUARDED_BY(mu_);
+  json::Json result_fields_ CHRONOS_GUARDED_BY(mu_);
+  std::map<std::string, std::string> result_files_ CHRONOS_GUARDED_BY(mu_);
 };
 
 // The handler implements the actual evaluation against the SuE. Returning

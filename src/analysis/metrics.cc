@@ -5,7 +5,7 @@ namespace chronos::analysis {
 MetricsCollector::MetricsCollector(Clock* clock) : clock_(clock) {}
 
 void MetricsCollector::StartRun() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   run_started_ = true;
   run_ended_ = false;
   run_start_ns_ = clock_->MonotonicNanos();
@@ -13,14 +13,14 @@ void MetricsCollector::StartRun() {
 }
 
 void MetricsCollector::EndRun() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   run_ended_ = true;
   run_end_ns_ = clock_->MonotonicNanos();
 }
 
 void MetricsCollector::RecordLatency(const std::string& op,
                                      uint64_t latency_us) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = latencies_.find(op);
   if (it == latencies_.end()) {
     it = latencies_.emplace(op, std::make_unique<Histogram>()).first;
@@ -29,24 +29,24 @@ void MetricsCollector::RecordLatency(const std::string& op,
 }
 
 void MetricsCollector::Increment(const std::string& counter, uint64_t delta) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   counters_[counter] += delta;
 }
 
 void MetricsCollector::SetGauge(const std::string& name, double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   gauges_[name] = value;
 }
 
 uint64_t MetricsCollector::TotalOperations() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t total = 0;
   for (const auto& [op, histogram] : latencies_) total += histogram->count();
   return total;
 }
 
 double MetricsCollector::RuntimeMs() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!run_started_) return 0;
   uint64_t end = run_ended_ ? run_end_ns_ : clock_->MonotonicNanos();
   if (end < run_start_ns_) return 0;
@@ -62,7 +62,7 @@ double MetricsCollector::Throughput() const {
 json::Json MetricsCollector::ToJson() const {
   double runtime_ms = RuntimeMs();
   uint64_t operations = TotalOperations();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   json::Json out = json::Json::MakeObject();
   out.Set("runtime_ms", runtime_ms);
   out.Set("operations", operations);
@@ -96,7 +96,7 @@ json::Json MetricsCollector::ToJson() const {
 }
 
 void MetricsCollector::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   latencies_.clear();
   counters_.clear();
   gauges_.clear();

@@ -3,11 +3,12 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/clock.h"
 #include "common/histogram.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "json/json.h"
 
 namespace chronos::analysis {
@@ -46,14 +47,15 @@ class MetricsCollector {
 
  private:
   Clock* clock_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Histogram>> latencies_;
-  std::map<std::string, uint64_t> counters_;
-  std::map<std::string, double> gauges_;
-  bool run_started_ = false;
-  bool run_ended_ = false;
-  uint64_t run_start_ns_ = 0;
-  uint64_t run_end_ns_ = 0;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Histogram>> latencies_
+      CHRONOS_GUARDED_BY(mu_);
+  std::map<std::string, uint64_t> counters_ CHRONOS_GUARDED_BY(mu_);
+  std::map<std::string, double> gauges_ CHRONOS_GUARDED_BY(mu_);
+  bool run_started_ CHRONOS_GUARDED_BY(mu_) = false;
+  bool run_ended_ CHRONOS_GUARDED_BY(mu_) = false;
+  uint64_t run_start_ns_ CHRONOS_GUARDED_BY(mu_) = 0;
+  uint64_t run_end_ns_ CHRONOS_GUARDED_BY(mu_) = 0;
 };
 
 // Stopwatch measuring microseconds, for RecordLatency call sites.

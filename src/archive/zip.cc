@@ -215,7 +215,7 @@ StatusOr<std::string> ZipReader::Read(const std::string& name) const {
 std::string ZipFiles(const std::map<std::string, std::string>& files) {
   ZipWriter writer;
   for (const auto& [name, contents] : files) {
-    writer.Add(name, contents).ok();
+    writer.Add(name, contents).IgnoreError();
   }
   return writer.Finish();
 }

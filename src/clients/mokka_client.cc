@@ -81,7 +81,7 @@ StatusOr<json::Json> RunMokkaBenchmark(
   // --- Phase 1: set-up (create collection, ingest population) ---
   CHRONOS_ASSIGN_OR_RETURN(std::unique_ptr<WireClient> admin,
                            WireClient::ConnectEndpoint(config.endpoint));
-  if (config.drop_before_load) admin->Drop(config.collection).ok();
+  if (config.drop_before_load) admin->Drop(config.collection).IgnoreError();
   CHRONOS_RETURN_IF_ERROR(admin->CreateCollection(
       config.collection, config.engine, config.engine_options));
 
@@ -135,7 +135,7 @@ StatusOr<json::Json> RunMokkaBenchmark(
         for (uint64_t i = 0; i < config.warmup_ops_per_thread; ++i) {
           RunOperation(client->get(), config.collection,
                        generator.NextOperation(), &scratch)
-              .ok();
+              .IgnoreError();
         }
       });
     }

@@ -3,7 +3,7 @@
 namespace chronos::clients {
 
 LocalMokkaProvisioner::~LocalMokkaProvisioner() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [handle, running] : running_) {
     running.server->Stop();
   }
@@ -17,7 +17,7 @@ LocalMokkaProvisioner::Launch(const json::Json& spec) {
                            mokka::WireServer::Start(database.get(), 0));
   Instance instance;
   instance.endpoint = server->endpoint();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   instance.handle = "mokka-" + std::to_string(next_handle_++);
   running_[instance.handle] =
       Running{std::move(database), std::move(server)};
@@ -25,7 +25,7 @@ LocalMokkaProvisioner::Launch(const json::Json& spec) {
 }
 
 Status LocalMokkaProvisioner::Terminate(const std::string& handle) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = running_.find(handle);
   if (it == running_.end()) {
     return Status::NotFound("no running instance: " + handle);
@@ -36,7 +36,7 @@ Status LocalMokkaProvisioner::Terminate(const std::string& handle) {
 }
 
 size_t LocalMokkaProvisioner::running_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return running_.size();
 }
 

@@ -3,8 +3,9 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "control/provisioner.h"
 #include "sue/mokkadb/wire.h"
 
@@ -31,9 +32,9 @@ class LocalMokkaProvisioner : public control::DeploymentProvisioner {
     std::unique_ptr<mokka::WireServer> server;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, Running> running_;
-  int next_handle_ = 1;
+  mutable Mutex mu_;
+  std::map<std::string, Running> running_ CHRONOS_GUARDED_BY(mu_);
+  int next_handle_ CHRONOS_GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace chronos::clients

@@ -88,7 +88,7 @@ TempDir::TempDir(const std::string& prefix) {
 }
 
 TempDir::~TempDir() {
-  if (!path_.empty()) RemoveAll(path_).ok();
+  if (!path_.empty()) RemoveAll(path_).IgnoreError();
 }
 
 }  // namespace chronos::file

@@ -32,7 +32,7 @@ void Histogram::Record(uint64_t value) { RecordMany(value, 1); }
 
 void Histogram::RecordMany(uint64_t value, uint64_t count) {
   if (count == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   buckets_[BucketFor(value)] += count;
   if (count_ == 0 || value < min_) min_ = value;
   if (count_ == 0 || value > max_) max_ = value;
@@ -46,7 +46,7 @@ void Histogram::Merge(const Histogram& other) {
   uint64_t o_count, o_min, o_max;
   double o_sum, o_sum_sq;
   {
-    std::lock_guard<std::mutex> lock(other.mu_);
+    MutexLock lock(other.mu_);
     other_buckets = other.buckets_;
     o_count = other.count_;
     o_min = other.min_;
@@ -55,7 +55,7 @@ void Histogram::Merge(const Histogram& other) {
     o_sum_sq = other.sum_sq_;
   }
   if (o_count == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other_buckets[i];
   if (count_ == 0 || o_min < min_) min_ = o_min;
   if (count_ == 0 || o_max > max_) max_ = o_max;
@@ -65,27 +65,27 @@ void Histogram::Merge(const Histogram& other) {
 }
 
 uint64_t Histogram::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return count_;
 }
 
 uint64_t Histogram::min() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return min_;
 }
 
 uint64_t Histogram::max() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return max_;
 }
 
 double Histogram::mean() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
 }
 
 double Histogram::stddev() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (count_ == 0) return 0.0;
   double mean = sum_ / static_cast<double>(count_);
   double var = sum_sq_ / static_cast<double>(count_) - mean * mean;
@@ -93,7 +93,7 @@ double Histogram::stddev() const {
 }
 
 uint64_t Histogram::Percentile(double q) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (count_ == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
   uint64_t rank = static_cast<uint64_t>(std::ceil(q * count_));
@@ -107,7 +107,7 @@ uint64_t Histogram::Percentile(double q) const {
 }
 
 void Histogram::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::fill(buckets_.begin(), buckets_.end(), 0);
   count_ = 0;
   min_ = 0;

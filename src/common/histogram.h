@@ -2,9 +2,11 @@
 #define CHRONOS_COMMON_HISTOGRAM_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace chronos {
 
@@ -43,13 +45,13 @@ class Histogram {
   static int BucketFor(uint64_t value);
   static uint64_t BucketUpperBound(int bucket);
 
-  mutable std::mutex mu_;
-  std::vector<uint64_t> buckets_;
-  uint64_t count_ = 0;
-  uint64_t min_ = 0;
-  uint64_t max_ = 0;
-  double sum_ = 0;
-  double sum_sq_ = 0;
+  mutable Mutex mu_;
+  std::vector<uint64_t> buckets_ CHRONOS_GUARDED_BY(mu_);
+  uint64_t count_ CHRONOS_GUARDED_BY(mu_) = 0;
+  uint64_t min_ CHRONOS_GUARDED_BY(mu_) = 0;
+  uint64_t max_ CHRONOS_GUARDED_BY(mu_) = 0;
+  double sum_ CHRONOS_GUARDED_BY(mu_) = 0;
+  double sum_sq_ CHRONOS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace chronos

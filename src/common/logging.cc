@@ -55,7 +55,7 @@ Logger* Logger::Get() {
 }
 
 void Logger::Log(LogLevel level, std::string component, std::string message) {
-  if (level < min_level_) return;
+  if (level < min_level_.load(std::memory_order_relaxed)) return;
   LogRecord record;
   record.timestamp_ms = SystemClock::Get()->NowMs();
   record.level = level;
@@ -66,9 +66,9 @@ void Logger::Log(LogLevel level, std::string component, std::string message) {
 
   std::vector<std::pair<int, LogSink>> sinks_copy;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     sinks_copy = sinks_;
-    if (stderr_enabled_) {
+    if (stderr_enabled_.load(std::memory_order_relaxed)) {
       std::fprintf(stderr, "%s\n", record.Format().c_str());
     }
   }
@@ -84,14 +84,14 @@ void Logger::Log(LogLevel level, std::string component, std::string message) {
 }
 
 int Logger::AddSink(LogSink sink) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   int id = next_sink_id_++;
   sinks_.emplace_back(id, std::move(sink));
   return id;
 }
 
 void Logger::RemoveSink(int id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto it = sinks_.begin(); it != sinks_.end(); ++it) {
     if (it->first == id) {
       sinks_.erase(it);
@@ -102,7 +102,7 @@ void Logger::RemoveSink(int id) {
 
 CaptureLogSink::CaptureLogSink() {
   sink_id_ = Logger::Get()->AddSink([this](const LogRecord& record) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     records_.push_back(record);
   });
 }
@@ -110,14 +110,14 @@ CaptureLogSink::CaptureLogSink() {
 CaptureLogSink::~CaptureLogSink() { Logger::Get()->RemoveSink(sink_id_); }
 
 std::vector<LogRecord> CaptureLogSink::Drain() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<LogRecord> out;
   out.swap(records_);
   return out;
 }
 
 size_t CaptureLogSink::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return records_.size();
 }
 

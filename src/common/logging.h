@@ -4,12 +4,13 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace chronos {
 
@@ -62,12 +63,20 @@ class Logger {
   int AddSink(LogSink sink);
   void RemoveSink(int id);
 
-  void set_min_level(LogLevel level) { min_level_ = level; }
-  LogLevel min_level() const { return min_level_; }
+  // Level/stderr switches are atomics: they are read on every Log call,
+  // including concurrently with set_* from test setup threads.
+  void set_min_level(LogLevel level) {
+    min_level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel min_level() const {
+    return min_level_.load(std::memory_order_relaxed);
+  }
 
   // When false (default in tests), records are not written to stderr but
   // still reach registered sinks.
-  void set_stderr_enabled(bool enabled) { stderr_enabled_ = enabled; }
+  void set_stderr_enabled(bool enabled) {
+    stderr_enabled_.store(enabled, std::memory_order_relaxed);
+  }
 
   // Records dropped because a sink threw. A throwing sink never poisons the
   // logger or starves the other sinks; the loss is just counted (exposed as
@@ -77,11 +86,11 @@ class Logger {
  private:
   Logger() = default;
 
-  std::mutex mu_;
-  std::vector<std::pair<int, LogSink>> sinks_;
-  int next_sink_id_ = 1;
-  LogLevel min_level_ = LogLevel::kInfo;
-  bool stderr_enabled_ = true;
+  Mutex mu_;
+  std::vector<std::pair<int, LogSink>> sinks_ CHRONOS_GUARDED_BY(mu_);
+  int next_sink_id_ CHRONOS_GUARDED_BY(mu_) = 1;
+  std::atomic<LogLevel> min_level_{LogLevel::kInfo};
+  std::atomic<bool> stderr_enabled_{true};
   std::atomic<uint64_t> dropped_records_{0};
 };
 
@@ -101,8 +110,8 @@ class CaptureLogSink {
   size_t size() const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<LogRecord> records_;
+  mutable Mutex mu_;
+  std::vector<LogRecord> records_ CHRONOS_GUARDED_BY(mu_);
   int sink_id_;
 };
 

@@ -1,0 +1,144 @@
+#ifndef CHRONOS_COMMON_MUTEX_H_
+#define CHRONOS_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+namespace chronos {
+
+// Annotated locking primitives. All mutex-guarded state in the repo uses
+// these wrappers instead of raw <mutex> types (enforced by
+// scripts/chronos_lint.py); under Clang, -Wthread-safety then proves lock
+// discipline at compile time.
+//
+// Lock-ordering rule of the repo: a thread holds at most one chronos::Mutex
+// at a time unless an CHRONOS_ACQUIRED_BEFORE/AFTER edge documents the pair.
+// Never call out to user callbacks, logging, HTTP, or other components'
+// public APIs while holding a lock — copy what you need, unlock, then call.
+
+class CHRONOS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() CHRONOS_ACQUIRE() { mu_.lock(); }
+  void Unlock() CHRONOS_RELEASE() { mu_.unlock(); }
+  bool TryLock() CHRONOS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// RAII exclusive lock over a Mutex, scoped to a block.
+class CHRONOS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CHRONOS_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() CHRONOS_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Reader/writer lock. Readers use ReaderMutexLock / LockShared, writers
+// WriterMutexLock / Lock.
+class CHRONOS_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() CHRONOS_ACQUIRE() { mu_.lock(); }
+  void Unlock() CHRONOS_RELEASE() { mu_.unlock(); }
+  void LockShared() CHRONOS_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() CHRONOS_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+class CHRONOS_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) CHRONOS_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() CHRONOS_RELEASE() { mu_.Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+class CHRONOS_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) CHRONOS_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.LockShared();
+  }
+  // Scoped capabilities use the generic release form: the guard releases
+  // whatever mode it acquired.
+  ~ReaderMutexLock() CHRONOS_RELEASE_GENERIC() { mu_.UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+// Condition variable bound to chronos::Mutex. Waits atomically release the
+// mutex and re-acquire it before returning, so from the analysis' point of
+// view the capability is held continuously across the call. Callers loop on
+// their predicate in the annotated caller body (not a lambda, which the
+// analysis cannot see into):
+//
+//   MutexLock lock(mu_);
+//   while (!ready_) cv_.Wait(mu_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) CHRONOS_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // The caller's guard still owns the re-acquired mutex.
+  }
+
+  // Returns false on timeout (the mutex is re-held either way).
+  bool WaitForMs(Mutex& mu, int64_t timeout_ms) CHRONOS_REQUIRES(mu) {
+    return WaitUntil(
+        mu, std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(timeout_ms < 0 ? 0 : timeout_ms));
+  }
+
+  bool WaitUntil(Mutex& mu, std::chrono::steady_clock::time_point deadline)
+      CHRONOS_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    bool signaled = cv_.wait_until(lock, deadline) == std::cv_status::no_timeout;
+    lock.release();
+    return signaled;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace chronos
+
+#endif  // CHRONOS_COMMON_MUTEX_H_

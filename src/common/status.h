@@ -33,7 +33,11 @@ std::string_view StatusCodeToString(StatusCode code);
 
 // Value-type status: a code plus an optional message. The OK status carries
 // no message and is cheap to copy.
-class Status {
+//
+// [[nodiscard]]: silently dropping a Status hides failures; callers must
+// check it, propagate it (CHRONOS_RETURN_IF_ERROR), or explicitly discard it
+// with IgnoreError().
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -91,6 +95,12 @@ class Status {
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+
+  // Explicitly discards this status. Use at call sites where failure is
+  // genuinely acceptable (best-effort cleanup, shutdown paths) — it
+  // documents intent and satisfies both [[nodiscard]] and the lint's
+  // dropped-status rule.
+  void IgnoreError() const {}
 
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsInvalidArgument() const {

@@ -13,8 +13,11 @@ namespace chronos {
 // Holds either a value of type T or a non-OK Status explaining why the value
 // is absent. Mirrors absl::StatusOr. Accessing the value of a non-OK
 // StatusOr aborts the process (library code must check ok() first).
+//
+// [[nodiscard]] for the same reason as Status: a dropped StatusOr means a
+// dropped error AND a dropped value.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   // Implicit construction from a value or an error status keeps call sites
   // terse: `return value;` / `return Status::NotFound(...);`.
@@ -33,6 +36,9 @@ class StatusOr {
 
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
+
+  // Explicitly discards result and error alike (see Status::IgnoreError).
+  void IgnoreError() const {}
 
   const T& value() const& {
     CheckHasValue();

@@ -1,0 +1,97 @@
+#ifndef CHRONOS_COMMON_THREAD_ANNOTATIONS_H_
+#define CHRONOS_COMMON_THREAD_ANNOTATIONS_H_
+
+// Portable wrappers around Clang's -Wthread-safety capability analysis
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html). Under Clang the
+// macros expand to the corresponding attributes and lock discipline becomes
+// a compile error (the build adds -Werror=thread-safety); under GCC and
+// other compilers they expand to nothing, so annotated code stays portable.
+//
+// Conventions used across the repo:
+//   * every field protected by a mutex is declared
+//       T field_ CHRONOS_GUARDED_BY(mu_);
+//   * private helpers that expect the caller to hold a lock are suffixed
+//     "Locked" and annotated CHRONOS_REQUIRES(mu_);
+//   * public entry points that must NOT be called with the lock held (they
+//     acquire it themselves) may add CHRONOS_EXCLUDES(mu_) when mistaken
+//     reentry is plausible.
+
+#if defined(__clang__) && !defined(SWIG)
+#define CHRONOS_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define CHRONOS_THREAD_ANNOTATION_(x)  // no-op
+#endif
+
+// Declares a type to be a capability ("mutex"); used on lock wrapper classes.
+#define CHRONOS_CAPABILITY(x) CHRONOS_THREAD_ANNOTATION_(capability(x))
+
+// Declares an RAII class that acquires a capability in its constructor and
+// releases it in its destructor.
+#define CHRONOS_SCOPED_CAPABILITY CHRONOS_THREAD_ANNOTATION_(scoped_lockable)
+
+// Field/variable is protected by the given capability; reads require the
+// capability held (shared or exclusive), writes require it exclusively.
+#define CHRONOS_GUARDED_BY(x) CHRONOS_THREAD_ANNOTATION_(guarded_by(x))
+
+// Pointer field whose *pointee* is protected by the given capability.
+#define CHRONOS_PT_GUARDED_BY(x) CHRONOS_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// Lock-ordering declarations: this capability must be acquired before/after
+// the listed ones. Violations surface as -Wthread-safety-analysis errors.
+#define CHRONOS_ACQUIRED_BEFORE(...) \
+  CHRONOS_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define CHRONOS_ACQUIRED_AFTER(...) \
+  CHRONOS_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+// Function requires the capability held (exclusively / at least shared) on
+// entry, and does not release it.
+#define CHRONOS_REQUIRES(...) \
+  CHRONOS_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define CHRONOS_REQUIRES_SHARED(...) \
+  CHRONOS_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+// Function acquires the capability (exclusively / shared) and holds it on
+// return.
+#define CHRONOS_ACQUIRE(...) \
+  CHRONOS_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define CHRONOS_ACQUIRE_SHARED(...) \
+  CHRONOS_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+// Function releases the capability (which must be held on entry).
+// CHRONOS_RELEASE releases an exclusive hold, _SHARED a shared hold, and
+// _GENERIC either kind (used by RAII guards that serve both).
+#define CHRONOS_RELEASE(...) \
+  CHRONOS_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define CHRONOS_RELEASE_SHARED(...) \
+  CHRONOS_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define CHRONOS_RELEASE_GENERIC(...) \
+  CHRONOS_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+
+// Function tries to acquire the capability and returns `success` on success.
+#define CHRONOS_TRY_ACQUIRE(...) \
+  CHRONOS_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define CHRONOS_TRY_ACQUIRE_SHARED(...) \
+  CHRONOS_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
+
+// Function must NOT be called with the capability held (it acquires the
+// lock itself; reentry would deadlock).
+#define CHRONOS_EXCLUDES(...) \
+  CHRONOS_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// Runtime assertion that the calling thread holds the capability; informs
+// the analysis without acquiring anything.
+#define CHRONOS_ASSERT_CAPABILITY(x) \
+  CHRONOS_THREAD_ANNOTATION_(assert_capability(x))
+#define CHRONOS_ASSERT_SHARED_CAPABILITY(x) \
+  CHRONOS_THREAD_ANNOTATION_(assert_shared_capability(x))
+
+// Function returns a reference to the given capability (accessor pattern).
+#define CHRONOS_RETURN_CAPABILITY(x) \
+  CHRONOS_THREAD_ANNOTATION_(lock_returned(x))
+
+// Escape hatch: disables the analysis for one function. Every use must carry
+// a comment justifying why the analysis cannot see the invariant.
+#define CHRONOS_NO_THREAD_SAFETY_ANALYSIS \
+  CHRONOS_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // CHRONOS_COMMON_THREAD_ANNOTATIONS_H_

@@ -1,13 +1,15 @@
 #ifndef CHRONOS_COMMON_THREADING_H_
 #define CHRONOS_COMMON_THREADING_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace chronos {
 
@@ -23,17 +25,19 @@ class BlockingQueue {
   // Returns false if the queue is already closed.
   bool Push(T item) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (closed_) return false;
       items_.push_back(std::move(item));
     }
-    cv_.notify_one();
+    // Notify after unlocking so the woken consumer never blocks on mu_
+    // still held by this producer.
+    cv_.NotifyOne();
     return true;
   }
 
   std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    MutexLock lock(mu_);
+    while (!closed_ && items_.empty()) cv_.Wait(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -42,7 +46,7 @@ class BlockingQueue {
 
   // Non-blocking pop.
   std::optional<T> TryPop() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -51,22 +55,22 @@ class BlockingQueue {
 
   void Close() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<T> items_ CHRONOS_GUARDED_BY(mu_);
+  bool closed_ CHRONOS_GUARDED_BY(mu_) = false;
 };
 
 // Fixed-size worker pool executing submitted closures FIFO. Shutdown waits
@@ -90,7 +94,7 @@ class ThreadPool {
 
  private:
   BlockingQueue<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
+  std::vector<std::thread> workers_;  // Written only in ctor; joined once.
   std::once_flag shutdown_once_;
 };
 
@@ -100,26 +104,41 @@ class CountDownLatch {
   explicit CountDownLatch(int count) : count_(count) {}
 
   void CountDown() {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (count_ > 0 && --count_ == 0) cv_.notify_all();
+    bool released;
+    {
+      MutexLock lock(mu_);
+      released = count_ > 0 && --count_ == 0;
+    }
+    // Notify after unlocking: notifying with mu_ held wakes waiters straight
+    // into a blocked Lock() (wake-and-block), doubling the wakeup cost.
+    if (released) cv_.NotifyAll();
   }
 
   void Wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return count_ == 0; });
+    MutexLock lock(mu_);
+    while (count_ > 0) cv_.Wait(mu_);
   }
 
   // Returns false on timeout.
   bool WaitForMs(int64_t timeout_ms) {
-    std::unique_lock<std::mutex> lock(mu_);
-    return cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                        [this] { return count_ == 0; });
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeout_ms < 0 ? 0 : timeout_ms);
+    MutexLock lock(mu_);
+    while (count_ > 0) {
+      if (!cv_.WaitUntil(mu_, deadline)) return count_ == 0;
+    }
+    return true;
+  }
+
+  int count() const {
+    MutexLock lock(mu_);
+    return count_;
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  int count_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  int count_ CHRONOS_GUARDED_BY(mu_);
 };
 
 }  // namespace chronos

@@ -3,8 +3,8 @@
 #include <atomic>
 #include <cctype>
 #include <chrono>
-#include <mutex>
 
+#include "common/mutex.h"
 #include "common/random.h"
 
 namespace chronos {
@@ -21,11 +21,11 @@ uint64_t MixedSeed() {
 }  // namespace
 
 std::string GenerateUuid() {
-  static std::mutex mu;
+  static Mutex mu;
   static Rng rng(MixedSeed());
   uint64_t hi, lo;
   {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     hi = rng.NextUint64();
     lo = rng.NextUint64();
   }

@@ -25,13 +25,13 @@ bool VerifyPassword(const std::string& password, const std::string& salt,
 
 std::string SessionManager::CreateSession(const std::string& user_id) {
   std::string token = GenerateUuid();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   sessions_[token] = Session{user_id, clock_->NowMs() + ttl_ms_};
   return token;
 }
 
 StatusOr<std::string> SessionManager::Resolve(const std::string& token) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sessions_.find(token);
   if (it == sessions_.end()) {
     return Status::Unauthenticated("unknown session token");
@@ -44,7 +44,7 @@ StatusOr<std::string> SessionManager::Resolve(const std::string& token) {
 }
 
 Status SessionManager::Invalidate(const std::string& token) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (sessions_.erase(token) == 0) {
     return Status::NotFound("no such session");
   }
@@ -52,7 +52,7 @@ Status SessionManager::Invalidate(const std::string& token) {
 }
 
 int SessionManager::Sweep() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   int removed = 0;
   TimestampMs now = clock_->NowMs();
   for (auto it = sessions_.begin(); it != sessions_.end();) {
@@ -67,7 +67,7 @@ int SessionManager::Sweep() {
 }
 
 size_t SessionManager::active_sessions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return sessions_.size();
 }
 

@@ -2,11 +2,12 @@
 #define CHRONOS_CONTROL_AUTH_H_
 
 #include <map>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "common/statusor.h"
+#include "common/thread_annotations.h"
 #include "model/entities.h"
 
 namespace chronos::control {
@@ -49,8 +50,8 @@ class SessionManager {
 
   Clock* clock_;
   int64_t ttl_ms_;
-  mutable std::mutex mu_;
-  std::map<std::string, Session> sessions_;
+  mutable Mutex mu_;
+  std::map<std::string, Session> sessions_ CHRONOS_GUARDED_BY(mu_);
 };
 
 }  // namespace chronos::control

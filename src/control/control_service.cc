@@ -548,7 +548,7 @@ StatusOr<JobState> ControlService::Heartbeat(const std::string& job_id) {
   auto [job, version] = snapshot;
   if (job.state != JobState::kRunning) return job.state;
   job.last_heartbeat_at = clock_->NowMs();
-  db_->jobs().UpdateIfVersion(job, version).ok();  // Racy loss is harmless.
+  db_->jobs().UpdateIfVersion(job, version).IgnoreError();  // Racy loss is harmless.
   return JobState::kRunning;
 }
 
@@ -702,7 +702,7 @@ void ControlService::RecordEvent(const std::string& job_id,
   event.timestamp_ms = clock_->NowMs();
   event.kind = kind;
   event.message = message;
-  db_->job_events().Insert(event).ok();
+  db_->job_events().Insert(event).IgnoreError();
 }
 
 }  // namespace chronos::control

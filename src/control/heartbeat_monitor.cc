@@ -1,5 +1,7 @@
 #include "control/heartbeat_monitor.h"
 
+#include <chrono>
+
 #include "obs/metrics_registry.h"
 
 namespace chronos::control {
@@ -11,19 +13,31 @@ HeartbeatMonitor::HeartbeatMonitor(ControlService* service,
 HeartbeatMonitor::~HeartbeatMonitor() { Stop(); }
 
 void HeartbeatMonitor::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
   if (thread_.joinable()) return;
-  stop_requested_ = false;
+  {
+    MutexLock lock(mu_);
+    stop_requested_ = false;
+  }
   thread_ = std::thread([this] { Loop(); });
 }
 
 void HeartbeatMonitor::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_requested_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (thread_.joinable()) thread_.join();
+}
+
+bool HeartbeatMonitor::WaitForStop(int64_t timeout_ms) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms < 0 ? 0 : timeout_ms);
+  MutexLock lock(mu_);
+  while (!stop_requested_) {
+    if (!cv_.WaitUntil(mu_, deadline)) return stop_requested_;
+  }
+  return true;
 }
 
 void HeartbeatMonitor::Loop() {
@@ -33,17 +47,17 @@ void HeartbeatMonitor::Loop() {
   static obs::Counter* failed_counter = obs::MetricsRegistry::Get()->GetCounter(
       "chronos_heartbeat_jobs_failed_total",
       "Jobs failed by the heartbeat monitor (stale agents)");
-  std::unique_lock<std::mutex> lock(mu_);
-  while (!stop_requested_) {
-    lock.unlock();
+  for (;;) {
+    {
+      MutexLock lock(mu_);
+      if (stop_requested_) return;
+    }
     int failed = service_->CheckHeartbeats();
     jobs_failed_.fetch_add(failed);
     sweeps_.fetch_add(1);
     sweep_counter->Increment();
     failed_counter->Increment(static_cast<uint64_t>(failed));
-    lock.lock();
-    cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
-                 [this] { return stop_requested_; });
+    if (WaitForStop(interval_ms_)) return;
   }
 }
 

@@ -2,10 +2,10 @@
 #define CHRONOS_CONTROL_HEARTBEAT_MONITOR_H_
 
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "control/control_service.h"
 
 namespace chronos::control {
@@ -32,13 +32,17 @@ class HeartbeatMonitor {
 
  private:
   void Loop();
+  // Sleeps up to timeout_ms; returns true if Stop() was requested meanwhile.
+  bool WaitForStop(int64_t timeout_ms) CHRONOS_EXCLUDES(mu_);
 
   ControlService* service_;
   int64_t interval_ms_;
+  // Start/Stop are externally serialized (owner's thread); thread_ itself is
+  // not touched by Loop, so it needs no lock.
   std::thread thread_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_requested_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  bool stop_requested_ CHRONOS_GUARDED_BY(mu_) = false;
   std::atomic<int64_t> jobs_failed_{0};
   std::atomic<int64_t> sweeps_{0};
 };

@@ -1,10 +1,12 @@
 #include "control/provisioner.h"
 
+#include "common/logging.h"
+
 namespace chronos::control {
 
 Status ProvisioningManager::RegisterProvisioner(
     DeploymentProvisioner* provisioner) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string name(provisioner->name());
   if (provisioners_.count(name) > 0) {
     return Status::AlreadyExists("provisioner registered: " + name);
@@ -14,7 +16,7 @@ Status ProvisioningManager::RegisterProvisioner(
 }
 
 std::vector<std::string> ProvisioningManager::ProvisionerNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(provisioners_.size());
   for (const auto& [name, provisioner] : provisioners_) {
@@ -28,7 +30,7 @@ StatusOr<model::Deployment> ProvisioningManager::ProvisionDeployment(
     const std::string& deployment_name, const json::Json& spec) {
   DeploymentProvisioner* provisioner = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = provisioners_.find(provisioner_name);
     if (it == provisioners_.end()) {
       return Status::NotFound("no provisioner: " + provisioner_name);
@@ -48,11 +50,16 @@ StatusOr<model::Deployment> ProvisioningManager::ProvisionDeployment(
   auto created = service_->CreateDeployment(std::move(deployment));
   if (!created.ok()) {
     // Roll the instance back rather than leak it.
-    provisioner->Terminate(instance.handle).ok();
+    Status terminated = provisioner->Terminate(instance.handle);
+    if (!terminated.ok()) {
+      CHRONOS_LOG(kWarning, "provisioner")
+          << "rollback terminate failed, instance may leak: "
+          << terminated.ToString();
+    }
     return created.status();
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     provisioned_[created->id] = Record{provisioner, instance.handle};
   }
   return created;
@@ -62,7 +69,7 @@ Status ProvisioningManager::TeardownDeployment(
     const std::string& deployment_id) {
   Record record;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = provisioned_.find(deployment_id);
     if (it == provisioned_.end()) {
       return Status::NotFound("deployment was not provisioned here: " +
@@ -78,7 +85,7 @@ Status ProvisioningManager::TeardownDeployment(
 int ProvisioningManager::TeardownAll() {
   std::vector<std::string> ids;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& [id, record] : provisioned_) ids.push_back(id);
   }
   int count = 0;
@@ -89,7 +96,7 @@ int ProvisioningManager::TeardownAll() {
 }
 
 size_t ProvisioningManager::active_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return provisioned_.size();
 }
 

@@ -3,10 +3,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "control/control_service.h"
 
 namespace chronos::control {
@@ -72,9 +73,11 @@ class ProvisioningManager {
   };
 
   ControlService* service_;
-  mutable std::mutex mu_;
-  std::map<std::string, DeploymentProvisioner*> provisioners_;
-  std::map<std::string, Record> provisioned_;  // deployment_id -> record.
+  mutable Mutex mu_;
+  std::map<std::string, DeploymentProvisioner*> provisioners_
+      CHRONOS_GUARDED_BY(mu_);
+  // deployment_id -> record.
+  std::map<std::string, Record> provisioned_ CHRONOS_GUARDED_BY(mu_);
 };
 
 }  // namespace chronos::control

@@ -1,9 +1,9 @@
 #include "control/rest_api.h"
 
 #include "analysis/diagrams.h"
+#include "common/strings.h"
 #include "control/archiver.h"
 #include "control/web_ui.h"
-#include "common/strings.h"
 #include "obs/metrics_registry.h"
 
 namespace chronos::control {
@@ -97,7 +97,7 @@ void MountVersion(net::Router* router, ControlService* service,
   router->Post(base + "/auth/logout",
                WithAuth(service, [service](const HttpRequest& request,
                                            const model::User&) {
-                 service->Logout(request.headers.Get("X-Session")).ok();
+                 service->Logout(request.headers.Get("X-Session")).IgnoreError();
                  return HttpResponse::Json(json::Json::MakeObject());
                }));
 

@@ -67,19 +67,19 @@ void FtpServer::Stop() {
 }
 
 std::map<std::string, std::string> FtpServer::Files() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return files_;
 }
 
 StatusOr<std::string> FtpServer::GetFile(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = files_.find(name);
   if (it == files_.end()) return Status::NotFound("no such file: " + name);
   return it->second;
 }
 
 size_t FtpServer::file_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return files_.size();
 }
 
@@ -97,7 +97,7 @@ void FtpServer::AcceptLoop() {
 }
 
 void FtpServer::ServeControl(std::unique_ptr<TcpConnection> conn) {
-  conn->SetReadTimeoutMs(30000).ok();
+  conn->SetReadTimeoutMs(30000).IgnoreError();
   if (!conn->WriteAll("220 chronos-ftp ready\r\n").ok()) return;
 
   bool have_user = false;
@@ -118,47 +118,47 @@ void FtpServer::ServeControl(std::unique_ptr<TcpConnection> conn) {
 
     if (command == "USER") {
       have_user = argument == username_;
-      conn->WriteAll("331 password required\r\n").ok();
+      conn->WriteAll("331 password required\r\n").IgnoreError();
     } else if (command == "PASS") {
       authenticated = have_user && argument == password_;
       conn->WriteAll(authenticated ? "230 logged in\r\n"
                                    : "530 login incorrect\r\n")
-          .ok();
+          .IgnoreError();
     } else if (command == "QUIT") {
-      conn->WriteAll("221 bye\r\n").ok();
+      conn->WriteAll("221 bye\r\n").IgnoreError();
       return;
     } else if (!authenticated) {
-      conn->WriteAll("530 not logged in\r\n").ok();
+      conn->WriteAll("530 not logged in\r\n").IgnoreError();
     } else if (command == "TYPE") {
-      conn->WriteAll("200 type set\r\n").ok();
+      conn->WriteAll("200 type set\r\n").IgnoreError();
     } else if (command == "PASV") {
       auto listener = TcpListener::Listen(0);
       if (!listener.ok()) {
-        conn->WriteAll("425 cannot open data port\r\n").ok();
+        conn->WriteAll("425 cannot open data port\r\n").IgnoreError();
         continue;
       }
       data_listener = std::move(listener).value();
-      conn->WriteAll(PasvReply(data_listener->port())).ok();
+      conn->WriteAll(PasvReply(data_listener->port())).IgnoreError();
     } else if (command == "STOR" || command == "RETR" || command == "LIST") {
       if (data_listener == nullptr) {
-        conn->WriteAll("425 use PASV first\r\n").ok();
+        conn->WriteAll("425 use PASV first\r\n").IgnoreError();
         continue;
       }
       if (command == "RETR") {
         // Reject before opening the data channel so the client sees 550 as
         // the direct reply to RETR.
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (files_.count(argument) == 0) {
-          conn->WriteAll("550 no such file\r\n").ok();
+          conn->WriteAll("550 no such file\r\n").IgnoreError();
           data_listener.reset();
           continue;
         }
       }
-      conn->WriteAll("150 opening data connection\r\n").ok();
+      conn->WriteAll("150 opening data connection\r\n").IgnoreError();
       auto data = data_listener->Accept();
       data_listener.reset();
       if (!data.ok()) {
-        conn->WriteAll("425 data connection failed\r\n").ok();
+        conn->WriteAll("425 data connection failed\r\n").IgnoreError();
         continue;
       }
       if (command == "STOR") {
@@ -169,41 +169,41 @@ void FtpServer::ServeControl(std::unique_ptr<TcpConnection> conn) {
           contents += *chunk;
         }
         {
-          std::lock_guard<std::mutex> lock(mu_);
+          MutexLock lock(mu_);
           files_[argument] = std::move(contents);
         }
-        conn->WriteAll("226 transfer complete\r\n").ok();
+        conn->WriteAll("226 transfer complete\r\n").IgnoreError();
       } else if (command == "RETR") {
         std::string contents;
         {
-          std::lock_guard<std::mutex> lock(mu_);
+          MutexLock lock(mu_);
           auto it = files_.find(argument);
           if (it != files_.end()) contents = it->second;
         }
-        (*data)->WriteAll(contents).ok();
+        (*data)->WriteAll(contents).IgnoreError();
         (*data)->Close();
-        conn->WriteAll("226 transfer complete\r\n").ok();
+        conn->WriteAll("226 transfer complete\r\n").IgnoreError();
       } else {  // LIST
         std::string listing;
         {
-          std::lock_guard<std::mutex> lock(mu_);
+          MutexLock lock(mu_);
           for (const auto& [name, contents] : files_) {
             listing += name + "\r\n";
           }
         }
-        (*data)->WriteAll(listing).ok();
+        (*data)->WriteAll(listing).IgnoreError();
         (*data)->Close();
-        conn->WriteAll("226 transfer complete\r\n").ok();
+        conn->WriteAll("226 transfer complete\r\n").IgnoreError();
       }
     } else if (command == "DELE") {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (files_.erase(argument) > 0) {
-        conn->WriteAll("250 deleted\r\n").ok();
+        conn->WriteAll("250 deleted\r\n").IgnoreError();
       } else {
-        conn->WriteAll("550 no such file\r\n").ok();
+        conn->WriteAll("550 no such file\r\n").IgnoreError();
       }
     } else {
-      conn->WriteAll("502 command not implemented\r\n").ok();
+      conn->WriteAll("502 command not implemented\r\n").IgnoreError();
     }
   }
 }
@@ -317,7 +317,7 @@ Status FtpClient::Delete(const std::string& name) {
 
 Status FtpClient::Quit() {
   CHRONOS_RETURN_IF_ERROR(SendCommand("QUIT"));
-  ReadReply().ok();
+  ReadReply().IgnoreError();
   return Status::Ok();
 }
 

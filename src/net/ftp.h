@@ -4,13 +4,14 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "common/statusor.h"
+#include "common/thread_annotations.h"
 #include "net/tcp.h"
 
 namespace chronos::net {
@@ -55,8 +56,10 @@ class FtpServer {
   std::string username_;
   std::string password_;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::string> files_;
+  mutable Mutex mu_;
+  std::map<std::string, std::string> files_ CHRONOS_GUARDED_BY(mu_);
+  // Written only by the accept thread; Stop() reads it after joining that
+  // thread, so no lock is needed.
   std::vector<std::thread> sessions_;
   std::thread accept_thread_;
   std::atomic<bool> stopping_{false};

@@ -277,7 +277,7 @@ void HttpServer::AcceptLoop() {
 }
 
 void HttpServer::ServeConnection(std::unique_ptr<TcpConnection> conn) {
-  conn->SetReadTimeoutMs(30000).ok();
+  conn->SetReadTimeoutMs(30000).IgnoreError();
   while (!stopping_.load()) {
     auto request = ReadRequest(conn.get());
     if (!request.ok()) {
@@ -286,7 +286,7 @@ void HttpServer::ServeConnection(std::unique_ptr<TcpConnection> conn) {
         HttpResponse response =
             HttpResponse::Error(400, request.status().ToString());
         response.headers.Set("Connection", "close");
-        conn->WriteAll(SerializeResponse(response)).ok();
+        conn->WriteAll(SerializeResponse(response)).IgnoreError();
       }
       return;
     }

@@ -243,9 +243,9 @@ StatusOr<std::unique_ptr<TcpConnection>> TcpListener::Accept() {
 }
 
 void TcpListener::Close() {
-  if (fd_ >= 0) {
-    int fd = fd_;
-    fd_ = -1;
+  // exchange() makes concurrent Close calls close the fd exactly once.
+  int fd = fd_.exchange(-1);
+  if (fd >= 0) {
     ::shutdown(fd, SHUT_RDWR);
     ::close(fd);
   }

@@ -1,6 +1,7 @@
 #ifndef CHRONOS_NET_TCP_H_
 #define CHRONOS_NET_TCP_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 
@@ -69,7 +70,9 @@ class TcpListener {
  private:
   TcpListener(int fd, int port) : fd_(fd), port_(port) {}
 
-  int fd_;
+  // Atomic: Close() is called from a different thread than the one blocked
+  // in Accept(), precisely to unblock it.
+  std::atomic<int> fd_;
   int port_;
 };
 

@@ -103,7 +103,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      const std::string& help,
                                      const Labels& labels) {
   std::string key = SerializeLabels(labels);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Family* family = FamilyFor(name, help, Kind::kCounter);
   if (family == nullptr) {
     static Counter* mismatch = new Counter();
@@ -118,7 +118,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name,
                                  const std::string& help,
                                  const Labels& labels) {
   std::string key = SerializeLabels(labels);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Family* family = FamilyFor(name, help, Kind::kGauge);
   if (family == nullptr) {
     static Gauge* mismatch = new Gauge();
@@ -133,7 +133,7 @@ HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name,
                                                const std::string& help,
                                                const Labels& labels) {
   std::string key = SerializeLabels(labels);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Family* family = FamilyFor(name, help, Kind::kHistogram);
   if (family == nullptr) {
     static HistogramMetric* mismatch = new HistogramMetric();
@@ -145,7 +145,7 @@ HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 void MetricsRegistry::AddCollectionHook(std::function<void()> hook) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   hooks_.push_back(std::move(hook));
 }
 
@@ -153,7 +153,7 @@ std::string MetricsRegistry::RenderPrometheus() {
   // Hooks run outside the lock: they are allowed to register/update metrics.
   std::vector<std::function<void()>> hooks;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     hooks = hooks_;
   }
   for (const auto& hook : hooks) hook();
@@ -161,7 +161,7 @@ std::string MetricsRegistry::RenderPrometheus() {
   static constexpr double kQuantiles[] = {0.5, 0.9, 0.99};
 
   std::string out;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& [name, family] : families_) {
     if (!family.help.empty()) {
       out += "# HELP " + name + " " + family.help + "\n";
@@ -205,7 +205,7 @@ std::string MetricsRegistry::RenderPrometheus() {
 }
 
 size_t MetricsRegistry::family_count() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return families_.size();
 }
 

@@ -6,12 +6,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace chronos::obs {
 
@@ -123,11 +124,11 @@ class MetricsRegistry {
   };
 
   Family* FamilyFor(const std::string& name, const std::string& help,
-                    Kind kind);
+                    Kind kind) CHRONOS_REQUIRES(mu_);
 
-  std::mutex mu_;
-  std::map<std::string, Family> families_;
-  std::vector<std::function<void()>> hooks_;
+  Mutex mu_;
+  std::map<std::string, Family> families_ CHRONOS_GUARDED_BY(mu_);
+  std::vector<std::function<void()>> hooks_ CHRONOS_GUARDED_BY(mu_);
 };
 
 }  // namespace chronos::obs

@@ -42,6 +42,9 @@ StatusOr<std::unique_ptr<TableStore>> TableStore::Open(
 }
 
 Status TableStore::Load() {
+  // Open-time only (no concurrent callers yet), but Apply and tables_ demand
+  // the capability, so hold it for the whole load.
+  MutexLock lock(mu_);
   // 1. Snapshot (if present).
   if (file::Exists(SnapshotPath())) {
     CHRONOS_ASSIGN_OR_RETURN(std::string text, file::ReadFile(SnapshotPath()));
@@ -115,7 +118,7 @@ Status TableStore::CheckpointLocked() {
 Status TableStore::Insert(const std::string& table, const std::string& id,
                           json::Json row) {
   if (!row.is_object()) return Status::InvalidArgument("row must be an object");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto table_it = tables_.find(table);
   if (table_it != tables_.end() && table_it->second.count(id) > 0) {
     return Status::AlreadyExists("row exists: " + table + "/" + id);
@@ -130,7 +133,7 @@ Status TableStore::Insert(const std::string& table, const std::string& id,
 Status TableStore::Update(const std::string& table, const std::string& id,
                           json::Json row, int64_t expected_version) {
   if (!row.is_object()) return Status::InvalidArgument("row must be an object");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto table_it = tables_.find(table);
   if (table_it == tables_.end() || table_it->second.count(id) == 0) {
     return Status::NotFound("row not found: " + table + "/" + id);
@@ -152,7 +155,7 @@ Status TableStore::Update(const std::string& table, const std::string& id,
 Status TableStore::Upsert(const std::string& table, const std::string& id,
                           json::Json row) {
   if (!row.is_object()) return Status::InvalidArgument("row must be an object");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   int64_t version = 0;
   auto table_it = tables_.find(table);
   if (table_it != tables_.end()) {
@@ -169,7 +172,7 @@ Status TableStore::Upsert(const std::string& table, const std::string& id,
 }
 
 Status TableStore::Delete(const std::string& table, const std::string& id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto table_it = tables_.find(table);
   if (table_it == tables_.end() || table_it->second.count(id) == 0) {
     return Status::NotFound("row not found: " + table + "/" + id);
@@ -179,7 +182,7 @@ Status TableStore::Delete(const std::string& table, const std::string& id) {
 
 StatusOr<json::Json> TableStore::Get(const std::string& table,
                                      const std::string& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto table_it = tables_.find(table);
   if (table_it != tables_.end()) {
     auto row_it = table_it->second.find(id);
@@ -189,13 +192,13 @@ StatusOr<json::Json> TableStore::Get(const std::string& table,
 }
 
 bool TableStore::Exists(const std::string& table, const std::string& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto table_it = tables_.find(table);
   return table_it != tables_.end() && table_it->second.count(id) > 0;
 }
 
 std::vector<json::Json> TableStore::Scan(const std::string& table) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<json::Json> rows;
   auto table_it = tables_.find(table);
   if (table_it != tables_.end()) {
@@ -216,7 +219,7 @@ std::vector<json::Json> TableStore::FindBy(const std::string& table,
 std::vector<json::Json> TableStore::FindIf(
     const std::string& table,
     const std::function<bool(const json::Json&)>& pred) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<json::Json> rows;
   auto table_it = tables_.find(table);
   if (table_it != tables_.end()) {
@@ -228,13 +231,13 @@ std::vector<json::Json> TableStore::FindIf(
 }
 
 size_t TableStore::Count(const std::string& table) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto table_it = tables_.find(table);
   return table_it == tables_.end() ? 0 : table_it->second.size();
 }
 
 std::vector<std::string> TableStore::TableNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, table] : tables_) names.push_back(name);
@@ -243,17 +246,17 @@ std::vector<std::string> TableStore::TableNames() const {
 }
 
 Status TableStore::Checkpoint() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return CheckpointLocked();
 }
 
 uint64_t TableStore::wal_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return wal_->size_bytes();
 }
 
 uint64_t TableStore::applied_mutations() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return applied_;
 }
 

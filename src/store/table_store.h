@@ -4,13 +4,14 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "common/statusor.h"
+#include "common/thread_annotations.h"
 #include "json/json.h"
 #include "store/wal.h"
 
@@ -96,11 +97,11 @@ class TableStore {
 
   using Table = std::map<std::string, json::Json>;  // id -> row
 
-  Status Load();
-  Status LogAndApply(const json::Json& mutation);
-  void Apply(const json::Json& mutation);
-  Status MaybeCheckpointLocked();
-  Status CheckpointLocked();
+  Status Load() CHRONOS_EXCLUDES(mu_);
+  Status LogAndApply(const json::Json& mutation) CHRONOS_REQUIRES(mu_);
+  void Apply(const json::Json& mutation) CHRONOS_REQUIRES(mu_);
+  Status MaybeCheckpointLocked() CHRONOS_REQUIRES(mu_);
+  Status CheckpointLocked() CHRONOS_REQUIRES(mu_);
   std::string SnapshotPath() const;
   std::string WalPath() const;
 
@@ -108,9 +109,9 @@ class TableStore {
   TableStoreOptions options_;
   std::unique_ptr<Wal> wal_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Table> tables_;
-  uint64_t applied_ = 0;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, Table> tables_ CHRONOS_GUARDED_BY(mu_);
+  uint64_t applied_ CHRONOS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace chronos::store

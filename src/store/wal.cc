@@ -50,7 +50,7 @@ Status Wal::Append(std::string_view payload, bool sync) {
   EncodeU32(header, static_cast<uint32_t>(payload.size()));
   EncodeU32(header + 4, archive::Crc32(payload));
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (std::fwrite(header, 1, sizeof(header), file_) != sizeof(header) ||
       std::fwrite(payload.data(), 1, payload.size(), file_) !=
           payload.size()) {
@@ -71,14 +71,14 @@ Status Wal::Append(std::string_view payload, bool sync) {
 }
 
 Status Wal::Sync() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (std::fflush(file_) != 0) return Status::IoError("WAL flush failed");
   if (::fsync(::fileno(file_)) != 0) return Status::IoError("WAL fsync failed");
   return Status::Ok();
 }
 
 Status Wal::Truncate() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::fclose(file_);
   file_ = std::fopen(path_.c_str(), "wb");
   if (file_ == nullptr) {

@@ -4,12 +4,13 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "common/statusor.h"
+#include "common/thread_annotations.h"
 
 namespace chronos::store {
 
@@ -35,7 +36,10 @@ class Wal {
   Status Sync();
 
   // Bytes currently in the log file.
-  uint64_t size_bytes() const { return size_bytes_; }
+  uint64_t size_bytes() const {
+    MutexLock lock(mu_);
+    return size_bytes_;
+  }
 
   // Closes, removes and recreates the log (after a checkpoint).
   Status Truncate();
@@ -49,10 +53,10 @@ class Wal {
   Wal(std::FILE* file, std::string path, uint64_t size)
       : file_(file), path_(std::move(path)), size_bytes_(size) {}
 
-  std::mutex mu_;
-  std::FILE* file_;
+  mutable Mutex mu_;
+  std::FILE* file_ CHRONOS_GUARDED_BY(mu_);
   std::string path_;
-  uint64_t size_bytes_;
+  uint64_t size_bytes_ CHRONOS_GUARDED_BY(mu_);
 };
 
 }  // namespace chronos::store

@@ -46,7 +46,7 @@ StatusOr<std::string> BTreeEngine::Decode(const Slot& slot) const {
   return archive::LzDecompress(slot.bytes);
 }
 
-std::mutex& BTreeEngine::StripeFor(const std::string& id) const {
+Mutex& BTreeEngine::StripeFor(const std::string& id) const {
   size_t hash = std::hash<std::string>{}(id);
   return stripes_[hash % kStripes];
 }
@@ -121,7 +121,7 @@ Status BTreeEngine::Insert(const std::string& id, std::string_view document) {
   // section, so concurrent inserts overlap their I/O (wiredTiger's group
   // commit behaviour).
   SimulatedIo(options_.write_io_us);
-  std::unique_lock<std::shared_mutex> lock(tree_mu_);
+  WriterMutexLock lock(tree_mu_);
   // Duplicate check.
   Node* leaf = FindLeaf(id);
   size_t pos = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), id) -
@@ -146,7 +146,7 @@ Status BTreeEngine::Insert(const std::string& id, std::string_view document) {
 }
 
 StatusOr<std::string> BTreeEngine::Get(const std::string& id) const {
-  std::shared_lock<std::shared_mutex> lock(tree_mu_);
+  ReaderMutexLock lock(tree_mu_);
   Node* leaf = FindLeaf(id);
   size_t pos = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), id) -
                leaf->keys.begin();
@@ -154,7 +154,7 @@ StatusOr<std::string> BTreeEngine::Get(const std::string& id) const {
     return Status::NotFound("no document with _id: " + id);
   }
   reads_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> stripe(StripeFor(id));
+  MutexLock stripe(StripeFor(id));
   SimulatedIo(options_.read_io_us);  // Page read under the document latch.
   return Decode(leaf->slots[pos]);
 }
@@ -164,14 +164,14 @@ Status BTreeEngine::Update(const std::string& id, std::string_view document) {
   Encode(document, &slot);
   // Document-level concurrency: structure latch shared, per-document stripe
   // exclusive. Writers to different documents run in parallel.
-  std::shared_lock<std::shared_mutex> lock(tree_mu_);
+  ReaderMutexLock lock(tree_mu_);
   Node* leaf = FindLeaf(id);
   size_t pos = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), id) -
                leaf->keys.begin();
   if (pos >= leaf->keys.size() || leaf->keys[pos] != id) {
     return Status::NotFound("no document with _id: " + id);
   }
-  std::lock_guard<std::mutex> stripe(StripeFor(id));
+  MutexLock stripe(StripeFor(id));
   // Dirty-page write under the document latch only: updates to different
   // documents proceed in parallel — the document-level locking that makes
   // this engine scale with client threads in the paper's demo.
@@ -188,7 +188,7 @@ Status BTreeEngine::Update(const std::string& id, std::string_view document) {
 
 Status BTreeEngine::Remove(const std::string& id) {
   SimulatedIo(options_.write_io_us);  // Log write before the short latch.
-  std::unique_lock<std::shared_mutex> lock(tree_mu_);
+  WriterMutexLock lock(tree_mu_);
   Node* leaf = FindLeaf(id);
   size_t pos = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), id) -
                leaf->keys.begin();
@@ -214,7 +214,7 @@ void BTreeEngine::Scan(
     const std::string& from,
     const std::function<bool(const std::string&, const std::string&)>&
         visitor) const {
-  std::shared_lock<std::shared_mutex> lock(tree_mu_);
+  ReaderMutexLock lock(tree_mu_);
   scans_.fetch_add(1, std::memory_order_relaxed);
   Node* leaf = FindLeaf(from);
   size_t pos = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), from) -
@@ -223,7 +223,7 @@ void BTreeEngine::Scan(
     for (; pos < leaf->keys.size(); ++pos) {
       std::string document;
       {
-        std::lock_guard<std::mutex> stripe(StripeFor(leaf->keys[pos]));
+        MutexLock stripe(StripeFor(leaf->keys[pos]));
         auto decoded = Decode(leaf->slots[pos]);
         if (!decoded.ok()) continue;
         document = std::move(decoded).value();
@@ -240,7 +240,7 @@ uint64_t BTreeEngine::Count() const {
 }
 
 int BTreeEngine::Height() const {
-  std::shared_lock<std::shared_mutex> lock(tree_mu_);
+  ReaderMutexLock lock(tree_mu_);
   int height = 1;
   Node* node = root_.get();
   while (!node->is_leaf) {

@@ -4,11 +4,11 @@
 #include <array>
 #include <atomic>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "sue/mokkadb/storage_engine.h"
 
 namespace chronos::mokka {
@@ -68,18 +68,20 @@ class BTreeEngine : public StorageEngine {
 
   std::string Encode(std::string_view document, Slot* slot) const;
   StatusOr<std::string> Decode(const Slot& slot) const;
-  std::mutex& StripeFor(const std::string& id) const;
+  Mutex& StripeFor(const std::string& id) const;
 
   // Returns the leaf that owns (or would own) `id`. Caller holds tree latch.
-  Node* FindLeaf(const std::string& id) const;
+  Node* FindLeaf(const std::string& id) const
+      CHRONOS_REQUIRES_SHARED(tree_mu_);
   // Splits `child` (the i-th child of `parent`); caller holds exclusive latch.
-  void SplitChild(Node* parent, int index);
-  void InsertNonFull(Node* node, const std::string& id, Slot slot);
+  void SplitChild(Node* parent, int index) CHRONOS_REQUIRES(tree_mu_);
+  void InsertNonFull(Node* node, const std::string& id, Slot slot)
+      CHRONOS_REQUIRES(tree_mu_);
 
   BTreeEngineOptions options_;
-  std::unique_ptr<Node> root_;
-  mutable std::shared_mutex tree_mu_;
-  mutable std::array<std::mutex, kStripes> stripes_;
+  mutable SharedMutex tree_mu_;
+  std::unique_ptr<Node> root_ CHRONOS_GUARDED_BY(tree_mu_);
+  mutable std::array<Mutex, kStripes> stripes_;
 
   std::atomic<uint64_t> inserts_{0}, updates_{0}, removes_{0};
   mutable std::atomic<uint64_t> reads_{0}, scans_{0};

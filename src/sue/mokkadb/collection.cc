@@ -1,7 +1,6 @@
 #include "sue/mokkadb/collection.h"
 
 #include <algorithm>
-#include <mutex>
 
 #include "common/uuid.h"
 
@@ -438,7 +437,7 @@ Status Collection::CreateIndex(const std::string& field) {
   if (field.empty() || field == "_id") {
     return Status::InvalidArgument("cannot index field '" + field + "'");
   }
-  std::unique_lock<std::shared_mutex> lock(index_mu_);
+  WriterMutexLock lock(index_mu_);
   if (indexes_.count(field) > 0) {
     return Status::AlreadyExists("index exists on field: " + field);
   }
@@ -461,7 +460,7 @@ Status Collection::CreateIndex(const std::string& field) {
 }
 
 Status Collection::DropIndex(const std::string& field) {
-  std::unique_lock<std::shared_mutex> lock(index_mu_);
+  WriterMutexLock lock(index_mu_);
   if (indexes_.erase(field) == 0) {
     return Status::NotFound("no index on field: " + field);
   }
@@ -469,7 +468,7 @@ Status Collection::DropIndex(const std::string& field) {
 }
 
 std::vector<std::string> Collection::IndexedFields() const {
-  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  ReaderMutexLock lock(index_mu_);
   std::vector<std::string> fields;
   fields.reserve(indexes_.size());
   for (const auto& [field, entries] : indexes_) fields.push_back(field);
@@ -477,12 +476,12 @@ std::vector<std::string> Collection::IndexedFields() const {
 }
 
 bool Collection::HasIndex(const std::string& field) const {
-  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  ReaderMutexLock lock(index_mu_);
   return indexes_.count(field) > 0;
 }
 
 void Collection::IndexInsert(const std::string& id, const json::Json& doc) {
-  std::unique_lock<std::shared_mutex> lock(index_mu_);
+  WriterMutexLock lock(index_mu_);
   for (auto& [field, entries] : indexes_) {
     const json::Json& value = doc.at(field);
     if (!value.is_null()) entries[value.Dump()].insert(id);
@@ -490,7 +489,7 @@ void Collection::IndexInsert(const std::string& id, const json::Json& doc) {
 }
 
 void Collection::IndexRemove(const std::string& id, const json::Json& doc) {
-  std::unique_lock<std::shared_mutex> lock(index_mu_);
+  WriterMutexLock lock(index_mu_);
   for (auto& [field, entries] : indexes_) {
     const json::Json& value = doc.at(field);
     if (value.is_null()) continue;
@@ -504,7 +503,7 @@ void Collection::IndexRemove(const std::string& id, const json::Json& doc) {
 
 std::optional<std::vector<std::string>> Collection::IndexLookup(
     const std::string& field, const json::Json& value) const {
-  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  ReaderMutexLock lock(index_mu_);
   auto index_it = indexes_.find(field);
   if (index_it == indexes_.end()) return std::nullopt;
   auto entry_it = index_it->second.find(value.Dump());

@@ -5,10 +5,11 @@
 #include <memory>
 #include <optional>
 #include <set>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "json/json.h"
 #include "sue/mokkadb/storage_engine.h"
 
@@ -145,10 +146,10 @@ class Collection {
   std::unique_ptr<StorageEngine> engine_;
   std::function<void(const json::Json&)> journal_hook_;
 
-  // field -> (canonical value dump -> ids). Guarded by index_mu_.
-  mutable std::shared_mutex index_mu_;
+  // field -> (canonical value dump -> ids).
+  mutable SharedMutex index_mu_;
   std::map<std::string, std::map<std::string, std::set<std::string>>>
-      indexes_;
+      indexes_ CHRONOS_GUARDED_BY(index_mu_);
 };
 
 }  // namespace chronos::mokka

@@ -12,7 +12,7 @@ StatusOr<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
   CHRONOS_ASSIGN_OR_RETURN(db->journal_, store::Wal::Open(db->JournalPath()));
   // Journaling hooks attach only after recovery so replay does not
   // re-journal.
-  std::lock_guard<std::mutex> lock(db->mu_);
+  MutexLock lock(db->mu_);
   for (auto& [name, info] : db->collections_) {
     db->AttachJournal(name, info.collection.get());
   }
@@ -20,7 +20,7 @@ StatusOr<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
 }
 
 Status Database::LoadFromDisk() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // 1. Snapshot.
   if (file::Exists(SnapshotPath())) {
     CHRONOS_ASSIGN_OR_RETURN(std::string text, file::ReadFile(SnapshotPath()));
@@ -58,7 +58,7 @@ void Database::ApplyRecord(const json::Json& record) {
   if (op == "create_collection") {
     CreateLocked(coll_name, record.GetStringOr("engine", ""),
                  record.at("engine_options"))
-        .ok();
+        .IgnoreError();
     return;
   }
   if (op == "drop") {
@@ -69,17 +69,17 @@ void Database::ApplyRecord(const json::Json& record) {
   if (it == collections_.end()) return;
   Collection* collection = it->second.collection.get();
   if (op == "insert") {
-    collection->InsertOne(record.at("doc")).ok();
+    collection->InsertOne(record.at("doc")).IgnoreError();
   } else if (op == "update") {
     json::Json filter = json::Json::MakeObject();
     filter.Set("_id", record.GetStringOr("id", ""));
-    collection->UpdateOne(filter, record.at("doc")).ok();
+    collection->UpdateOne(filter, record.at("doc")).IgnoreError();
   } else if (op == "delete") {
     json::Json filter = json::Json::MakeObject();
     filter.Set("_id", record.GetStringOr("id", ""));
-    collection->DeleteOne(filter).ok();
+    collection->DeleteOne(filter).IgnoreError();
   } else if (op == "create_index") {
-    collection->CreateIndex(record.GetStringOr("field", "")).ok();
+    collection->CreateIndex(record.GetStringOr("field", "")).IgnoreError();
   }
 }
 
@@ -91,7 +91,7 @@ void Database::AttachJournal(const std::string& name,
   collection->SetJournalHook([journal, name, sync](const json::Json& record) {
     json::Json stamped = record;
     stamped.Set("coll", name);
-    journal->Append(stamped.Dump(), sync).ok();
+    journal->Append(stamped.Dump(), sync).IgnoreError();
   });
 }
 
@@ -118,7 +118,7 @@ StatusOr<Collection*> Database::CreateLocked(
 StatusOr<Collection*> Database::CreateCollection(
     const std::string& name, const std::string& engine,
     const json::Json& engine_options) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   CHRONOS_ASSIGN_OR_RETURN(Collection * collection,
                            CreateLocked(name, engine, engine_options));
   if (journal_ != nullptr) {
@@ -127,7 +127,7 @@ StatusOr<Collection*> Database::CreateCollection(
     record.Set("coll", name);
     record.Set("engine", collections_[name].engine);
     record.Set("engine_options", engine_options);
-    journal_->Append(record.Dump(), options_.sync_journal).ok();
+    journal_->Append(record.Dump(), options_.sync_journal).IgnoreError();
     AttachJournal(name, collection);
   }
   return collection;
@@ -135,7 +135,7 @@ StatusOr<Collection*> Database::CreateCollection(
 
 StatusOr<Collection*> Database::GetOrCreate(const std::string& name) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = collections_.find(name);
     if (it != collections_.end()) return it->second.collection.get();
   }
@@ -146,7 +146,7 @@ StatusOr<Collection*> Database::GetOrCreate(const std::string& name) {
 }
 
 StatusOr<Collection*> Database::Get(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = collections_.find(name);
   if (it == collections_.end()) {
     return Status::NotFound("no collection: " + name);
@@ -155,7 +155,7 @@ StatusOr<Collection*> Database::Get(const std::string& name) const {
 }
 
 Status Database::Drop(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (collections_.erase(name) == 0) {
     return Status::NotFound("no collection: " + name);
   }
@@ -163,13 +163,13 @@ Status Database::Drop(const std::string& name) {
     json::Json record = json::Json::MakeObject();
     record.Set("op", "drop");
     record.Set("coll", name);
-    journal_->Append(record.Dump(), options_.sync_journal).ok();
+    journal_->Append(record.Dump(), options_.sync_journal).IgnoreError();
   }
   return Status::Ok();
 }
 
 std::vector<std::string> Database::CollectionNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(collections_.size());
   for (const auto& [name, info] : collections_) names.push_back(name);
@@ -182,7 +182,7 @@ uint64_t Database::journal_bytes() const {
 
 Status Database::CompactJournal() {
   if (journal_ == nullptr) return Status::Ok();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   json::Json snapshot = json::Json::MakeObject();
   json::Json collections = json::Json::MakeArray();
   for (const auto& [name, info] : collections_) {
@@ -213,7 +213,7 @@ Status Database::CompactJournal() {
 }
 
 json::Json Database::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   json::Json out = json::Json::MakeObject();
   for (const auto& [name, info] : collections_) {
     json::Json entry = info.collection->Stats().ToJson();

@@ -3,10 +3,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "store/wal.h"
 #include "sue/mokkadb/collection.h"
 
@@ -83,19 +84,21 @@ class Database {
   // path and recovery). Caller holds mu_.
   StatusOr<Collection*> CreateLocked(const std::string& name,
                                      const std::string& engine,
-                                     const json::Json& engine_options);
+                                     const json::Json& engine_options)
+      CHRONOS_REQUIRES(mu_);
   // Re-applies one journal/snapshot record. Caller holds mu_.
-  void ApplyRecord(const json::Json& record);
+  void ApplyRecord(const json::Json& record) CHRONOS_REQUIRES(mu_);
   // Installs the journaling hook on a collection. Caller holds mu_.
-  void AttachJournal(const std::string& name, Collection* collection);
-  Status LoadFromDisk();
+  void AttachJournal(const std::string& name, Collection* collection)
+      CHRONOS_REQUIRES(mu_);
+  Status LoadFromDisk() CHRONOS_EXCLUDES(mu_);
   std::string SnapshotPath() const { return options_.data_dir + "/snapshot.json"; }
   std::string JournalPath() const { return options_.data_dir + "/journal.log"; }
 
   DatabaseOptions options_;
   std::unique_ptr<store::Wal> journal_;
-  mutable std::mutex mu_;
-  std::map<std::string, CollectionInfo> collections_;
+  mutable Mutex mu_;
+  std::map<std::string, CollectionInfo> collections_ CHRONOS_GUARDED_BY(mu_);
 };
 
 }  // namespace chronos::mokka

@@ -1,7 +1,6 @@
 #include "sue/mokkadb/mmap_engine.h"
 
 #include <cstring>
-#include <mutex>
 
 namespace chronos::mokka {
 
@@ -56,7 +55,7 @@ Status MmapEngine::Insert(const std::string& id, std::string_view document) {
   if (document.size() > options_.extent_bytes) {
     return Status::InvalidArgument("document exceeds extent size");
   }
-  std::unique_lock<std::shared_mutex> lock(collection_mu_);
+  WriterMutexLock lock(collection_mu_);
   if (index_.count(id) > 0) {
     return Status::AlreadyExists("duplicate _id: " + id);
   }
@@ -74,7 +73,7 @@ Status MmapEngine::Insert(const std::string& id, std::string_view document) {
 }
 
 StatusOr<std::string> MmapEngine::Get(const std::string& id) const {
-  std::shared_lock<std::shared_mutex> lock(collection_mu_);
+  ReaderMutexLock lock(collection_mu_);
   auto it = index_.find(id);
   if (it == index_.end()) {
     return Status::NotFound("no document with _id: " + id);
@@ -90,7 +89,7 @@ Status MmapEngine::Update(const std::string& id, std::string_view document) {
   }
   // mmapv1 semantics: every write takes the collection-level lock
   // exclusively — concurrent writers serialize here.
-  std::unique_lock<std::shared_mutex> lock(collection_mu_);
+  WriterMutexLock lock(collection_mu_);
   auto it = index_.find(id);
   if (it == index_.end()) {
     return Status::NotFound("no document with _id: " + id);
@@ -119,7 +118,7 @@ Status MmapEngine::Update(const std::string& id, std::string_view document) {
 }
 
 Status MmapEngine::Remove(const std::string& id) {
-  std::unique_lock<std::shared_mutex> lock(collection_mu_);
+  WriterMutexLock lock(collection_mu_);
   auto it = index_.find(id);
   if (it == index_.end()) {
     return Status::NotFound("no document with _id: " + id);
@@ -137,7 +136,7 @@ void MmapEngine::Scan(
     const std::string& from,
     const std::function<bool(const std::string&, const std::string&)>&
         visitor) const {
-  std::shared_lock<std::shared_mutex> lock(collection_mu_);
+  ReaderMutexLock lock(collection_mu_);
   scans_.fetch_add(1, std::memory_order_relaxed);
   for (auto it = index_.lower_bound(from); it != index_.end(); ++it) {
     if (!visitor(it->first, ReadRecord(it->second))) return;
@@ -145,17 +144,17 @@ void MmapEngine::Scan(
 }
 
 uint64_t MmapEngine::Count() const {
-  std::shared_lock<std::shared_mutex> lock(collection_mu_);
+  ReaderMutexLock lock(collection_mu_);
   return index_.size();
 }
 
 size_t MmapEngine::ExtentCount() const {
-  std::shared_lock<std::shared_mutex> lock(collection_mu_);
+  ReaderMutexLock lock(collection_mu_);
   return extents_.size();
 }
 
 EngineStats MmapEngine::Stats() const {
-  std::shared_lock<std::shared_mutex> lock(collection_mu_);
+  ReaderMutexLock lock(collection_mu_);
   EngineStats stats;
   stats.inserts = inserts_;
   stats.reads = reads_.load(std::memory_order_relaxed);

@@ -4,10 +4,11 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "sue/mokkadb/storage_engine.h"
 
 namespace chronos::mokka {
@@ -66,26 +67,34 @@ class MmapEngine : public StorageEngine {
   // Rounds a requested size up to its padded slot size.
   uint32_t PaddedSize(size_t size) const;
   // Allocates a slot (freelist first, then extent tail). Lock held.
-  RecordRef Allocate(uint32_t padded);
+  RecordRef Allocate(uint32_t padded) CHRONOS_REQUIRES(collection_mu_);
   // Copies document bytes into the slot. Lock held.
-  void WriteRecord(const RecordRef& ref, std::string_view document);
-  std::string ReadRecord(const RecordRef& ref) const;
+  void WriteRecord(const RecordRef& ref, std::string_view document)
+      CHRONOS_REQUIRES(collection_mu_);
+  std::string ReadRecord(const RecordRef& ref) const
+      CHRONOS_REQUIRES_SHARED(collection_mu_);
 
   MmapEngineOptions options_;
 
-  mutable std::shared_mutex collection_mu_;  // THE collection-level lock.
-  std::vector<std::unique_ptr<std::vector<char>>> extents_;
-  size_t tail_extent_ = 0;
-  size_t tail_offset_ = 0;
+  mutable SharedMutex collection_mu_;  // THE collection-level lock.
+  std::vector<std::unique_ptr<std::vector<char>>> extents_
+      CHRONOS_GUARDED_BY(collection_mu_);
+  size_t tail_extent_ CHRONOS_GUARDED_BY(collection_mu_) = 0;
+  size_t tail_offset_ CHRONOS_GUARDED_BY(collection_mu_) = 0;
   // Free slots by capacity (power-of-two size classes).
-  std::map<uint32_t, std::vector<RecordRef>> freelist_;
+  std::map<uint32_t, std::vector<RecordRef>> freelist_
+      CHRONOS_GUARDED_BY(collection_mu_);
   // Primary index; std::map gives id-ordered scans.
-  std::map<std::string, RecordRef> index_;
+  std::map<std::string, RecordRef> index_ CHRONOS_GUARDED_BY(collection_mu_);
 
-  uint64_t inserts_ = 0, updates_ = 0, removes_ = 0;
+  uint64_t inserts_ CHRONOS_GUARDED_BY(collection_mu_) = 0;
+  uint64_t updates_ CHRONOS_GUARDED_BY(collection_mu_) = 0;
+  uint64_t removes_ CHRONOS_GUARDED_BY(collection_mu_) = 0;
   // Bumped under the shared lock by concurrent readers, hence atomic.
   mutable std::atomic<uint64_t> reads_{0}, scans_{0};
-  uint64_t logical_bytes_ = 0, stored_bytes_ = 0, moves_ = 0;
+  uint64_t logical_bytes_ CHRONOS_GUARDED_BY(collection_mu_) = 0;
+  uint64_t stored_bytes_ CHRONOS_GUARDED_BY(collection_mu_) = 0;
+  uint64_t moves_ CHRONOS_GUARDED_BY(collection_mu_) = 0;
 };
 
 }  // namespace chronos::mokka

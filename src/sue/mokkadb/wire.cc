@@ -204,7 +204,7 @@ void WireServer::Stop() {
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::thread> sessions;
   {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    MutexLock lock(sessions_mu_);
     sessions.swap(sessions_);
   }
   for (std::thread& session : sessions) {
@@ -217,7 +217,7 @@ void WireServer::AcceptLoop() {
     auto conn = listener_->Accept();
     if (!conn.ok()) break;
     std::shared_ptr<net::TcpConnection> shared(conn.value().release());
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    MutexLock lock(sessions_mu_);
     sessions_.emplace_back([this, shared]() mutable {
       std::unique_ptr<net::TcpConnection> owned(
           new net::TcpConnection(std::move(*shared)));
@@ -227,7 +227,7 @@ void WireServer::AcceptLoop() {
 }
 
 void WireServer::ServeConnection(std::unique_ptr<net::TcpConnection> conn) {
-  conn->SetReadTimeoutMs(60000).ok();
+  conn->SetReadTimeoutMs(60000).IgnoreError();
   while (!stopping_.load()) {
     auto line = conn->ReadLine(16 * 1024 * 1024);
     if (!line.ok() || line->empty()) return;

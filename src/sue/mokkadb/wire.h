@@ -3,11 +3,12 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "net/tcp.h"
 #include "sue/mokkadb/database.h"
 
@@ -58,8 +59,8 @@ class WireServer {
   Database* db_;
   std::unique_ptr<net::TcpListener> listener_;
   std::thread accept_thread_;
-  std::mutex sessions_mu_;
-  std::vector<std::thread> sessions_;
+  Mutex sessions_mu_;
+  std::vector<std::thread> sessions_ CHRONOS_GUARDED_BY(sessions_mu_);
   std::atomic<bool> stopping_{false};
 };
 

@@ -31,12 +31,12 @@ class HttpParserTest : public ::testing::Test {
       auto conn =
           net::TcpConnection::Connect("127.0.0.1", (*listener)->port());
       ASSERT_TRUE(conn.ok());
-      (*conn)->WriteAll(raw).ok();
+      (*conn)->WriteAll(raw).IgnoreError();
       // Close so truncated messages hit EOF instead of hanging.
     });
     auto server_conn = (*listener)->Accept();
     EXPECT_TRUE(server_conn.ok());
-    (*server_conn)->SetReadTimeoutMs(2000).ok();
+    (*server_conn)->SetReadTimeoutMs(2000).IgnoreError();
     auto request = net::ReadRequest(server_conn->get(), /*max_body=*/4096);
     writer.join();
     return request;
@@ -112,7 +112,7 @@ TEST(HttpServerHostileTest, SurvivesGarbageAndStaysUp) {
        {"\x00\x01\x02\x03", "NOT HTTP AT ALL\r\n\r\n", "\r\n\r\n\r\n"}) {
     auto conn = net::TcpConnection::Connect("127.0.0.1", port);
     ASSERT_TRUE(conn.ok());
-    (*conn)->WriteAll(garbage).ok();
+    (*conn)->WriteAll(garbage).IgnoreError();
     (*conn)->Close();
   }
   // And a client that connects and immediately disappears.
@@ -217,7 +217,7 @@ TEST(StoreRaceTest, CheckpointDuringWritesLosesNothing) {
   std::atomic<bool> stop_checkpoints{false};
   std::thread checkpointer([&] {
     while (!stop_checkpoints.load()) {
-      (*table_store)->Checkpoint().ok();
+      (*table_store)->Checkpoint().IgnoreError();
     }
   });
   std::vector<std::thread> writers;
@@ -269,15 +269,15 @@ TEST(CollectionRaceTest, ConcurrentMutationsKeepIndexConsistent) {
         doc.Set("bucket", static_cast<int64_t>(rng.NextUint64(5)));
         uint64_t action = rng.NextUint64(10);
         if (action < 5) {
-          collection.InsertOne(doc).ok();
+          collection.InsertOne(doc).IgnoreError();
         } else if (action < 8) {
           json::Json filter = json::Json::MakeObject();
           filter.Set("_id", id);
-          collection.UpdateOne(filter, doc).ok();
+          collection.UpdateOne(filter, doc).IgnoreError();
         } else {
           json::Json filter = json::Json::MakeObject();
           filter.Set("_id", id);
-          collection.DeleteOne(filter).ok();
+          collection.DeleteOne(filter).IgnoreError();
         }
       }
     });

@@ -90,7 +90,7 @@ TEST(ZipTest, RejectsEmptyName) {
 
 TEST(ZipTest, MissingEntryIsNotFound) {
   ZipWriter writer;
-  writer.Add("a", "1").ok();
+  writer.Add("a", "1").IgnoreError();
   auto reader = ZipReader::Open(writer.Finish());
   ASSERT_TRUE(reader.ok());
   EXPECT_TRUE(reader->Read("zzz").status().IsNotFound());
@@ -98,7 +98,7 @@ TEST(ZipTest, MissingEntryIsNotFound) {
 
 TEST(ZipTest, DetectsCorruptPayload) {
   ZipWriter writer;
-  writer.Add("a", "payload-bytes-here").ok();
+  writer.Add("a", "payload-bytes-here").IgnoreError();
   std::string blob = writer.Finish();
   // Flip a payload byte (after the 30-byte local header + 1-byte name).
   blob[31 + 3] ^= 0xFF;

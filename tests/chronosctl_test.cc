@@ -65,7 +65,7 @@ class ChronosctlTest : public ::testing::Test {
     ASSERT_TRUE(db.ok());
     db_ = std::move(db).value();
     service_ = std::make_unique<control::ControlService>(db_.get());
-    service_->CreateUser("admin", "secret", model::UserRole::kAdmin).ok();
+    service_->CreateUser("admin", "secret", model::UserRole::kAdmin).IgnoreError();
     auto server = control::ControlServer::Start(service_.get(), 0);
     ASSERT_TRUE(server.ok());
     server_ = std::move(server).value();
@@ -282,7 +282,7 @@ TEST_F(ChronosctlTest, JobAbortAndLogThroughCli) {
   auto evaluation = service_->CreateEvaluation(experiment->id, "r");
   auto jobs = service_->ListJobs(evaluation->id);
   ASSERT_EQ(jobs.size(), 1u);
-  service_->AppendLog(jobs[0].id, {"cli log line"}).ok();
+  service_->AppendLog(jobs[0].id, {"cli log line"}).IgnoreError();
 
   EXPECT_NE(Run({"job", "show", jobs[0].id}).find("scheduled"),
             std::string::npos);

@@ -200,7 +200,7 @@ TEST_F(IntegrationTest, LoginAndCrudOverRest) {
 }
 
 TEST_F(IntegrationTest, UsersListIsAdminOnlyAndSanitized) {
-  service_->CreateUser("bob", "pass", model::UserRole::kMember).ok();
+  service_->CreateUser("bob", "pass", model::UserRole::kMember).IgnoreError();
   net::HttpClient client("127.0.0.1", server_->port());
   auto login = client.Post("/api/v1/auth/login",
                            R"({"username":"admin","password":"secret"})");
@@ -775,7 +775,7 @@ TEST_F(IntegrationTest, ProvisioningRequiresAdmin) {
                                               &manager);
   server_ = std::move(server).value();
 
-  service_->CreateUser("pleb", "pass", model::UserRole::kMember).ok();
+  service_->CreateUser("pleb", "pass", model::UserRole::kMember).IgnoreError();
   net::HttpClient client("127.0.0.1", server_->port());
   auto login = client.Post("/api/v2/auth/login",
                            R"({"username":"pleb","password":"pass"})");
