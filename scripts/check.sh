@@ -3,14 +3,16 @@
 #
 #   scripts/check.sh             # everything below
 #   scripts/check.sh --quick     # lint + plain build + ctest only
+#   scripts/check.sh --chaos     # chaos leg only (fault tests under ASan)
 #
 # Legs (each can be skipped by the environment lacking the tool):
 #   1. chronos_lint self-test + tree lint          (scripts/chronos_lint.py)
 #   2. plain build (-Wall -Wextra -Werror) + ctest (build/)
 #   3. ASan+UBSan build + ctest                    (build-asan/)
 #   4. TSan build + concurrency-focused tests      (build-tsan/)
-#   5. clang thread-safety build, if clang++ found (build-clang/, compile only)
-#   6. clang-tidy over src/, if clang-tidy found
+#   5. seeded chaos suite under ASan, 3 fixed seeds (build-asan/)
+#   6. clang thread-safety build, if clang++ found (build-clang/, compile only)
+#   7. clang-tidy over src/, if clang-tidy found
 #
 # The sanitizer legs rerun the full suite; the TSan leg restricts ctest to
 # the concurrency/network/store suites to keep wall-clock sane (TSan is
@@ -20,8 +22,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 QUICK=0
+CHAOS_ONLY=0
 if [ "${1:-}" = "--quick" ]; then
   QUICK=1
+elif [ "${1:-}" = "--chaos" ]; then
+  CHAOS_ONLY=1
 fi
 
 JOBS="$(nproc)"
@@ -62,9 +67,24 @@ tsan_leg() {
   cmake -B build-tsan -S . -DCHRONOS_TSAN=ON >/dev/null &&
     cmake --build build-tsan -j "${JOBS}" \
       --target concurrency_test control_test store_test net_test \
-               mokkadb_test obs_test common_test agent_test &&
+               mokkadb_test obs_test common_test agent_test \
+               fault_injection_test &&
     (cd build-tsan && ctest --output-on-failure -j "${JOBS}" \
-       -R 'Concurrency|Control|Store|Net|Mokka|Wire|Obs|Metrics|Thread|Latch|Queue|Logger|Mutex|CondVar|Agent|Wal|Table|Heartbeat|Engine')
+       -R 'Concurrency|Control|Store|Net|Mokka|Wire|Obs|Metrics|Thread|Latch|Queue|Logger|Mutex|CondVar|Agent|Wal|Table|Heartbeat|Engine|FaultInjection')
+}
+
+chaos_leg() {
+  # The fault-injection suite under ASan, once per fixed seed. Each seed must
+  # pass standalone: the e2e chaos test is deterministic per seed, so a
+  # failure here reproduces with the same CHRONOS_CHAOS_SEED value.
+  cmake -B build-asan -S . -DCHRONOS_SANITIZE=ON >/dev/null &&
+    cmake --build build-asan -j "${JOBS}" --target fault_injection_test &&
+    for seed in 7 21 1337; do
+      echo "--- chaos seed ${seed}"
+      (cd build-asan &&
+         CHRONOS_CHAOS_SEED="${seed}" ctest --output-on-failure \
+           -R 'FaultInjection') || return 1
+    done
 }
 
 clang_build_leg() {
@@ -81,12 +101,24 @@ tidy_leg() {
   clang-tidy -p build --quiet $(git ls-files 'src/*.cc')
 }
 
+if [ "${CHAOS_ONLY}" = "1" ]; then
+  run_leg "chaos (fault suite, ASan, 3 seeds)" chaos_leg
+  note "summary"
+  if [ "${#FAILED[@]}" -gt 0 ]; then
+    echo "FAILED legs: ${FAILED[*]}"
+    exit 1
+  fi
+  echo "all legs passed"
+  exit 0
+fi
+
 run_leg "lint" lint_leg
 run_leg "build+ctest (plain, -Werror)" plain_leg
 
 if [ "${QUICK}" = "0" ]; then
   run_leg "build+ctest (ASan+UBSan)" asan_leg
   run_leg "build+ctest (TSan, concurrency suites)" tsan_leg
+  run_leg "chaos (fault suite, ASan, 3 seeds)" chaos_leg
   if command -v clang++ >/dev/null 2>&1; then
     run_leg "clang -Wthread-safety build" clang_build_leg
   else

@@ -19,6 +19,12 @@ Rules (each can be suppressed on a line with `// chronos-lint: allow`):
                    the value, or make the drop explicit with .IgnoreError().
   include-order    #include blocks must be internally sorted (matching
                    clang-format's style), so diffs stay mechanical.
+  raw-sleep        No direct SystemClock::Get()->SleepMs(...) in src/ —
+                   retry/poll/backoff sleeps must go through an injected
+                   Clock* (see common/retry.h RetryPolicy/Backoff) so
+                   SimulatedClock keeps tests deterministic and wall-clock
+                   free. clock.cc (the implementation) and src/tools/
+                   (interactive CLIs) are exempt.
 
 Usage:
   scripts/chronos_lint.py [--root DIR] [paths...]   lint tree or given files
@@ -118,6 +124,28 @@ def check_locked_io(path, rel, lines, errors):
             depth += code.count("{") - code.count("}")
             if depth <= 0:
                 in_requires_body = False
+
+
+# --- Rule: raw-sleep -------------------------------------------------------
+
+RAW_SLEEP_RE = re.compile(r"SystemClock::Get\(\)\s*->\s*SleepMs")
+# clock.cc/h implement the clock itself; tools/ are interactive CLIs whose
+# waits are real by nature (e.g. `chronosctl evaluation watch`).
+RAW_SLEEP_EXEMPT_PREFIXES = ("src/common/clock.", "src/tools/")
+
+
+def check_raw_sleep(path, rel, lines, errors):
+    if any(rel.startswith(p) for p in RAW_SLEEP_EXEMPT_PREFIXES):
+        return
+    for i, line in enumerate(lines, 1):
+        if SUPPRESS in line:
+            continue
+        if RAW_SLEEP_RE.search(strip_comment(line)):
+            errors.append(
+                (rel, i, "raw-sleep",
+                 "direct SystemClock sleep; take a Clock* (options/ctor) "
+                 "and use RetryPolicy/Backoff from common/retry.h so "
+                 "SimulatedClock tests stay deterministic"))
 
 
 # --- Rule: include-guard ---------------------------------------------------
@@ -325,6 +353,7 @@ def lint_file(root, path, status_functions):
     errors = []
     if rel.startswith("src/"):
         check_raw_mutex(path, rel, lines, errors)
+        check_raw_sleep(path, rel, lines, errors)
     check_locked_io(path, rel, lines, errors)
     check_include_guard(path, rel, lines, errors)
     check_dropped_status(path, rel, lines, errors, status_functions)
@@ -402,6 +431,17 @@ BAD_INCLUDE_ORDER = """\
 #include <string>
 """
 
+BAD_RAW_SLEEP = """\
+#include "common/clock.h"
+namespace chronos {
+void PollLoop() {
+  while (true) {
+    SystemClock::Get()->SleepMs(100);
+  }
+}
+}  // namespace chronos
+"""
+
 GOOD = """\
 #ifndef CHRONOS_X_GOOD_H_
 #define CHRONOS_X_GOOD_H_
@@ -433,6 +473,9 @@ def self_test():
         ("src/x/guard.h", BAD_GUARD, "include-guard"),
         ("src/x/drop.cc", BAD_DROPPED, "dropped-status"),
         ("src/x/order.cc", BAD_INCLUDE_ORDER, "include-order"),
+        ("src/x/sleepy.cc", BAD_RAW_SLEEP, "raw-sleep"),
+        # The same sleep under src/tools/ is allowlisted (interactive CLI).
+        ("src/tools/watcher.cc", BAD_RAW_SLEEP, None),
         ("src/x/good.h", GOOD, None),
     ]
     failures = 0

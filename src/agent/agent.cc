@@ -2,7 +2,9 @@
 
 #include "archive/zip.h"
 #include "common/logging.h"
+#include "common/retry.h"
 #include "common/strings.h"
+#include "fault/failpoint.h"
 #include "net/ftp.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
@@ -158,6 +160,9 @@ ChronosAgent::ChronosAgent(AgentOptions options)
     : options_(std::move(options)) {
   http_ = std::make_unique<net::HttpClient>(options_.control_host,
                                             options_.control_port);
+  // Every request this agent sends can be failed by arming this point
+  // (chaos tests use probability mode to model a lossy Agent<->Control link).
+  http_->SetFailPoint("agent.http.send");
 }
 
 ChronosAgent::~ChronosAgent() { Stop(); }
@@ -166,13 +171,34 @@ std::string ChronosAgent::ApiBase() const {
   return "/api/v" + std::to_string(options_.api_version);
 }
 
+Clock* ChronosAgent::clock() const {
+  return options_.clock != nullptr ? options_.clock : SystemClock::Get();
+}
+
+StatusOr<net::HttpResponse> ChronosAgent::PostWithRetry(
+    const std::string& path, const std::string& body) {
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.initial_backoff_ms = 10;
+  policy.max_backoff_ms = 500;
+  policy.clock = clock();
+  StatusOr<net::HttpResponse> response =
+      Status::Internal("PostWithRetry never ran");
+  policy.Run([&] {
+        response = http_->Post(path, body);
+        return response.status();
+      })
+      .IgnoreError();  // The real outcome is in `response`.
+  return response;
+}
+
 Status ChronosAgent::Connect() {
   json::Json body = json::Json::MakeObject();
   body.Set("username", options_.username);
   body.Set("password", options_.password);
   CHRONOS_ASSIGN_OR_RETURN(
       json::Json response,
-      CheckedJson(http_->Post(ApiBase() + "/auth/login", body.Dump())));
+      CheckedJson(PostWithRetry(ApiBase() + "/auth/login", body.Dump())));
   token_ = response.GetStringOr("token", "");
   if (token_.empty()) return Status::Unauthenticated("login returned no token");
   http_->SetDefaultHeader("X-Session", token_);
@@ -196,7 +222,7 @@ StatusOr<bool> ChronosAgent::RunOnce() {
   poll_body.Set("deployment_id", options_.deployment_id);
   CHRONOS_ASSIGN_OR_RETURN(
       json::Json response,
-      CheckedJson(http_->Post(ApiBase() + "/agent/poll", poll_body.Dump())));
+      CheckedJson(PostWithRetry(ApiBase() + "/agent/poll", poll_body.Dump())));
   if (response.at("job").is_null()) return false;
   CHRONOS_ASSIGN_OR_RETURN(model::Job job,
                            model::Job::FromJson(response.at("job")));
@@ -206,8 +232,7 @@ StatusOr<bool> ChronosAgent::RunOnce() {
 
 Status ChronosAgent::ExecuteJob(model::Job job) {
   std::string job_id = job.id;
-  JobContext context(http_.get(), ApiBase(), std::move(job),
-                     SystemClock::Get());
+  JobContext context(http_.get(), ApiBase(), std::move(job), clock());
   CHRONOS_LOG(kInfo, "agent") << "starting job " << job_id;
   context.Log("agent picked up job (attempt " +
               std::to_string(context.job().attempt) + ")");
@@ -219,32 +244,41 @@ Status ChronosAgent::ExecuteJob(model::Job job) {
   // Background heartbeat + periodic log shipping while the handler runs. The
   // keepalive thread inherits the poll cycle's trace so its heartbeat logs
   // correlate too (thread-local trace state doesn't cross threads on its own).
+  // Both intervals <= 0 skips the thread: no keepalive duty, and chaos tests
+  // get a single-threaded agent whose request sequence — and therefore its
+  // seeded fault pattern — is deterministic.
   std::atomic<bool> done{false};
-  std::thread keepalive([this, &context, &done,
-                         trace = CurrentTraceIds()] {
-    obs::TraceScope trace_scope(
-        obs::TraceContext{trace.trace_id, trace.span_id});
-    int64_t since_flush = 0;
-    int64_t since_heartbeat = 0;
-    while (!done.load()) {
-      SystemClock::Get()->SleepMs(50);
-      since_flush += 50;
-      since_heartbeat += 50;
-      if (done.load()) break;
-      if (since_flush >= options_.log_flush_interval_ms) {
-        context.FlushLogs().IgnoreError();
-        since_flush = 0;
+  std::thread keepalive;
+  if (options_.heartbeat_interval_ms > 0 ||
+      options_.log_flush_interval_ms > 0) {
+    keepalive = std::thread([this, &context, &done,
+                             trace = CurrentTraceIds()] {
+      obs::TraceScope trace_scope(
+          obs::TraceContext{trace.trace_id, trace.span_id});
+      int64_t since_flush = 0;
+      int64_t since_heartbeat = 0;
+      while (!done.load()) {
+        clock()->SleepMs(50);
+        since_flush += 50;
+        since_heartbeat += 50;
+        if (done.load()) break;
+        if (options_.log_flush_interval_ms > 0 &&
+            since_flush >= options_.log_flush_interval_ms) {
+          context.FlushLogs().IgnoreError();
+          since_flush = 0;
+        }
+        if (options_.heartbeat_interval_ms > 0 &&
+            since_heartbeat >= options_.heartbeat_interval_ms) {
+          context.SendHeartbeat().IgnoreError();
+          since_heartbeat = 0;
+        }
       }
-      if (since_heartbeat >= options_.heartbeat_interval_ms) {
-        context.SendHeartbeat().IgnoreError();
-        since_heartbeat = 0;
-      }
-    }
-  });
+    });
+  }
 
   Status handler_status = handler_(&context);
   done.store(true);
-  keepalive.join();
+  if (keepalive.joinable()) keepalive.join();
   context.FlushLogs().IgnoreError();
   jobs_executed_.fetch_add(1);
 
@@ -257,7 +291,7 @@ Status ChronosAgent::ExecuteJob(model::Job job) {
         << "job " << job_id << " failed: " << handler_status.ToString();
     json::Json fail_body = json::Json::MakeObject();
     fail_body.Set("reason", handler_status.ToString());
-    return CheckedJson(http_->Post(
+    return CheckedJson(PostWithRetry(
                            ApiBase() + "/agent/jobs/" + job_id + "/fail",
                            fail_body.Dump()))
         .status();
@@ -277,14 +311,26 @@ Status ChronosAgent::UploadResult(JobContext* context) {
   std::string zip_base64;
   if (!options_.ftp_host.empty()) {
     // Offload the bundle to the FTP server; reference it in the result.
-    CHRONOS_ASSIGN_OR_RETURN(
-        std::unique_ptr<net::FtpClient> ftp,
-        net::FtpClient::Connect(options_.ftp_host, options_.ftp_port,
-                                options_.ftp_username,
-                                options_.ftp_password));
+    // The whole connect-store-quit sequence retries as a unit: FTP keeps no
+    // state between attempts, and the store is idempotent (same name, same
+    // bytes).
     std::string remote_name = "job-" + job_id + ".zip";
-    CHRONOS_RETURN_IF_ERROR(ftp->Store(remote_name, bundle));
-    ftp->Quit().IgnoreError();
+    RetryPolicy policy;
+    policy.max_attempts = 5;
+    policy.initial_backoff_ms = 50;
+    policy.max_backoff_ms = 1000;
+    policy.clock = clock();
+    CHRONOS_RETURN_IF_ERROR(policy.Run([&]() -> Status {
+      CHRONOS_RETURN_IF_ERROR(fault::Inject("agent.ftp.upload"));
+      CHRONOS_ASSIGN_OR_RETURN(
+          std::unique_ptr<net::FtpClient> ftp,
+          net::FtpClient::Connect(options_.ftp_host, options_.ftp_port,
+                                  options_.ftp_username,
+                                  options_.ftp_password));
+      CHRONOS_RETURN_IF_ERROR(ftp->Store(remote_name, bundle));
+      ftp->Quit().IgnoreError();
+      return Status::Ok();
+    }));
     data.Set("bundle_ftp_ref", remote_name);
   } else {
     zip_base64 = strings::Base64Encode(bundle);
@@ -294,8 +340,9 @@ Status ChronosAgent::UploadResult(JobContext* context) {
   body.Set("data", std::move(data));
   body.Set("zip_base64", zip_base64);
   Status status =
-      CheckedJson(http_->Post(ApiBase() + "/agent/jobs/" + job_id + "/result",
-                              body.Dump()))
+      CheckedJson(PostWithRetry(ApiBase() + "/agent/jobs/" + job_id +
+                                    "/result",
+                                body.Dump()))
           .status();
   if (status.ok()) {
     static obs::Counter* uploads = obs::MetricsRegistry::Get()->GetCounter(
@@ -307,20 +354,31 @@ Status ChronosAgent::UploadResult(JobContext* context) {
 }
 
 Status ChronosAgent::Run(int max_jobs) {
+  // Failure backoff: capped exponential starting at one poll interval, so a
+  // Control outage doesn't get hammered at poll frequency but recovery is
+  // noticed within ~30 poll intervals.
+  RetryPolicy policy;
+  policy.initial_backoff_ms = options_.poll_interval_ms;
+  policy.max_backoff_ms = options_.poll_interval_ms * 32;
+  policy.clock = clock();
+  Backoff backoff(policy);
   while (!stop_requested_.load()) {
     auto ran = RunOnce();
+    // Check the job budget before acting on errors: if the final job ran
+    // but its result upload failed, the agent is still done.
+    if (max_jobs > 0 && jobs_executed_.load() >= max_jobs) {
+      return Status::Ok();
+    }
     if (!ran.ok()) {
       // Transient control-server trouble: back off and retry.
       CHRONOS_LOG(kWarning, "agent")
           << "poll failed: " << ran.status().ToString();
-      SystemClock::Get()->SleepMs(options_.poll_interval_ms * 5);
+      backoff.SleepNext();
       continue;
     }
-    if (max_jobs > 0 && jobs_executed_.load() >= max_jobs) {
-      return Status::Ok();
-    }
+    backoff.Reset();
     if (!*ran) {
-      SystemClock::Get()->SleepMs(options_.poll_interval_ms);
+      clock()->SleepMs(options_.poll_interval_ms);
     }
   }
   return Status::Ok();

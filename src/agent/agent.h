@@ -30,8 +30,15 @@ struct AgentOptions {
   std::string password;
   std::string deployment_id;
   int64_t poll_interval_ms = 100;
+  // Keepalive cadence while a job runs. Both <= 0 disables the keepalive
+  // thread entirely — the agent becomes strictly single-threaded, which the
+  // deterministic chaos tests rely on.
   int64_t heartbeat_interval_ms = 2000;
   int64_t log_flush_interval_ms = 1000;
+  // Time source for every sleep/backoff in the agent (poll pacing, retry
+  // backoff, keepalive ticks). nullptr -> SystemClock. Tests inject a
+  // SimulatedClock so nothing real-sleeps.
+  Clock* clock = nullptr;
   // Optional FTP target for result bundles ("allows to use a different
   // server or a NAS for storing the results"). Empty host = upload the
   // bundle inline over HTTP.
@@ -146,8 +153,14 @@ class ChronosAgent {
 
  private:
   std::string ApiBase() const;
+  Clock* clock() const;
   Status ExecuteJob(model::Job job);
   Status UploadResult(JobContext* context);
+  // POST with transport-level retries (capped backoff on the agent clock).
+  // Retries only transport faults (Unavailable/DeadlineExceeded/IoError);
+  // HTTP-level errors come back as responses and are not retried here.
+  StatusOr<net::HttpResponse> PostWithRetry(const std::string& path,
+                                            const std::string& body);
 
   AgentOptions options_;
   EvaluationHandler handler_;

@@ -1,0 +1,103 @@
+#ifndef CHRONOS_COMMON_RETRY_H_
+#define CHRONOS_COMMON_RETRY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "common/status.h"
+
+namespace chronos {
+
+// True for the status codes that typically heal on retry: transport trouble
+// (kUnavailable), timeouts (kDeadlineExceeded), flaky I/O (kIoError), and
+// lost optimistic-concurrency races (kAborted). Logic errors (kNotFound,
+// kInvalidArgument, kUnauthenticated, ...) stay non-retriable.
+inline bool IsTransient(const Status& status) {
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kDeadlineExceeded ||
+         status.code() == StatusCode::kIoError ||
+         status.code() == StatusCode::kAborted;
+}
+
+// Capped exponential backoff with optional seeded jitter. All sleeps go
+// through the injected Clock, so a SimulatedClock makes retry schedules —
+// and therefore every test built on them — deterministic and free of
+// wall-clock time.
+struct RetryPolicy {
+  int max_attempts = 5;
+  int64_t initial_backoff_ms = 100;
+  int64_t max_backoff_ms = 5000;
+  double multiplier = 2.0;
+  // Jitter fraction in [0, 1): each delay is scaled by a factor drawn
+  // uniformly from [1 - jitter, 1 + jitter]. The draw comes from an RNG
+  // seeded with `jitter_seed`, so jittered schedules still replay exactly.
+  double jitter = 0.0;
+  uint64_t jitter_seed = 0;
+  Clock* clock = nullptr;  // nullptr -> SystemClock::Get().
+
+  Clock* EffectiveClock() const {
+    return clock != nullptr ? clock : SystemClock::Get();
+  }
+
+  // Delay before retry number `attempt` (1 = after the first failure):
+  // initial * multiplier^(attempt-1), capped at max_backoff_ms, then
+  // jittered. `rng` may be null when jitter == 0.
+  int64_t BackoffMs(int attempt, Rng* rng) const {
+    double delay = static_cast<double>(initial_backoff_ms);
+    for (int i = 1; i < attempt && delay < static_cast<double>(max_backoff_ms);
+         ++i) {
+      delay *= multiplier;
+    }
+    delay = std::min(delay, static_cast<double>(max_backoff_ms));
+    if (jitter > 0.0 && rng != nullptr) {
+      delay *= 1.0 - jitter + 2.0 * jitter * rng->NextDouble();
+    }
+    return std::max<int64_t>(0, static_cast<int64_t>(delay));
+  }
+
+  // Runs `op` until it succeeds, returns a non-retriable status, or
+  // max_attempts is exhausted; sleeps BackoffMs between attempts. Returns
+  // the last status from `op`.
+  Status Run(const std::function<Status()>& op,
+             const std::function<bool(const Status&)>& retriable =
+                 IsTransient) const {
+    Rng rng(jitter_seed);
+    Status status = Status::Ok();
+    for (int attempt = 1;; ++attempt) {
+      status = op();
+      if (status.ok() || attempt >= max_attempts || !retriable(status)) {
+        return status;
+      }
+      EffectiveClock()->SleepMs(BackoffMs(attempt, &rng));
+    }
+  }
+};
+
+// Stateful backoff for open-ended loops (poll loops, reconnect loops) where
+// there is no fixed attempt budget: each SleepNext() backs off further,
+// Reset() on success snaps back to the initial delay.
+class Backoff {
+ public:
+  explicit Backoff(const RetryPolicy& policy)
+      : policy_(policy), rng_(policy.jitter_seed) {}
+
+  int64_t NextDelayMs() { return policy_.BackoffMs(++attempt_, &rng_); }
+
+  void SleepNext() { policy_.EffectiveClock()->SleepMs(NextDelayMs()); }
+
+  void Reset() { attempt_ = 0; }
+
+  int attempt() const { return attempt_; }
+
+ private:
+  RetryPolicy policy_;
+  Rng rng_;
+  int attempt_ = 0;
+};
+
+}  // namespace chronos
+
+#endif  // CHRONOS_COMMON_RETRY_H_

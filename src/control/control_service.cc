@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/logging.h"
+#include "common/retry.h"
 #include "common/uuid.h"
 #include "obs/metrics_registry.h"
 
@@ -436,8 +437,19 @@ std::vector<Job> ControlService::ListJobs(
 Status ControlService::TransitionJob(
     const std::string& job_id, JobState to,
     const std::function<void(Job*)>& mutate) {
-  // Optimistic retry loop around the read-check-write.
-  for (int attempt = 0; attempt < 16; ++attempt) {
+  // Optimistic retry loop around the read-check-write. Under contention
+  // (many agents claiming from one evaluation) bare spinning makes every
+  // loser re-collide; a short capped backoff between attempts spreads the
+  // re-reads out. The policy runs on the service clock, so tests on
+  // SimulatedClock stay wall-clock free.
+  RetryPolicy policy;
+  policy.max_attempts = 16;
+  policy.initial_backoff_ms = 1;
+  policy.max_backoff_ms = 16;
+  policy.clock = clock_;
+  Backoff backoff(policy);
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    if (attempt > 0) backoff.SleepNext();
     CHRONOS_ASSIGN_OR_RETURN(auto snapshot,
                              db_->jobs().GetWithVersion(job_id));
     auto [job, version] = snapshot;
@@ -454,7 +466,7 @@ Status ControlService::TransitionJob(
       return Status::Ok();
     }
     if (!status.IsFailedPrecondition()) return status;
-    // Lost the race; re-read and re-validate.
+    // Lost the race; back off, re-read and re-validate.
   }
   return Status::Aborted("job transition contention on " + job_id);
 }

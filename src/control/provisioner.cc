@@ -1,6 +1,7 @@
 #include "control/provisioner.h"
 
 #include "common/logging.h"
+#include "fault/failpoint.h"
 
 namespace chronos::control {
 
@@ -37,6 +38,7 @@ StatusOr<model::Deployment> ProvisioningManager::ProvisionDeployment(
     }
     provisioner = it->second;
   }
+  CHRONOS_RETURN_IF_ERROR(fault::Inject("provisioner.launch"));
   CHRONOS_ASSIGN_OR_RETURN(DeploymentProvisioner::Instance instance,
                            provisioner->Launch(spec));
 
@@ -67,6 +69,9 @@ StatusOr<model::Deployment> ProvisioningManager::ProvisionDeployment(
 
 Status ProvisioningManager::TeardownDeployment(
     const std::string& deployment_id) {
+  // Before the record is dropped from the table, so an injected failure
+  // leaves the deployment tracked and a retry can still tear it down.
+  CHRONOS_RETURN_IF_ERROR(fault::Inject("provisioner.terminate"));
   Record record;
   {
     MutexLock lock(mu_);

@@ -4,6 +4,7 @@
 #include "common/strings.h"
 #include "control/archiver.h"
 #include "control/web_ui.h"
+#include "fault/failpoint.h"
 #include "obs/metrics_registry.h"
 
 namespace chronos::control {
@@ -145,6 +146,63 @@ void MountVersion(net::Router* router, ControlService* service,
                 }
                 return HttpResponse::Json(array);
               }));
+
+  // --- Admin: fault injection ---
+  //
+  // Runtime control over the process-wide failpoint registry (DESIGN.md
+  // §10). Admin-only: arming a failpoint is an operational act on par with
+  // user management.
+
+  router->Get(base + "/admin/failpoints",
+              WithAuth(service, [](const HttpRequest&,
+                                   const model::User& user) {
+                HttpResponse guard = RequireAdmin(user);
+                if (guard.status_code != 200) return guard;
+                json::Json array = json::Json::MakeArray();
+                for (const fault::PointInfo& info :
+                     fault::FailPointRegistry::Get()->List()) {
+                  json::Json entry = json::Json::MakeObject();
+                  entry.Set("point", info.point);
+                  entry.Set("spec", info.spec.ToString());
+                  entry.Set("evaluations",
+                            static_cast<int64_t>(info.evaluations));
+                  entry.Set("triggers", static_cast<int64_t>(info.triggers));
+                  array.Append(std::move(entry));
+                }
+                json::Json out = json::Json::MakeObject();
+                out.Set("failpoints", std::move(array));
+                return HttpResponse::Json(out);
+              }));
+
+  router->Post(
+      base + "/admin/failpoints",
+      WithAuth(service, [](const HttpRequest& request,
+                           const model::User& user) {
+        HttpResponse guard = RequireAdmin(user);
+        if (guard.status_code != 200) return guard;
+        auto body = request.JsonBody();
+        if (!body.ok()) return HttpResponse::FromStatus(body.status());
+        std::string point = body->GetStringOr("point", "");
+        std::string spec = body->GetStringOr("spec", "");
+        if (point.empty()) {
+          return HttpResponse::Error(400, "missing 'point'");
+        }
+        fault::FailPointRegistry* registry = fault::FailPointRegistry::Get();
+        json::Json out = json::Json::MakeObject();
+        out.Set("point", point);
+        if (spec == "clear") {
+          registry->Clear(point);
+          out.Set("spec", "cleared");
+          return HttpResponse::Json(out);
+        }
+        Status status = registry->SetFromString(point, spec);
+        if (!status.ok()) return HttpResponse::FromStatus(status);
+        // Echo the canonical spec so callers see what was parsed.
+        for (const fault::PointInfo& info : registry->List()) {
+          if (info.point == point) out.Set("spec", info.spec.ToString());
+        }
+        return HttpResponse::Json(out);
+      }));
 
   // --- Projects ---
 

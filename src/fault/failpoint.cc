@@ -1,0 +1,276 @@
+#include "fault/failpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/strings.h"
+#include "obs/metrics_registry.h"
+
+namespace chronos::fault {
+
+namespace {
+
+// "probability(0.1, 42)" -> inner "0.1, 42" split on ','. Returns false if
+// `text` is not `name(...)` for the given name.
+bool MatchCall(std::string_view text, std::string_view name,
+               std::vector<std::string>* args) {
+  if (!strings::StartsWith(text, name)) return false;
+  std::string_view rest = text.substr(name.size());
+  if (rest.empty()) return false;
+  if (rest.front() != '(' || rest.back() != ')') return false;
+  std::string_view inner = rest.substr(1, rest.size() - 2);
+  args->clear();
+  for (const std::string& piece : strings::Split(inner, ',')) {
+    args->push_back(std::string(strings::Trim(piece)));
+  }
+  return true;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+std::string FormatDouble(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%g", value);
+  return buffer;
+}
+
+Status InjectedError(const std::string& point, const FailPointSpec& spec) {
+  if (spec.mode == Mode::kError && !spec.message.empty()) {
+    return Status::Unavailable(spec.message);
+  }
+  if (spec.mode == Mode::kClose) {
+    return Status::Unavailable("failpoint " + point + ": connection closed");
+  }
+  return Status::Unavailable("failpoint " + point + ": injected fault");
+}
+
+}  // namespace
+
+std::string_view ModeName(Mode mode) {
+  switch (mode) {
+    case Mode::kOff:
+      return "off";
+    case Mode::kError:
+      return "error";
+    case Mode::kDelay:
+      return "delay";
+    case Mode::kClose:
+      return "close";
+    case Mode::kProbability:
+      return "probability";
+  }
+  return "off";
+}
+
+std::string FailPointSpec::ToString() const {
+  switch (mode) {
+    case Mode::kOff:
+      return "off";
+    case Mode::kError:
+      return message.empty() ? "error" : "error(" + message + ")";
+    case Mode::kDelay:
+      return "delay(" + std::to_string(delay_ms) + ")";
+    case Mode::kClose:
+      return "close";
+    case Mode::kProbability:
+      return "probability(" + FormatDouble(probability) + ", " +
+             std::to_string(seed) + ")";
+  }
+  return "off";
+}
+
+StatusOr<FailPointSpec> FailPointSpec::Parse(std::string_view text) {
+  std::string_view trimmed = strings::Trim(text);
+  FailPointSpec spec;
+  if (trimmed == "off") return spec;
+  if (trimmed == "error") {
+    spec.mode = Mode::kError;
+    return spec;
+  }
+  if (trimmed == "close") {
+    spec.mode = Mode::kClose;
+    return spec;
+  }
+  std::vector<std::string> args;
+  if (MatchCall(trimmed, "error", &args)) {
+    spec.mode = Mode::kError;
+    // The message may itself contain commas; rejoin what Split cut apart.
+    for (size_t i = 0; i < args.size(); ++i) {
+      if (i > 0) spec.message += ", ";
+      spec.message += args[i];
+    }
+    return spec;
+  }
+  if (MatchCall(trimmed, "delay", &args)) {
+    uint64_t ms = 0;
+    if (args.size() != 1 || !strings::ParseUint64(args[0], &ms)) {
+      return Status::InvalidArgument("bad delay spec: " + std::string(text));
+    }
+    spec.mode = Mode::kDelay;
+    spec.delay_ms = static_cast<int64_t>(ms);
+    return spec;
+  }
+  if (MatchCall(trimmed, "probability", &args)) {
+    double p = 0;
+    if (args.empty() || args.size() > 2 || !ParseDouble(args[0], &p) ||
+        p < 0.0 || p > 1.0) {
+      return Status::InvalidArgument("bad probability spec: " +
+                                     std::string(text));
+    }
+    uint64_t seed = 0;
+    if (args.size() == 2 && !strings::ParseUint64(args[1], &seed)) {
+      return Status::InvalidArgument("bad probability seed: " +
+                                     std::string(text));
+    }
+    spec.mode = Mode::kProbability;
+    spec.probability = p;
+    spec.seed = seed;
+    return spec;
+  }
+  return Status::InvalidArgument("unrecognized failpoint spec: " +
+                                 std::string(text) +
+                                 " (expected off|error[(msg)]|delay(ms)|"
+                                 "close|probability(p[, seed]))");
+}
+
+FailPointRegistry* FailPointRegistry::Get() {
+  static FailPointRegistry* instance = new FailPointRegistry();
+  return instance;
+}
+
+void FailPointRegistry::Set(const std::string& point,
+                            const FailPointSpec& spec) {
+  obs::Counter* metric = obs::MetricsRegistry::Get()->GetCounter(
+      "chronos_failpoint_triggers_total", "Faults injected, per failpoint",
+      {{"point", point}});
+  MutexLock lock(mu_);
+  auto [it, inserted] = points_.try_emplace(point);
+  PointState& state = it->second;
+  if (!inserted && state.spec.mode != Mode::kOff) {
+    armed_points_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  state.spec = spec;
+  state.rng.Seed(spec.seed);
+  state.evaluations = 0;
+  state.triggers = 0;
+  state.trigger_metric = metric;
+  if (spec.mode != Mode::kOff) {
+    armed_points_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Status FailPointRegistry::SetFromString(const std::string& point,
+                                        std::string_view spec) {
+  if (strings::Trim(point).empty() || point != strings::Trim(point)) {
+    return Status::InvalidArgument("bad failpoint name: '" + point + "'");
+  }
+  CHRONOS_ASSIGN_OR_RETURN(FailPointSpec parsed, FailPointSpec::Parse(spec));
+  Set(point, parsed);
+  return Status::Ok();
+}
+
+void FailPointRegistry::Clear(const std::string& point) {
+  MutexLock lock(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end()) return;
+  if (it->second.spec.mode != Mode::kOff) {
+    armed_points_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  points_.erase(it);
+}
+
+void FailPointRegistry::ClearAll() {
+  MutexLock lock(mu_);
+  for (const auto& [point, state] : points_) {
+    if (state.spec.mode != Mode::kOff) {
+      armed_points_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  points_.clear();
+}
+
+std::vector<PointInfo> FailPointRegistry::List() {
+  MutexLock lock(mu_);
+  std::vector<PointInfo> out;
+  out.reserve(points_.size());
+  for (const auto& [point, state] : points_) {
+    PointInfo info;
+    info.point = point;
+    info.spec = state.spec;
+    info.evaluations = state.evaluations;
+    info.triggers = state.triggers;
+    out.push_back(std::move(info));
+  }
+  return out;  // std::map iteration order is already sorted by point ID.
+}
+
+uint64_t FailPointRegistry::triggers(const std::string& point) {
+  MutexLock lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.triggers;
+}
+
+void FailPointRegistry::SetClock(Clock* clock) {
+  clock_.store(clock, std::memory_order_release);
+}
+
+Action FailPointRegistry::EvaluateSlow(const std::string& point) {
+  int64_t delay_ms = 0;
+  Action action;
+  {
+    MutexLock lock(mu_);
+    auto it = points_.find(point);
+    if (it == points_.end() || it->second.spec.mode == Mode::kOff) {
+      return action;
+    }
+    PointState& state = it->second;
+    state.evaluations++;
+    switch (state.spec.mode) {
+      case Mode::kOff:
+        return action;
+      case Mode::kError:
+        action.kind = Action::Kind::kError;
+        break;
+      case Mode::kClose:
+        action.kind = Action::Kind::kClose;
+        break;
+      case Mode::kDelay:
+        delay_ms = state.spec.delay_ms;
+        break;
+      case Mode::kProbability:
+        // Every evaluation draws, fired or not, so the fault pattern is a
+        // pure function of (seed, evaluation sequence).
+        if (state.rng.NextBool(state.spec.probability)) {
+          action.kind = Action::Kind::kError;
+        }
+        break;
+    }
+    if (action.kind != Action::Kind::kNone || state.spec.mode == Mode::kDelay) {
+      state.triggers++;
+      if (state.trigger_metric != nullptr) state.trigger_metric->Increment();
+      if (action.kind != Action::Kind::kNone) {
+        action.status = InjectedError(point, state.spec);
+      }
+    }
+  }
+  if (delay_ms > 0) {
+    // Sleep outside the registry lock so a delayed point cannot stall
+    // evaluations of other points.
+    Clock* clock = clock_.load(std::memory_order_acquire);
+    (clock != nullptr ? clock : SystemClock::Get())->SleepMs(delay_ms);
+  }
+  return action;
+}
+
+Status Inject(const std::string& point) {
+  Action action = FailPointRegistry::Get()->Evaluate(point);
+  if (action.kind == Action::Kind::kNone) return Status::Ok();
+  return action.status;
+}
+
+}  // namespace chronos::fault

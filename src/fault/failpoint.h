@@ -1,0 +1,150 @@
+#ifndef CHRONOS_FAULT_FAILPOINT_H_
+#define CHRONOS_FAULT_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/mutex.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "common/thread_annotations.h"
+
+namespace chronos::obs {
+class Counter;
+}  // namespace chronos::obs
+
+namespace chronos::fault {
+
+// Fault-injection points ("fail points"), after MongoDB's mechanism of the
+// same name: production code is sprinkled with named hooks that are inert by
+// default and can be armed at runtime — from tests, from the admin REST
+// endpoint (POST /api/v1/admin/failpoints), or via `chronosctl failpoint` —
+// to return errors, inject latency, drop connections, or fire
+// probabilistically from a *seeded* RNG so chaos runs replay bit-identically.
+//
+// Point IDs are lowercase, dot-separated `<subsystem>.<component>.<operation>`
+// (e.g. "wal.append", "net.tcp.read", "agent.http.send"); see DESIGN.md §10
+// for the full catalogue.
+
+// What an armed point does when evaluated.
+enum class Mode {
+  kOff,          // Inert (same as not configured).
+  kError,        // Return an error status.
+  kDelay,        // Sleep `delay_ms` (no-op advance on SimulatedClock), no error.
+  kClose,        // Drop the connection/stream, then return an error status.
+  kProbability,  // Return an error on a seeded coin flip with probability p.
+};
+
+std::string_view ModeName(Mode mode);
+
+// Parsed form of a failpoint spec string:
+//   "off" | "error" | "error(msg)" | "delay(ms)" | "close"
+//   | "probability(p)" | "probability(p, seed)"
+struct FailPointSpec {
+  Mode mode = Mode::kOff;
+  std::string message;     // kError: custom status message (may be empty).
+  int64_t delay_ms = 0;    // kDelay.
+  double probability = 0;  // kProbability: chance in [0, 1] per evaluation.
+  uint64_t seed = 0;       // kProbability: RNG seed (0 is a valid seed).
+
+  // Canonical round-trippable spec string, e.g. "probability(0.1, 42)".
+  std::string ToString() const;
+
+  static StatusOr<FailPointSpec> Parse(std::string_view text);
+};
+
+// The outcome of evaluating a point. kClose asks the call site to drop its
+// connection/stream before surfacing `status`; sites without one treat it
+// like kError.
+struct Action {
+  enum class Kind { kNone, kError, kClose };
+  Kind kind = Kind::kNone;
+  Status status = Status::Ok();
+};
+
+// Snapshot of one configured point, for listing/inspection.
+struct PointInfo {
+  std::string point;
+  FailPointSpec spec;
+  uint64_t evaluations = 0;  // Times an armed Evaluate reached this point.
+  uint64_t triggers = 0;     // Times it actually fired (injected a fault).
+};
+
+// Process-wide registry of failpoints. Evaluate() on the hot path is a single
+// relaxed atomic load while no point is armed, so leaving the hooks compiled
+// into production code costs nothing measurable.
+class FailPointRegistry {
+ public:
+  FailPointRegistry() = default;
+
+  FailPointRegistry(const FailPointRegistry&) = delete;
+  FailPointRegistry& operator=(const FailPointRegistry&) = delete;
+
+  // Shared process-wide instance (never destroyed).
+  static FailPointRegistry* Get();
+
+  // Arms (or with Mode::kOff disarms) `point`. Resets the point's RNG and
+  // trigger/evaluation counts: re-arming with the same seed replays the same
+  // fault sequence, which is what makes chaos runs reproducible.
+  void Set(const std::string& point, const FailPointSpec& spec);
+
+  // Parses `spec` ("error(boom)", "probability(0.1, 42)", ...) and arms.
+  Status SetFromString(const std::string& point, std::string_view spec);
+
+  // Removes one point / all points. ClearAll() is the canonical test
+  // teardown: the registry is process-global, so tests that arm points must
+  // disarm them.
+  void Clear(const std::string& point);
+  void ClearAll();
+
+  // Snapshot of every configured point, sorted by point ID.
+  std::vector<PointInfo> List();
+
+  // Trigger count for one point (0 if unknown).
+  uint64_t triggers(const std::string& point);
+
+  // Clock used by kDelay sleeps (default SystemClock). Inject a
+  // SimulatedClock to make delay injection free of wall-clock time.
+  void SetClock(Clock* clock);
+
+  // Called by instrumented code at its injection point. Fast path: no point
+  // armed anywhere -> one relaxed load, no lock, Action{kNone}.
+  Action Evaluate(const std::string& point) {
+    if (armed_points_.load(std::memory_order_relaxed) == 0) return Action{};
+    return EvaluateSlow(point);
+  }
+
+ private:
+  struct PointState {
+    FailPointSpec spec;
+    Rng rng{0};
+    uint64_t evaluations = 0;
+    uint64_t triggers = 0;
+    obs::Counter* trigger_metric = nullptr;  // chronos_failpoint_triggers_total
+  };
+
+  Action EvaluateSlow(const std::string& point);
+
+  // Number of configured points with mode != kOff; gates the fast path.
+  std::atomic<int> armed_points_{0};
+  std::atomic<Clock*> clock_{nullptr};  // nullptr -> SystemClock::Get().
+
+  Mutex mu_;
+  std::map<std::string, PointState> points_ CHRONOS_GUARDED_BY(mu_);
+};
+
+// Convenience for call sites without a connection to drop: evaluates `point`
+// on the process-wide registry and returns the injected status (kClose
+// degrades to its error status). Typical use:
+//   CHRONOS_RETURN_IF_ERROR(fault::Inject("provisioner.launch"));
+Status Inject(const std::string& point);
+
+}  // namespace chronos::fault
+
+#endif  // CHRONOS_FAULT_FAILPOINT_H_

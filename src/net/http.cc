@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "fault/failpoint.h"
 
 namespace chronos::net {
 
@@ -336,6 +337,15 @@ StatusOr<HttpResponse> HttpClient::Delete(const std::string& path) {
 }
 
 StatusOr<HttpResponse> HttpClient::Send(HttpRequest request) {
+  if (!failpoint_.empty()) {
+    fault::Action fault =
+        fault::FailPointRegistry::Get()->Evaluate(failpoint_);
+    if (fault.kind != fault::Action::Kind::kNone) {
+      // No connection exists yet at request granularity; kClose and kError
+      // both surface as a failed request.
+      return fault.status;
+    }
+  }
   // Split path?query if the caller passed a combined target.
   size_t qmark = request.path.find('?');
   if (qmark != std::string::npos && request.query.empty()) {

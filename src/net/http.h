@@ -132,12 +132,19 @@ class HttpClient {
   // Extra header applied to every request (e.g. the session token).
   void SetDefaultHeader(const std::string& name, const std::string& value);
 
+  // Names a failpoint evaluated at the top of every Send() — fault
+  // injection per *client* rather than per socket, so chaos tests can fail
+  // one agent's transport without touching other traffic in the process
+  // (the agent arms "agent.http.send" here). Empty disables the hook.
+  void SetFailPoint(std::string point) { failpoint_ = std::move(point); }
+
   const std::string& host() const { return host_; }
   int port() const { return port_; }
 
  private:
   std::string host_;
   int port_;
+  std::string failpoint_;
   std::vector<std::pair<std::string, std::string>> default_headers_;
 };
 

@@ -13,6 +13,8 @@
 
 #include <cstring>
 
+#include "fault/failpoint.h"
+
 namespace chronos::net {
 
 namespace {
@@ -104,6 +106,12 @@ StatusOr<std::unique_ptr<TcpConnection>> TcpConnection::Connect(
 }
 
 Status TcpConnection::WriteAll(std::string_view data) {
+  fault::Action fault = fault::FailPointRegistry::Get()->Evaluate(
+      "net.tcp.write");
+  if (fault.kind != fault::Action::Kind::kNone) {
+    if (fault.kind == fault::Action::Kind::kClose) Close();
+    return fault.status;
+  }
   if (fd_ < 0) return Status::FailedPrecondition("socket closed");
   size_t written = 0;
   while (written < data.size()) {
@@ -119,6 +127,14 @@ Status TcpConnection::WriteAll(std::string_view data) {
 }
 
 StatusOr<std::string> TcpConnection::ReadSome(size_t max_bytes) {
+  // Before the userspace buffer too: a dropped connection loses buffered
+  // bytes just as surely as unread socket ones.
+  fault::Action fault = fault::FailPointRegistry::Get()->Evaluate(
+      "net.tcp.read");
+  if (fault.kind != fault::Action::Kind::kNone) {
+    if (fault.kind == fault::Action::Kind::kClose) Close();
+    return fault.status;
+  }
   if (!buffer_.empty()) {
     std::string out = std::move(buffer_);
     buffer_.clear();
@@ -235,6 +251,18 @@ StatusOr<std::unique_ptr<TcpConnection>> TcpListener::Accept() {
       if (errno == EINTR) continue;
       if (fd_ < 0) return Status::Unavailable("listener closed");
       return Errno("accept");
+    }
+    fault::Action fault = fault::FailPointRegistry::Get()->Evaluate(
+        "net.tcp.accept");
+    if (fault.kind == fault::Action::Kind::kClose) {
+      // Drop the accepted client silently and keep listening — the shape of
+      // a connection reset between SYN and the server thread picking it up.
+      ::close(client);
+      continue;
+    }
+    if (fault.kind == fault::Action::Kind::kError) {
+      ::close(client);
+      return fault.status;
     }
     int one = 1;
     ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/file_util.h"
+#include "fault/failpoint.h"
 
 namespace chronos::store {
 
@@ -75,6 +76,9 @@ Status TableStore::Load() {
 }
 
 Status TableStore::LogAndApply(const json::Json& mutation) {
+  // Fails the whole commit before the WAL sees it ("store.commit" covers
+  // the durability boundary; "wal.append" the log write itself).
+  CHRONOS_RETURN_IF_ERROR(fault::Inject("store.commit"));
   CHRONOS_RETURN_IF_ERROR(wal_->Append(mutation.Dump(), options_.sync_writes));
   Apply(mutation);
   return MaybeCheckpointLocked();

@@ -6,6 +6,7 @@
 
 #include "archive/crc32.h"
 #include "common/file_util.h"
+#include "fault/failpoint.h"
 #include "obs/metrics_registry.h"
 
 namespace chronos::store {
@@ -51,6 +52,38 @@ Status Wal::Append(std::string_view payload, bool sync) {
   EncodeU32(header + 4, archive::Crc32(payload));
 
   MutexLock lock(mu_);
+  {
+    // Fault injection (DESIGN.md §10). "wal.append" fails before any byte is
+    // written; the crash-shape points write a deliberately incomplete frame
+    // — exactly what a power cut mid-append leaves behind — so recovery
+    // tests can assert Replay's torn-tail contract against real files.
+    fault::Action append_fault =
+        fault::FailPointRegistry::Get()->Evaluate("wal.append");
+    if (append_fault.kind != fault::Action::Kind::kNone) {
+      return append_fault.status;
+    }
+    fault::Action torn =
+        fault::FailPointRegistry::Get()->Evaluate("wal.append.torn");
+    if (torn.kind != fault::Action::Kind::kNone) {
+      // Full header + half the payload: frame length promises more bytes
+      // than the file holds.
+      size_t partial = payload.size() / 2;
+      size_t wrote = std::fwrite(header, 1, sizeof(header), file_);
+      wrote += std::fwrite(payload.data(), 1, partial, file_);
+      std::fflush(file_);
+      size_bytes_ += wrote;
+      return torn.status;
+    }
+    fault::Action short_write =
+        fault::FailPointRegistry::Get()->Evaluate("wal.append.short");
+    if (short_write.kind != fault::Action::Kind::kNone) {
+      // Only part of the 8-byte header: a tail too short to even frame.
+      size_t wrote = std::fwrite(header, 1, sizeof(header) / 2, file_);
+      std::fflush(file_);
+      size_bytes_ += wrote;
+      return short_write.status;
+    }
+  }
   if (std::fwrite(header, 1, sizeof(header), file_) != sizeof(header) ||
       std::fwrite(payload.data(), 1, payload.size(), file_) !=
           payload.size()) {
@@ -64,6 +97,7 @@ Status Wal::Append(std::string_view payload, bool sync) {
   appends->Increment();
   bytes->Increment(sizeof(header) + payload.size());
   if (sync) {
+    CHRONOS_RETURN_IF_ERROR(fault::Inject("wal.fsync"));
     if (std::fflush(file_) != 0) return Status::IoError("WAL flush failed");
     if (::fsync(::fileno(file_)) != 0) return Status::IoError("WAL fsync failed");
   }
@@ -72,6 +106,7 @@ Status Wal::Append(std::string_view payload, bool sync) {
 
 Status Wal::Sync() {
   MutexLock lock(mu_);
+  CHRONOS_RETURN_IF_ERROR(fault::Inject("wal.fsync"));
   if (std::fflush(file_) != 0) return Status::IoError("WAL flush failed");
   if (::fsync(::fileno(file_)) != 0) return Status::IoError("WAL fsync failed");
   return Status::Ok();

@@ -29,6 +29,10 @@ constexpr char kUsage[] =
     "  evaluation watch EVAL_ID         poll until all jobs are terminal\n"
     "  jobs list --evaluation ID [--state S]\n"
     "  job show|abort|reschedule|log JOB_ID\n"
+    "  failpoint list                   configured fault-injection points\n"
+    "  failpoint set POINT SPEC         arm a failpoint (off|error[(msg)]|\n"
+    "                                   delay(ms)|close|probability(p[, s]))\n"
+    "  failpoint clear POINT            remove a failpoint\n"
     "  diagrams EVAL_ID [--csv]         result analysis tables\n"
     "  report EVAL_ID --out FILE.html   html report\n"
     "  export PROJECT_ID --out FILE.zip project archive\n";
@@ -373,6 +377,35 @@ int RunChronosctl(const std::vector<std::string>& args, std::ostream& out) {
       auto response = client.GetRaw("/api/v1/jobs/" + job_id + "/log");
       if (!response.ok()) return Fail(out, response.status());
       out << *response;
+      return 0;
+    }
+  }
+
+  if (command == "failpoint") {
+    if (sub == "list") {
+      auto response = client.Get("/api/v1/admin/failpoints");
+      if (!response.ok()) return Fail(out, response.status());
+      for (const json::Json& entry : response->at("failpoints").as_array()) {
+        out << entry.GetStringOr("point", "") << "  "
+            << entry.GetStringOr("spec", "") << "  triggers="
+            << entry.GetIntOr("triggers", 0) << "/"
+            << entry.GetIntOr("evaluations", 0) << "\n";
+      }
+      return 0;
+    }
+    if (sub == "set" || sub == "clear") {
+      if (cmd.positional.size() < (sub == "set" ? 4u : 3u)) {
+        out << "usage: failpoint set <point> <spec> | failpoint clear "
+               "<point>\n";
+        return 2;
+      }
+      json::Json body = json::Json::MakeObject();
+      body.Set("point", cmd.positional[2]);
+      body.Set("spec", sub == "clear" ? "clear" : cmd.positional[3]);
+      auto response = client.Post("/api/v1/admin/failpoints", body);
+      if (!response.ok()) return Fail(out, response.status());
+      out << response->GetStringOr("point", "") << "  "
+          << response->GetStringOr("spec", "") << "\n";
       return 0;
     }
   }

@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/strings.h"
 #include "control/rest_api.h"
+#include "fault/failpoint.h"
 #include "tools/chronosctl.h"
 
 namespace chronos::tools {
@@ -297,6 +298,48 @@ TEST_F(ChronosctlTest, JobAbortAndLogThroughCli) {
                             "job", "abort", jobs[0].id},
                            out);
   EXPECT_EQ(code, 1);
+}
+
+TEST_F(ChronosctlTest, FailpointRoundTripThroughRestAdmin) {
+  LoginAsAdmin();
+  // Arm a point via the CLI; the response echoes the canonical spec.
+  std::string set_out =
+      Run({"failpoint", "set", "demo.point", "error(boom)"});
+  EXPECT_NE(set_out.find("demo.point"), std::string::npos);
+  EXPECT_NE(set_out.find("error(boom)"), std::string::npos);
+  // It is really armed in-process...
+  EXPECT_FALSE(fault::Inject("demo.point").ok());
+  // ...and list shows it with trigger/evaluation counts.
+  std::string listed = Run({"failpoint", "list"});
+  EXPECT_NE(listed.find("demo.point"), std::string::npos);
+  EXPECT_NE(listed.find("error(boom)"), std::string::npos);
+  EXPECT_NE(listed.find("triggers=1/1"), std::string::npos);
+
+  // Clearing disarms and removes it from the listing.
+  Run({"failpoint", "clear", "demo.point"});
+  EXPECT_TRUE(fault::Inject("demo.point").ok());
+  EXPECT_EQ(Run({"failpoint", "list"}).find("demo.point"),
+            std::string::npos);
+
+  // A bogus spec is rejected with a non-zero exit.
+  std::ostringstream out;
+  EXPECT_EQ(RunChronosctl({"--server", server_flag_, "--token", token_,
+                           "failpoint", "set", "demo.point", "explode"},
+                          out),
+            1);
+  fault::FailPointRegistry::Get()->ClearAll();
+}
+
+TEST_F(ChronosctlTest, FailpointAdminRequiresAdmin) {
+  service_->CreateUser("bob", "pass", model::UserRole::kMember).IgnoreError();
+  std::string token =
+      Run({"login", "--user", "bob", "--password", "pass"});
+  std::ostringstream out;
+  EXPECT_EQ(RunChronosctl({"--server", server_flag_, "--token",
+                           std::string(strings::Trim(token)), "failpoint",
+                           "list"},
+                          out),
+            1);
 }
 
 }  // namespace

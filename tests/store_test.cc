@@ -84,6 +84,76 @@ TEST(WalTest, CorruptTailIsDropped) {
   EXPECT_EQ((*records)[0], "good");
 }
 
+TEST(WalTest, CorruptMidFileRecordEndsReplayAtCleanPrefix) {
+  // A bad-CRC record in the MIDDLE of the log (bit rot, not a torn tail):
+  // replay must stop there and return only the clean prefix — it must not
+  // skip ahead and resurrect records whose predecessors are untrustworthy.
+  TempDir dir;
+  std::string path = dir.path() + "/wal.log";
+  {
+    auto wal = Wal::Open(path);
+    ASSERT_TRUE((*wal)->Append("first", true).ok());
+    ASSERT_TRUE((*wal)->Append("second", true).ok());
+    ASSERT_TRUE((*wal)->Append("third", true).ok());
+  }
+  auto contents = file::ReadFile(path);
+  ASSERT_TRUE(contents.ok());
+  std::string data = *contents;
+  // Frame layout: [8B header]["first"][8B header]["second"]... The first
+  // byte of "second"'s payload sits at 8 + 5 + 8.
+  size_t second_payload = 8 + 5 + 8;
+  ASSERT_LT(second_payload, data.size());
+  data[second_payload] ^= 0xFF;
+  ASSERT_TRUE(file::WriteFile(path, data).ok());
+
+  auto records = Wal::Replay(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0], "first");
+}
+
+TEST(WalTest, PartialHeaderTailIsDropped) {
+  // Crash after writing only part of a frame header: too short to even
+  // decode a length. The tail is dropped; the prefix survives.
+  TempDir dir;
+  std::string path = dir.path() + "/wal.log";
+  {
+    auto wal = Wal::Open(path);
+    ASSERT_TRUE((*wal)->Append("keep", true).ok());
+  }
+  auto contents = file::ReadFile(path);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_TRUE(file::WriteFile(path, *contents + "\x03\x00\x00").ok());
+
+  auto records = Wal::Replay(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0], "keep");
+}
+
+TEST(WalTest, ZeroLengthTailHeaderIsDropped) {
+  // A full header promising a payload that never made it to disk (declared
+  // length > remaining bytes, here: 5 promised, 0 present).
+  TempDir dir;
+  std::string path = dir.path() + "/wal.log";
+  {
+    auto wal = Wal::Open(path);
+    ASSERT_TRUE((*wal)->Append("keep", true).ok());
+  }
+  auto contents = file::ReadFile(path);
+  ASSERT_TRUE(contents.ok());
+  std::string header;
+  header += '\x05';  // length = 5, little endian...
+  header += std::string(3, '\0');
+  header += std::string(4, '\xAB');  // ...and a CRC of nothing real.
+  ASSERT_TRUE(file::WriteFile(path, *contents + header).ok());
+
+  auto records = Wal::Replay(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0], "keep");
+}
+
 TEST(WalTest, TruncateResets) {
   TempDir dir;
   std::string path = dir.path() + "/wal.log";
