@@ -4,6 +4,7 @@
 #   scripts/check.sh             # everything below
 #   scripts/check.sh --quick     # lint + plain build + ctest only
 #   scripts/check.sh --chaos     # chaos leg only (fault tests under ASan)
+#   scripts/check.sh --crash     # crash leg only (kill-9 recovery, ASan)
 #
 # Legs (each can be skipped by the environment lacking the tool):
 #   1. chronos_lint self-test + tree lint          (scripts/chronos_lint.py)
@@ -11,6 +12,7 @@
 #   3. ASan+UBSan build + ctest                    (build-asan/)
 #   4. TSan build + concurrency-focused tests      (build-tsan/)
 #   5. seeded chaos suite under ASan, 3 fixed seeds (build-asan/)
+#   5b. kill-9 crash-recovery suite under ASan, 3 fixed seeds (build-asan/)
 #   6. clang thread-safety build, if clang++ found (build-clang/, compile only)
 #   7. clang-tidy over src/, if clang-tidy found
 #
@@ -23,10 +25,13 @@ cd "$(dirname "$0")/.."
 
 QUICK=0
 CHAOS_ONLY=0
+CRASH_ONLY=0
 if [ "${1:-}" = "--quick" ]; then
   QUICK=1
 elif [ "${1:-}" = "--chaos" ]; then
   CHAOS_ONLY=1
+elif [ "${1:-}" = "--crash" ]; then
+  CRASH_ONLY=1
 fi
 
 JOBS="$(nproc)"
@@ -87,6 +92,21 @@ chaos_leg() {
     done
 }
 
+crash_leg() {
+  # The kill-9 crash-recovery harness under ASan, once per fixed seed. The
+  # harness forks the real control-server binary and _exit(137)s it at
+  # injected seams; each seed varies the workload shape but is fully
+  # deterministic, so a failure reproduces with the same CHRONOS_CRASH_SEED.
+  cmake -B build-asan -S . -DCHRONOS_SANITIZE=ON >/dev/null &&
+    cmake --build build-asan -j "${JOBS}" --target crash_recovery_test &&
+    for seed in 7 21 1337; do
+      echo "--- crash seed ${seed}"
+      (cd build-asan &&
+         CHRONOS_CRASH_SEED="${seed}" ctest --output-on-failure \
+           -R 'CrashRecovery') || return 1
+    done
+}
+
 clang_build_leg() {
   # Thread-safety analysis is Clang-only; this leg is where the
   # CHRONOS_GUARDED_BY/REQUIRES annotations become compile errors.
@@ -112,6 +132,17 @@ if [ "${CHAOS_ONLY}" = "1" ]; then
   exit 0
 fi
 
+if [ "${CRASH_ONLY}" = "1" ]; then
+  run_leg "crash (kill-9 recovery, ASan, 3 seeds)" crash_leg
+  note "summary"
+  if [ "${#FAILED[@]}" -gt 0 ]; then
+    echo "FAILED legs: ${FAILED[*]}"
+    exit 1
+  fi
+  echo "all legs passed"
+  exit 0
+fi
+
 run_leg "lint" lint_leg
 run_leg "build+ctest (plain, -Werror)" plain_leg
 
@@ -119,6 +150,7 @@ if [ "${QUICK}" = "0" ]; then
   run_leg "build+ctest (ASan+UBSan)" asan_leg
   run_leg "build+ctest (TSan, concurrency suites)" tsan_leg
   run_leg "chaos (fault suite, ASan, 3 seeds)" chaos_leg
+  run_leg "crash (kill-9 recovery, ASan, 3 seeds)" crash_leg
   if command -v clang++ >/dev/null 2>&1; then
     run_leg "clang -Wthread-safety build" clang_build_leg
   else

@@ -148,6 +148,37 @@ def check_raw_sleep(path, rel, lines, errors):
                  "SimulatedClock tests stay deterministic"))
 
 
+# --- Rule: raw-exit --------------------------------------------------------
+
+RAW_EXIT_RE = re.compile(
+    r"(?<![\w.:])(?:(?:std)?::\s*)?"
+    r"(?:signal|sigaction|exit|_exit|quick_exit|abort)\s*\(")
+# Process-lifecycle primitives must route through the sanctioned seams so
+# every exit path is crash-consistent and testable: failpoint.cc implements
+# the crash mode, lifecycle.cc owns the SIGTERM/SIGINT self-pipe, and the
+# server main is the process entry point.
+RAW_EXIT_EXEMPT = (
+    "src/fault/failpoint.cc",
+    "src/control/lifecycle.cc",
+    "src/tools/control_server_main.cc",
+)
+
+
+def check_raw_exit(path, rel, lines, errors):
+    if rel in RAW_EXIT_EXEMPT:
+        return
+    for i, line in enumerate(lines, 1):
+        if SUPPRESS in line:
+            continue
+        if RAW_EXIT_RE.search(strip_comment(line)):
+            errors.append(
+                (rel, i, "raw-exit",
+                 "raw signal()/exit()-family call; process lifecycle must "
+                 "go through control/lifecycle.h (shutdown) or the fault "
+                 "registry's crash mode (tests) so shutdown stays "
+                 "crash-consistent"))
+
+
 # --- Rule: include-guard ---------------------------------------------------
 
 
@@ -354,6 +385,7 @@ def lint_file(root, path, status_functions):
     if rel.startswith("src/"):
         check_raw_mutex(path, rel, lines, errors)
         check_raw_sleep(path, rel, lines, errors)
+        check_raw_exit(path, rel, lines, errors)
     check_locked_io(path, rel, lines, errors)
     check_include_guard(path, rel, lines, errors)
     check_dropped_status(path, rel, lines, errors, status_functions)
@@ -442,6 +474,15 @@ void PollLoop() {
 }  // namespace chronos
 """
 
+BAD_RAW_EXIT = """\
+#include <cstdlib>
+namespace chronos {
+void Die() {
+  ::_exit(1);
+}
+}  // namespace chronos
+"""
+
 GOOD = """\
 #ifndef CHRONOS_X_GOOD_H_
 #define CHRONOS_X_GOOD_H_
@@ -476,6 +517,9 @@ def self_test():
         ("src/x/sleepy.cc", BAD_RAW_SLEEP, "raw-sleep"),
         # The same sleep under src/tools/ is allowlisted (interactive CLI).
         ("src/tools/watcher.cc", BAD_RAW_SLEEP, None),
+        ("src/x/dying.cc", BAD_RAW_EXIT, "raw-exit"),
+        # The same call in a sanctioned lifecycle file is allowlisted.
+        ("src/control/lifecycle.cc", BAD_RAW_EXIT, None),
         ("src/x/good.h", GOOD, None),
     ]
     failures = 0

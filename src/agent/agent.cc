@@ -80,6 +80,9 @@ bool JobContext::ParamBool(const std::string& name, bool fallback) const {
 bool JobContext::SetProgress(int percent) {
   json::Json body = json::Json::MakeObject();
   body.Set("percent", static_cast<int64_t>(percent));
+  // The attempt tags the post so a delivery delayed past a reschedule
+  // cannot touch the successor attempt.
+  body.Set("attempt", static_cast<int64_t>(job_.attempt));
   auto response = CheckedJson(http_->Post(
       api_base_ + "/agent/jobs/" + job_.id + "/progress", body.Dump()));
   if (!response.ok()) return !aborted_.load();
@@ -130,8 +133,10 @@ Status JobContext::SendHeartbeat() {
   static obs::Counter* heartbeats = obs::MetricsRegistry::Get()->GetCounter(
       "chronos_agent_heartbeats_total", "Job heartbeats sent to Control");
   heartbeats->Increment();
-  auto response = CheckedJson(
-      http_->Post(api_base_ + "/agent/jobs/" + job_.id + "/heartbeat", "{}"));
+  json::Json body = json::Json::MakeObject();
+  body.Set("attempt", static_cast<int64_t>(job_.attempt));
+  auto response = CheckedJson(http_->Post(
+      api_base_ + "/agent/jobs/" + job_.id + "/heartbeat", body.Dump()));
   if (response.ok() &&
       response->GetStringOr("state", "running") != "running") {
     aborted_.store(true);
@@ -189,6 +194,20 @@ StatusOr<net::HttpResponse> ChronosAgent::PostWithRetry(
         return response.status();
       })
       .IgnoreError();  // The real outcome is in `response`.
+  // A 401 mid-run usually means Control restarted and its in-memory
+  // sessions are gone, not that the credentials went bad: log in again and
+  // replay the request once. Login requests themselves are excluded (their
+  // 401 IS bad credentials), as is the never-logged-in state.
+  if (response.ok() && response->status_code == 401 && !token_.empty() &&
+      path.find("/auth/login") == std::string::npos) {
+    if (Connect().ok()) {
+      policy.Run([&] {
+            response = http_->Post(path, body);
+            return response.status();
+          })
+          .IgnoreError();
+    }
+  }
   return response;
 }
 
@@ -291,6 +310,10 @@ Status ChronosAgent::ExecuteJob(model::Job job) {
         << "job " << job_id << " failed: " << handler_status.ToString();
     json::Json fail_body = json::Json::MakeObject();
     fail_body.Set("reason", handler_status.ToString());
+    // Per-attempt key: a retried delivery (even across a Control restart)
+    // is recognized instead of failing the next attempt.
+    fail_body.Set("idempotency_key",
+                  job_id + "#" + std::to_string(context.job().attempt));
     return CheckedJson(PostWithRetry(
                            ApiBase() + "/agent/jobs/" + job_id + "/fail",
                            fail_body.Dump()))
@@ -339,6 +362,8 @@ Status ChronosAgent::UploadResult(JobContext* context) {
   json::Json body = json::Json::MakeObject();
   body.Set("data", std::move(data));
   body.Set("zip_base64", zip_base64);
+  body.Set("idempotency_key",
+           job_id + "#" + std::to_string(context->job().attempt));
   Status status =
       CheckedJson(PostWithRetry(ApiBase() + "/agent/jobs/" + job_id +
                                     "/result",

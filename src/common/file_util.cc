@@ -1,5 +1,8 @@
 #include "common/file_util.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -37,6 +40,32 @@ Status AppendFile(const std::string& path, std::string_view contents) {
   out.flush();
   if (!out) return Status::IoError("append failed: " + path);
   return Status::Ok();
+}
+
+namespace {
+
+Status FsyncPath(const std::string& path, int open_flags) {
+  int fd = ::open(path.c_str(), open_flags);
+  if (fd < 0) return Status::IoError("cannot open for fsync: " + path);
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::IoError("fsync failed: " + path);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status SyncFile(const std::string& path) {
+  return FsyncPath(path, O_RDONLY);
+}
+
+Status SyncDir(const std::string& path) {
+  return FsyncPath(path, O_RDONLY | O_DIRECTORY);
+}
+
+Status WriteFileDurable(const std::string& path, std::string_view contents) {
+  CHRONOS_RETURN_IF_ERROR(WriteFile(path, contents));
+  return SyncFile(path);
 }
 
 bool Exists(const std::string& path) {

@@ -13,6 +13,17 @@ StatusOr<std::string> ReadFile(const std::string& path);
 Status WriteFile(const std::string& path, std::string_view contents);
 Status AppendFile(const std::string& path, std::string_view contents);
 
+// Flushes a file's contents and metadata to stable storage.
+Status SyncFile(const std::string& path);
+
+// fsyncs a directory so renames/creates/removes inside it survive a crash.
+// A renamed file is only durable once its containing directory is synced.
+Status SyncDir(const std::string& path);
+
+// WriteFile followed by an fsync of the file itself. Callers that rename the
+// result into place must still SyncDir the destination directory.
+Status WriteFileDurable(const std::string& path, std::string_view contents);
+
 bool Exists(const std::string& path);
 Status MakeDirs(const std::string& path);
 Status RemoveAll(const std::string& path);

@@ -26,7 +26,8 @@ class [[nodiscard]] StatusOr {
   StatusOr(Status status)  // NOLINT(google-explicit-constructor)
       : status_(std::move(status)) {
     assert(!status_.ok() && "StatusOr constructed from OK status");
-    if (status_.ok()) std::abort();
+    // Invariant violation, not process lifecycle.
+    if (status_.ok()) std::abort();  // chronos-lint: allow
   }
 
   StatusOr(const StatusOr&) = default;
@@ -65,7 +66,8 @@ class [[nodiscard]] StatusOr {
 
  private:
   void CheckHasValue() const {
-    if (!value_.has_value()) std::abort();
+    // Invariant violation, not process lifecycle.
+    if (!value_.has_value()) std::abort();  // chronos-lint: allow
   }
 
   Status status_;

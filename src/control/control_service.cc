@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/retry.h"
 #include "common/uuid.h"
+#include "fault/failpoint.h"
 #include "obs/metrics_registry.h"
 
 namespace chronos::control {
@@ -14,6 +15,17 @@ using model::Job;
 using model::JobState;
 
 namespace {
+
+// Store-level home of control-plane lifecycle state (not an entity table):
+// row "lifecycle" holds the one-shot clean-shutdown marker that lets the
+// next boot skip reconciliation scans.
+constexpr char kControlMetaTable[] = "control_meta";
+constexpr char kLifecycleRowId[] = "lifecycle";
+
+// Canonical per-attempt idempotency key for terminal reports.
+std::string AttemptKey(const std::string& job_id, int attempt) {
+  return job_id + "#" + std::to_string(attempt);
+}
 
 // Six-digit zero-padded job sequence, so lexicographic id order equals
 // creation order within an evaluation.
@@ -80,7 +92,36 @@ void ObserveTransition(const std::string& job_id, JobState from,
       << model::JobStateName(to);
 }
 
+// Tallies one reconciliation action locally and in the process-wide
+// chronos_reconciliation_total{action=...} counter.
+void CountReconciliation(ReconcileReport* report, const std::string& action) {
+  report->actions[action]++;
+  obs::MetricsRegistry::Get()
+      ->GetCounter("chronos_reconciliation_total",
+                   "Startup reconciliation actions, per action",
+                   {{"action", action}})
+      ->Increment();
+}
+
 }  // namespace
+
+int ReconcileReport::total() const {
+  int sum = 0;
+  for (const auto& [action, count] : actions) sum += count;
+  return sum;
+}
+
+json::Json ReconcileReport::ToJson() const {
+  json::Json out = json::Json::MakeObject();
+  out.Set("clean_shutdown", clean_shutdown);
+  json::Json by_action = json::Json::MakeObject();
+  for (const auto& [action, count] : actions) {
+    by_action.Set(action, static_cast<int64_t>(count));
+  }
+  out.Set("actions", std::move(by_action));
+  out.Set("total", static_cast<int64_t>(total()));
+  return out;
+}
 
 json::Json EvaluationSummary::ToJson() const {
   json::Json out = json::Json::MakeObject();
@@ -496,6 +537,9 @@ Status ControlService::RescheduleJob(const std::string& job_id) {
 
 StatusOr<std::optional<Job>> ControlService::PollJob(
     const std::string& deployment_id) {
+  // Draining: stop handing out new work, but answer the poll normally so
+  // agents idle instead of erroring out.
+  if (draining_.load(std::memory_order_relaxed)) return std::optional<Job>();
   CHRONOS_ASSIGN_OR_RETURN(model::Deployment deployment,
                            db_->deployments().Get(deployment_id));
   if (!deployment.active) {
@@ -531,6 +575,10 @@ StatusOr<std::optional<Job>> ControlService::PollJob(
           job->last_heartbeat_at = now;
         });
     if (status.ok()) {
+      // Crash seam: the claim is durable but the agent never hears about
+      // it. Recovery must re-run the job via the heartbeat timeout, not
+      // lose it or hand it out twice.
+      CHRONOS_RETURN_IF_ERROR(fault::Inject("control.claim.committed"));
       return std::optional<Job>(*GetJob(candidate.id));
     }
     // Another agent won this job (or it was aborted); try the next.
@@ -539,10 +587,15 @@ StatusOr<std::optional<Job>> ControlService::PollJob(
 }
 
 StatusOr<JobState> ControlService::ReportProgress(const std::string& job_id,
-                                                  int percent) {
+                                                  int percent, int attempt) {
   percent = std::clamp(percent, 0, 100);
   CHRONOS_ASSIGN_OR_RETURN(auto snapshot, db_->jobs().GetWithVersion(job_id));
   auto [job, version] = snapshot;
+  if (attempt > 0 && job.attempt != attempt) {
+    // A post from a superseded attempt must not touch the live one; kAborted
+    // tells the stale sender to stop.
+    return JobState::kAborted;
+  }
   if (job.state != JobState::kRunning) {
     // Not an error: the agent learns the job was aborted/failed meanwhile.
     return job.state;
@@ -555,9 +608,11 @@ StatusOr<JobState> ControlService::ReportProgress(const std::string& job_id,
   return JobState::kRunning;
 }
 
-StatusOr<JobState> ControlService::Heartbeat(const std::string& job_id) {
+StatusOr<JobState> ControlService::Heartbeat(const std::string& job_id,
+                                             int attempt) {
   CHRONOS_ASSIGN_OR_RETURN(auto snapshot, db_->jobs().GetWithVersion(job_id));
   auto [job, version] = snapshot;
+  if (attempt > 0 && job.attempt != attempt) return JobState::kAborted;
   if (job.state != JobState::kRunning) return job.state;
   job.last_heartbeat_at = clock_->NowMs();
   db_->jobs().UpdateIfVersion(job, version).IgnoreError();  // Racy loss is harmless.
@@ -577,8 +632,32 @@ Status ControlService::AppendLog(const std::string& job_id,
 
 Status ControlService::UploadResult(const std::string& job_id,
                                     json::Json data,
-                                    const std::string& zip_base64) {
+                                    const std::string& zip_base64,
+                                    const std::string& idempotency_key) {
   CHRONOS_ASSIGN_OR_RETURN(Job job, GetJob(job_id));
+  if (!idempotency_key.empty()) {
+    // Replay detection. The result row is inserted before the finished
+    // transition commits, so ANY earlier delivery of this key left a row
+    // behind — even one cut short by a crash between the two writes.
+    for (const model::Result& existing :
+         db_->results().FindBy("job_id", json::Json(job_id))) {
+      if (existing.idempotency_key != idempotency_key) continue;
+      if (job.state == JobState::kRunning &&
+          idempotency_key == AttemptKey(job_id, job.attempt)) {
+        // First delivery died inside the insert/transition window; finish
+        // the half-applied upload now.
+        TimestampMs now = clock_->NowMs();
+        return TransitionJob(job_id, JobState::kFinished, [&](Job* job_ptr) {
+          job_ptr->finished_at = now;
+          job_ptr->progress_percent = 100;
+          job_ptr->terminal_key = idempotency_key;
+        });
+      }
+      // Already fully applied (or the job has since moved on to another
+      // attempt); acknowledge without acting.
+      return Status::Ok();
+    }
+  }
   if (job.state != JobState::kRunning) {
     return Status::FailedPrecondition(
         "result upload for job in state " +
@@ -589,23 +668,36 @@ Status ControlService::UploadResult(const std::string& job_id,
   result.job_id = job_id;
   result.data = std::move(data);
   result.zip_base64 = zip_base64;
+  result.idempotency_key = idempotency_key;
   result.uploaded_at = clock_->NowMs();
   CHRONOS_RETURN_IF_ERROR(db_->results().Insert(result));
 
   TimestampMs now = clock_->NowMs();
-  return TransitionJob(job_id, JobState::kFinished, [now](Job* job_ptr) {
+  return TransitionJob(job_id, JobState::kFinished, [&](Job* job_ptr) {
     job_ptr->finished_at = now;
     job_ptr->progress_percent = 100;
+    job_ptr->terminal_key = idempotency_key;
   });
 }
 
 Status ControlService::FailJob(const std::string& job_id,
-                               const std::string& reason) {
+                               const std::string& reason,
+                               const std::string& idempotency_key) {
+  if (!idempotency_key.empty()) {
+    CHRONOS_ASSIGN_OR_RETURN(Job job, GetJob(job_id));
+    if (job.terminal_key == idempotency_key) {
+      // Replay of an already-applied failure. The job may have been
+      // rescheduled (or even re-claimed) since; acting again would fail the
+      // NEXT attempt and burn its budget, so just acknowledge.
+      return Status::Ok();
+    }
+  }
   TimestampMs now = clock_->NowMs();
   CHRONOS_RETURN_IF_ERROR(
       TransitionJob(job_id, JobState::kFailed, [&](Job* job) {
         job->failure_reason = reason;
         job->finished_at = now;
+        if (!idempotency_key.empty()) job->terminal_key = idempotency_key;
       }));
   if (options_.auto_reschedule) {
     auto job = GetJob(job_id);
@@ -667,6 +759,165 @@ int ControlService::CheckHeartbeats() {
     if (status.ok()) ++failed;
   }
   return failed;
+}
+
+// --- Lifecycle (crash consistency & graceful drain) ---
+
+ReconcileReport ControlService::ReconcileOnStartup() {
+  ReconcileReport report;
+  store::TableStore* store = db_->table_store();
+  auto marker = store->Get(kControlMetaTable, kLifecycleRowId);
+  if (marker.ok() && marker->GetBoolOr("clean_shutdown", false)) {
+    // The previous incarnation shut down cleanly, so nothing can be
+    // half-done: skip every scan. The marker is consumed (one-shot) so a
+    // later crash is not masked by a stale flag.
+    report.clean_shutdown = true;
+    ConsumeCleanShutdownMarker();
+    reconcile_report_ = report;
+    CHRONOS_LOG(kInfo, "control.lifecycle")
+        << "clean shutdown detected; reconciliation skipped";
+    return report;
+  }
+  ConsumeCleanShutdownMarker();
+  TimestampMs now = clock_->NowMs();
+
+  // 1. Running jobs. Their agent sessions were in memory and died with the
+  // process; what remains decides the outcome. A result row whose key
+  // matches the current attempt means the upload landed but the finished
+  // transition did not — complete it. Otherwise grant a grace lease: stamp
+  // the heartbeat so the monitor gives the (possibly still alive) agent one
+  // full timeout before failing and rescheduling through the attempt budget.
+  for (const Job& job : db_->jobs().FindIf([](const json::Json& row) {
+         return row.GetStringOr("state", "") == "running";
+       })) {
+    const std::string key = AttemptKey(job.id, job.attempt);
+    bool upload_landed = false;
+    for (const model::Result& result :
+         db_->results().FindBy("job_id", json::Json(job.id))) {
+      if (result.idempotency_key == key) {
+        upload_landed = true;
+        break;
+      }
+    }
+    if (upload_landed) {
+      Status status =
+          TransitionJob(job.id, JobState::kFinished, [&](Job* job_ptr) {
+            job_ptr->finished_at = now;
+            job_ptr->progress_percent = 100;
+            job_ptr->terminal_key = key;
+          });
+      if (status.ok()) {
+        RecordEvent(job.id, "note",
+                    "startup reconciliation: completed half-applied upload");
+        CountReconciliation(&report, "complete_upload");
+      }
+      continue;
+    }
+    auto snapshot = db_->jobs().GetWithVersion(job.id);
+    if (!snapshot.ok()) continue;
+    auto [fresh, version] = *snapshot;
+    fresh.last_heartbeat_at = now;
+    if (db_->jobs().UpdateIfVersion(fresh, version).ok()) {
+      RecordEvent(job.id, "note",
+                  "startup reconciliation: grace lease (agent session lost "
+                  "in restart)");
+      CountReconciliation(&report, "grace_lease");
+    }
+  }
+
+  // 2. Scheduled jobs carrying executor residue (a crash mid-reschedule or
+  // a torn claim): scrub the fields a fresh scheduled job would not have.
+  for (const Job& job : db_->jobs().FindIf([](const json::Json& row) {
+         return row.GetStringOr("state", "") == "scheduled" &&
+                (!row.GetStringOr("deployment_id", "").empty() ||
+                 row.GetIntOr("progress_percent", 0) != 0 ||
+                 row.GetIntOr("started_at", 0) != 0 ||
+                 row.GetIntOr("last_heartbeat_at", 0) != 0);
+       })) {
+    auto snapshot = db_->jobs().GetWithVersion(job.id);
+    if (!snapshot.ok()) continue;
+    auto [fresh, version] = *snapshot;
+    fresh.deployment_id.clear();
+    fresh.progress_percent = 0;
+    fresh.started_at = 0;
+    fresh.last_heartbeat_at = 0;
+    if (db_->jobs().UpdateIfVersion(fresh, version).ok()) {
+      RecordEvent(job.id, "note",
+                  "startup reconciliation: scrubbed executor residue");
+      CountReconciliation(&report, "sanitize_scheduled");
+    }
+  }
+
+  // 3. Evaluations with zero jobs: the crash hit mid-expansion. The shell
+  // carries no recoverable work (the experiment can simply be re-run), so
+  // drop it rather than leave a forever-0% evaluation in every list view.
+  for (const model::Evaluation& evaluation : db_->evaluations().All()) {
+    if (db_->jobs()
+            .FindBy("evaluation_id", json::Json(evaluation.id))
+            .empty()) {
+      if (db_->evaluations().Delete(evaluation.id).ok()) {
+        CountReconciliation(&report, "drop_empty_evaluation");
+      }
+    }
+  }
+
+  // 4. Rows pointing at jobs that do not exist (defensive; jobs are never
+  // deleted today, but a dangling reference must not survive a repair).
+  for (const model::Result& result : db_->results().All()) {
+    if (db_->jobs().Exists(result.job_id)) continue;
+    if (db_->results().Delete(result.id).ok()) {
+      CountReconciliation(&report, "drop_orphan_result");
+    }
+  }
+  for (const model::JobEvent& event : db_->job_events().All()) {
+    if (db_->jobs().Exists(event.job_id)) continue;
+    if (db_->job_events().Delete(event.id).ok()) {
+      CountReconciliation(&report, "drop_orphan_event");
+    }
+  }
+
+  reconcile_report_ = report;
+  CHRONOS_LOG(kInfo, "control.lifecycle")
+      << "startup reconciliation: " << report.total() << " action(s)";
+  return report;
+}
+
+void ControlService::BeginDrain() {
+  if (draining_.exchange(true)) return;  // Idempotent.
+  CHRONOS_LOG(kInfo, "control.lifecycle")
+      << "drain requested: no new jobs will be handed out";
+  std::function<void()> callback;
+  {
+    MutexLock lock(drain_mu_);
+    callback = drain_callback_;
+  }
+  if (callback) callback();
+}
+
+void ControlService::SetDrainCallback(std::function<void()> callback) {
+  MutexLock lock(drain_mu_);
+  drain_callback_ = std::move(callback);
+}
+
+Status ControlService::MarkCleanShutdown() {
+  json::Json row = json::Json::MakeObject();
+  row.Set("clean_shutdown", true);
+  row.Set("shutdown_at", clock_->NowMs());
+  CHRONOS_RETURN_IF_ERROR(
+      db_->table_store()->Upsert(kControlMetaTable, kLifecycleRowId, row));
+  // Fold the marker (and everything else) into a fresh snapshot; the next
+  // boot reads it without replaying a WAL.
+  return db_->table_store()->Checkpoint();
+}
+
+void ControlService::ConsumeCleanShutdownMarker() {
+  store::TableStore* store = db_->table_store();
+  auto marker = store->Get(kControlMetaTable, kLifecycleRowId);
+  if (!marker.ok() || !marker->GetBoolOr("clean_shutdown", false)) return;
+  json::Json row = json::Json::MakeObject();
+  row.Set("clean_shutdown", false);
+  row.Set("consumed_at", clock_->NowMs());
+  store->Upsert(kControlMetaTable, kLifecycleRowId, row).IgnoreError();
 }
 
 // --- Analysis ---

@@ -1,6 +1,7 @@
 #ifndef CHRONOS_CONTROL_CONTROL_SERVICE_H_
 #define CHRONOS_CONTROL_CONTROL_SERVICE_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <optional>
@@ -9,6 +10,7 @@
 
 #include "analysis/diagrams.h"
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "control/auth.h"
 #include "model/repository.h"
 
@@ -21,6 +23,18 @@ struct ControlServiceOptions {
   // Failed jobs are automatically rescheduled until this many attempts.
   int max_attempts = 3;
   bool auto_reschedule = true;
+};
+
+// What startup reconciliation did, keyed by action name ("grace_lease",
+// "complete_upload", "sanitize_scheduled", "drop_empty_evaluation",
+// "drop_orphan_result", "drop_orphan_event"). After a clean shutdown the
+// fast path applies: `clean_shutdown` is true and `actions` is empty.
+struct ReconcileReport {
+  bool clean_shutdown = false;
+  std::map<std::string, int> actions;
+
+  int total() const;
+  json::Json ToJson() const;
 };
 
 // Per-evaluation state tallies for monitoring views.
@@ -118,23 +132,34 @@ class ControlService {
 
   // Hands the oldest scheduled job matching the deployment's system to the
   // calling agent, transitioning it to running. Returns nullopt when no
-  // work is available or the deployment is already busy. Safe under
-  // concurrent polls (optimistic versioning; losers retry internally).
+  // work is available, the service is draining, or the deployment is already
+  // busy. Safe under concurrent polls (optimistic versioning; losers retry
+  // internally).
   StatusOr<std::optional<model::Job>> PollJob(
       const std::string& deployment_id);
 
   // Progress/heartbeat/log from the running agent. The returned state lets
-  // the agent observe aborts.
+  // the agent observe aborts. `attempt` (0 = not supplied, for old agents)
+  // guards against posts from a superseded attempt touching the current one:
+  // a mismatch returns kAborted without mutating the job, which tells the
+  // stale sender to stop.
   StatusOr<model::JobState> ReportProgress(const std::string& job_id,
-                                           int percent);
-  StatusOr<model::JobState> Heartbeat(const std::string& job_id);
+                                           int percent, int attempt = 0);
+  StatusOr<model::JobState> Heartbeat(const std::string& job_id,
+                                      int attempt = 0);
   Status AppendLog(const std::string& job_id,
                    const std::vector<std::string>& lines);
 
-  // Terminal reports.
+  // Terminal reports. `idempotency_key` ("<job_id>#<attempt>", empty = no
+  // replay protection) makes retries safe: a second delivery of the same
+  // terminal report — including across a Control restart — is recognized and
+  // acknowledged without re-applying the transition (or re-triggering the
+  // failure reschedule).
   Status UploadResult(const std::string& job_id, json::Json data,
-                      const std::string& zip_base64);
-  Status FailJob(const std::string& job_id, const std::string& reason);
+                      const std::string& zip_base64,
+                      const std::string& idempotency_key = "");
+  Status FailJob(const std::string& job_id, const std::string& reason,
+                 const std::string& idempotency_key = "");
 
   // --- Job detail views ---
 
@@ -148,6 +173,50 @@ class ControlService {
   // attempts remain. Returns the number of jobs failed. Called periodically
   // by HeartbeatMonitor and directly by tests.
   int CheckHeartbeats();
+
+  // --- Lifecycle (crash consistency & graceful drain) ---
+
+  // Replays the MetaDb after a boot and deterministically resolves whatever
+  // a crash left half-done. After a clean shutdown (see MarkCleanShutdown)
+  // the marker short-circuits all scans and the report shows zero actions.
+  // The marker is one-shot: it is consumed here so the next boot only sees
+  // it if the intervening shutdown was clean too.
+  //
+  // Actions on a dirty boot, in order:
+  //   complete_upload     running job that already has a Result row — the
+  //                       crash hit between result insert and the finished
+  //                       transition; finish it now.
+  //   grace_lease         running job without a result: its agent session
+  //                       died with the process, but the agent itself may
+  //                       still be working. Stamp last_heartbeat_at = now so
+  //                       the heartbeat monitor grants one full timeout
+  //                       before failing + rescheduling through the normal
+  //                       attempt budget.
+  //   sanitize_scheduled  scheduled job carrying executor residue
+  //                       (deployment_id/progress/timestamps) — scrub it.
+  //   drop_empty_evaluation  evaluation with zero jobs (crash mid-expansion).
+  //   drop_orphan_result / drop_orphan_event  rows pointing at absent jobs.
+  // Each action is logged and counted in chronos_reconciliation_total.
+  ReconcileReport ReconcileOnStartup();
+
+  // Report of the reconciliation this instance ran at startup.
+  const ReconcileReport& reconcile_report() const { return reconcile_report_; }
+
+  // Stops handing out work: PollJob returns "no job" from now on. In-flight
+  // uploads/heartbeats still apply, so agents can finish what they hold.
+  // Invokes the drain callback (once) so the hosting process can begin its
+  // orderly shutdown.
+  void BeginDrain();
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
+
+  // Called by BeginDrain exactly once; the server main wires this to its
+  // shutdown notification.
+  void SetDrainCallback(std::function<void()> callback);
+
+  // Writes the clean-shutdown marker and checkpoints the store (snapshot +
+  // empty WAL + fsync). Call after the HTTP server has stopped; the next
+  // boot's ReconcileOnStartup takes the zero-action fast path.
+  Status MarkCleanShutdown();
 
   // --- Analysis ---
 
@@ -170,6 +239,8 @@ class ControlService {
                        const std::function<void(model::Job*)>& mutate);
   void RecordEvent(const std::string& job_id, const std::string& kind,
                    const std::string& message);
+  // Clears the one-shot clean-shutdown marker if present (no write if absent).
+  void ConsumeCleanShutdownMarker();
 
   model::MetaDb* db_;
   Clock* clock_;
@@ -178,6 +249,10 @@ class ControlService {
   // Next event sequence number; seeded past any persisted events on
   // construction so ordering survives control-server restarts.
   std::atomic<int64_t> event_seq_;
+  std::atomic<bool> draining_{false};
+  Mutex drain_mu_;
+  std::function<void()> drain_callback_ CHRONOS_GUARDED_BY(drain_mu_);
+  ReconcileReport reconcile_report_;
 };
 
 }  // namespace chronos::control

@@ -7,8 +7,23 @@
 namespace chronos::control {
 
 HeartbeatMonitor::HeartbeatMonitor(ControlService* service,
+                                   HeartbeatMonitorOptions options)
+    : service_(service), options_(options), jitter_rng_(options.seed) {}
+
+HeartbeatMonitor::HeartbeatMonitor(ControlService* service,
                                    int64_t interval_ms)
-    : service_(service), interval_ms_(interval_ms) {}
+    : HeartbeatMonitor(service,
+                       HeartbeatMonitorOptions{interval_ms, 0.0, 0}) {}
+
+int64_t HeartbeatMonitor::NextIntervalMs() {
+  if (options_.jitter <= 0.0) return options_.interval_ms;
+  MutexLock lock(mu_);
+  // Uniform in interval * [1 - jitter, 1 + jitter], floored at 1ms.
+  double factor = 1.0 + options_.jitter * (2.0 * jitter_rng_.NextDouble() - 1.0);
+  auto jittered =
+      static_cast<int64_t>(static_cast<double>(options_.interval_ms) * factor);
+  return jittered < 1 ? 1 : jittered;
+}
 
 HeartbeatMonitor::~HeartbeatMonitor() { Stop(); }
 
@@ -57,7 +72,7 @@ void HeartbeatMonitor::Loop() {
     sweeps_.fetch_add(1);
     sweep_counter->Increment();
     failed_counter->Increment(static_cast<uint64_t>(failed));
-    if (WaitForStop(interval_ms_)) return;
+    if (WaitForStop(NextIntervalMs())) return;
   }
 }
 

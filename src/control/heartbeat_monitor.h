@@ -2,19 +2,33 @@
 #define CHRONOS_CONTROL_HEARTBEAT_MONITOR_H_
 
 #include <atomic>
+#include <cstdint>
 #include <thread>
 
 #include "common/mutex.h"
+#include "common/random.h"
 #include "common/thread_annotations.h"
 #include "control/control_service.h"
 
 namespace chronos::control {
+
+struct HeartbeatMonitorOptions {
+  int64_t interval_ms = 5000;
+  // Fraction of the interval each sweep wait is jittered by, in [0, 1):
+  // the wait is drawn uniformly from interval * [1 - jitter, 1 + jitter].
+  // Jitter de-synchronizes sweeps across control replicas sharing a store
+  // (a thundering herd of simultaneous FailJob races); 0 disables it.
+  double jitter = 0.0;
+  // Seed for the jitter draw, so a sweep schedule replays exactly.
+  uint64_t seed = 0;
+};
 
 // Background reliability sweep (requirement iii): periodically fails running
 // jobs whose agents stopped heartbeating; the service auto-reschedules them
 // while attempts remain.
 class HeartbeatMonitor {
  public:
+  HeartbeatMonitor(ControlService* service, HeartbeatMonitorOptions options);
   HeartbeatMonitor(ControlService* service, int64_t interval_ms = 5000);
   ~HeartbeatMonitor();
 
@@ -30,19 +44,25 @@ class HeartbeatMonitor {
   // Sweeps executed since Start (each sweep is one CheckHeartbeats pass).
   int64_t sweeps() const { return sweeps_.load(); }
 
+  // Next sweep wait in ms: interval jittered by the seeded RNG. Pure
+  // function of (options, draw count), so the schedule is testable and
+  // replayable; exposed for exactly that.
+  int64_t NextIntervalMs();
+
  private:
   void Loop();
   // Sleeps up to timeout_ms; returns true if Stop() was requested meanwhile.
   bool WaitForStop(int64_t timeout_ms) CHRONOS_EXCLUDES(mu_);
 
   ControlService* service_;
-  int64_t interval_ms_;
+  HeartbeatMonitorOptions options_;
   // Start/Stop are externally serialized (owner's thread); thread_ itself is
   // not touched by Loop, so it needs no lock.
   std::thread thread_;
   Mutex mu_;
   CondVar cv_;
   bool stop_requested_ CHRONOS_GUARDED_BY(mu_) = false;
+  Rng jitter_rng_ CHRONOS_GUARDED_BY(mu_);
   std::atomic<int64_t> jobs_failed_{0};
   std::atomic<int64_t> sweeps_{0};
 };

@@ -1,0 +1,76 @@
+#include "control/lifecycle.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+
+namespace chronos::control {
+
+namespace {
+
+std::atomic<int> g_pipe_read_fd{-1};
+std::atomic<int> g_pipe_write_fd{-1};
+std::atomic<int> g_signal{0};
+
+// Everything here must stay async-signal-safe: atomics and write(2) only.
+void OnShutdownSignal(int signum) {
+  g_signal.store(signum, std::memory_order_relaxed);
+  int fd = g_pipe_write_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    char byte = 1;
+    ssize_t ignored = ::write(fd, &byte, 1);
+    (void)ignored;
+  }
+}
+
+}  // namespace
+
+Status InstallShutdownHandlers() {
+  if (g_pipe_write_fd.load() >= 0) return Status::Ok();  // Already installed.
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    return Status::IoError("shutdown pipe creation failed");
+  }
+  g_pipe_read_fd.store(fds[0]);
+  g_pipe_write_fd.store(fds[1]);
+  struct sigaction action = {};
+  action.sa_handler = OnShutdownSignal;
+  ::sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  if (::sigaction(SIGTERM, &action, nullptr) != 0 ||
+      ::sigaction(SIGINT, &action, nullptr) != 0) {
+    return Status::IoError("installing shutdown signal handlers failed");
+  }
+  return Status::Ok();
+}
+
+void NotifyShutdown() {
+  int fd = g_pipe_write_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    char byte = 1;
+    ssize_t ignored = ::write(fd, &byte, 1);
+    (void)ignored;
+  }
+}
+
+int WaitForShutdown() {
+  int fd = g_pipe_read_fd.load();
+  if (fd < 0) return 0;
+  struct pollfd pfd = {};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  for (;;) {
+    int rc = ::poll(&pfd, 1, -1);
+    if (rc > 0) break;
+    if (rc < 0 && errno != EINTR) break;  // Unexpected; treat as shutdown.
+  }
+  char byte = 0;
+  while (::read(fd, &byte, 1) < 0 && errno == EINTR) {
+  }
+  return g_signal.load(std::memory_order_relaxed);
+}
+
+}  // namespace chronos::control

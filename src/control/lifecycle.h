@@ -1,0 +1,32 @@
+#ifndef CHRONOS_CONTROL_LIFECYCLE_H_
+#define CHRONOS_CONTROL_LIFECYCLE_H_
+
+#include "common/status.h"
+
+namespace chronos::control {
+
+// Shutdown plumbing for the control-server binary: a self-pipe that the
+// SIGTERM/SIGINT handlers (and the drain endpoint's callback) write to and
+// the main thread blocks on. The handlers do nothing but write one byte —
+// everything heavy (drain, final checkpoint) runs on the main thread, which
+// is the only async-signal-safe way to do it.
+//
+// This is one of the two files sanctioned to touch raw process-lifecycle
+// primitives (see the raw-exit lint rule); everything else must route
+// through here or through fault::FailPointRegistry's crash mode.
+
+// Installs SIGTERM + SIGINT handlers that notify the shutdown pipe.
+// Idempotent; must be called before WaitForShutdown.
+Status InstallShutdownHandlers();
+
+// Requests shutdown from ordinary code (e.g. the drain endpoint callback).
+// Async-signal-safe.
+void NotifyShutdown();
+
+// Blocks until shutdown is requested. Returns the signal number that
+// triggered it, or 0 for a programmatic NotifyShutdown.
+int WaitForShutdown();
+
+}  // namespace chronos::control
+
+#endif  // CHRONOS_CONTROL_LIFECYCLE_H_

@@ -77,6 +77,10 @@ void MountVersion(net::Router* router, ControlService* service,
       body.Set("heartbeat_sweeps", monitor->sweeps());
       body.Set("heartbeat_jobs_failed", monitor->jobs_failed());
     }
+    // Lifecycle: whether the instance is draining, and what startup
+    // reconciliation had to repair (empty actions after a clean shutdown).
+    body.Set("draining", service->draining());
+    body.Set("reconciliation", service->reconcile_report().ToJson());
     return HttpResponse::Json(body);
   });
 
@@ -203,6 +207,22 @@ void MountVersion(net::Router* router, ControlService* service,
         }
         return HttpResponse::Json(out);
       }));
+
+  // --- Admin: lifecycle ---
+
+  // Graceful drain: stop handing out jobs and ask the hosting process to
+  // begin its orderly shutdown (finish in-flight requests, checkpoint,
+  // exit 0). Admin-only; `chronosctl drain` calls this.
+  router->Post(base + "/admin/drain",
+               WithAuth(service, [service](const HttpRequest&,
+                                           const model::User& user) {
+                 HttpResponse guard = RequireAdmin(user);
+                 if (guard.status_code != 200) return guard;
+                 service->BeginDrain();
+                 json::Json out = json::Json::MakeObject();
+                 out.Set("draining", true);
+                 return HttpResponse::Json(out);
+               }));
 
   // --- Projects ---
 
@@ -592,7 +612,8 @@ void MountVersion(net::Router* router, ControlService* service,
         if (!body.ok()) return HttpResponse::FromStatus(body.status());
         auto state = service->ReportProgress(
             request.path_params.at("id"),
-            static_cast<int>(body->GetIntOr("percent", 0)));
+            static_cast<int>(body->GetIntOr("percent", 0)),
+            static_cast<int>(body->GetIntOr("attempt", 0)));
         if (!state.ok()) return HttpResponse::FromStatus(state.status());
         json::Json out = json::Json::MakeObject();
         out.Set("state", std::string(model::JobStateName(*state)));
@@ -602,8 +623,14 @@ void MountVersion(net::Router* router, ControlService* service,
   router->Post(base + "/agent/jobs/{id}/heartbeat",
                WithAuth(service, [service](const HttpRequest& request,
                                            const model::User&) {
+                 // Body is optional for backward compatibility.
+                 auto body = request.JsonBody();
+                 int attempt = body.ok()
+                                   ? static_cast<int>(
+                                         body->GetIntOr("attempt", 0))
+                                   : 0;
                  auto state =
-                     service->Heartbeat(request.path_params.at("id"));
+                     service->Heartbeat(request.path_params.at("id"), attempt);
                  if (!state.ok()) {
                    return HttpResponse::FromStatus(state.status());
                  }
@@ -636,7 +663,8 @@ void MountVersion(net::Router* router, ControlService* service,
         if (!body.ok()) return HttpResponse::FromStatus(body.status());
         Status status = service->UploadResult(
             request.path_params.at("id"), body->at("data"),
-            body->GetStringOr("zip_base64", ""));
+            body->GetStringOr("zip_base64", ""),
+            body->GetStringOr("idempotency_key", ""));
         if (!status.ok()) return HttpResponse::FromStatus(status);
         return HttpResponse::Json(json::Json::MakeObject(), 201);
       }));
@@ -647,8 +675,9 @@ void MountVersion(net::Router* router, ControlService* service,
                                   const model::User&) {
         auto body = request.JsonBody();
         if (!body.ok()) return HttpResponse::FromStatus(body.status());
-        Status status = service->FailJob(request.path_params.at("id"),
-                                         body->GetStringOr("reason", ""));
+        Status status = service->FailJob(
+            request.path_params.at("id"), body->GetStringOr("reason", ""),
+            body->GetStringOr("idempotency_key", ""));
         if (!status.ok()) return HttpResponse::FromStatus(status);
         return HttpResponse::Json(json::Json::MakeObject());
       }));
@@ -718,10 +747,18 @@ ControlServer::~ControlServer() { Stop(); }
 StatusOr<std::unique_ptr<ControlServer>> ControlServer::Start(
     ControlService* service, int port, int64_t monitor_interval_ms,
     ProvisioningManager* provisioning) {
+  return Start(service, port,
+               HeartbeatMonitorOptions{monitor_interval_ms, 0.0, 0},
+               provisioning);
+}
+
+StatusOr<std::unique_ptr<ControlServer>> ControlServer::Start(
+    ControlService* service, int port, HeartbeatMonitorOptions monitor_options,
+    ProvisioningManager* provisioning) {
   std::unique_ptr<ControlServer> server(new ControlServer(service));
   // Create (but don't start) the monitor first so /status can report it.
   server->monitor_ =
-      std::make_unique<HeartbeatMonitor>(service, monitor_interval_ms);
+      std::make_unique<HeartbeatMonitor>(service, monitor_options);
   MountRestApi(server->router_.get(), service, server->monitor_.get());
   MountWebUi(server->router_.get(), service);
   if (provisioning != nullptr) {

@@ -52,6 +52,12 @@ class ControlServer {
       ControlService* service, int port, int64_t monitor_interval_ms = 2000,
       ProvisioningManager* provisioning = nullptr);
 
+  // Same, with full heartbeat-monitor options (jittered sweep schedule).
+  static StatusOr<std::unique_ptr<ControlServer>> Start(
+      ControlService* service, int port,
+      HeartbeatMonitorOptions monitor_options,
+      ProvisioningManager* provisioning = nullptr);
+
   int port() const { return http_->port(); }
   void Stop();
 

@@ -1,5 +1,7 @@
 #include "fault/failpoint.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 
@@ -63,6 +65,8 @@ std::string_view ModeName(Mode mode) {
       return "close";
     case Mode::kProbability:
       return "probability";
+    case Mode::kCrash:
+      return "crash";
   }
   return "off";
 }
@@ -80,6 +84,8 @@ std::string FailPointSpec::ToString() const {
     case Mode::kProbability:
       return "probability(" + FormatDouble(probability) + ", " +
              std::to_string(seed) + ")";
+    case Mode::kCrash:
+      return "crash(" + std::to_string(exit_code) + ")";
   }
   return "off";
 }
@@ -94,6 +100,10 @@ StatusOr<FailPointSpec> FailPointSpec::Parse(std::string_view text) {
   }
   if (trimmed == "close") {
     spec.mode = Mode::kClose;
+    return spec;
+  }
+  if (trimmed == "crash") {
+    spec.mode = Mode::kCrash;
     return spec;
   }
   std::vector<std::string> args;
@@ -113,6 +123,16 @@ StatusOr<FailPointSpec> FailPointSpec::Parse(std::string_view text) {
     }
     spec.mode = Mode::kDelay;
     spec.delay_ms = static_cast<int64_t>(ms);
+    return spec;
+  }
+  if (MatchCall(trimmed, "crash", &args)) {
+    uint64_t code = 0;
+    if (args.size() != 1 || !strings::ParseUint64(args[0], &code) ||
+        code > 255) {
+      return Status::InvalidArgument("bad crash spec: " + std::string(text));
+    }
+    spec.mode = Mode::kCrash;
+    spec.exit_code = static_cast<int>(code);
     return spec;
   }
   if (MatchCall(trimmed, "probability", &args)) {
@@ -135,7 +155,8 @@ StatusOr<FailPointSpec> FailPointSpec::Parse(std::string_view text) {
   return Status::InvalidArgument("unrecognized failpoint spec: " +
                                  std::string(text) +
                                  " (expected off|error[(msg)]|delay(ms)|"
-                                 "close|probability(p[, seed]))");
+                                 "close|probability(p[, seed])|"
+                                 "crash[(code)])");
 }
 
 FailPointRegistry* FailPointRegistry::Get() {
@@ -249,6 +270,13 @@ Action FailPointRegistry::EvaluateSlow(const std::string& point) {
           action.kind = Action::Kind::kError;
         }
         break;
+      case Mode::kCrash:
+        // A kill -9-shaped death at a chosen seam: no flushing, no atexit
+        // handlers, no destructors — whatever the code above this point made
+        // durable is all recovery gets. The crash-recovery harness forks a
+        // real server, arms one of these, and asserts the restart heals.
+        state.triggers++;
+        ::_exit(state.spec.exit_code);
     }
     if (action.kind != Action::Kind::kNone || state.spec.mode == Mode::kDelay) {
       state.triggers++;

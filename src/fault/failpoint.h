@@ -39,19 +39,21 @@ enum class Mode {
   kDelay,        // Sleep `delay_ms` (no-op advance on SimulatedClock), no error.
   kClose,        // Drop the connection/stream, then return an error status.
   kProbability,  // Return an error on a seeded coin flip with probability p.
+  kCrash,        // _exit(exit_code) on the spot: a kill -9-shaped crash.
 };
 
 std::string_view ModeName(Mode mode);
 
 // Parsed form of a failpoint spec string:
 //   "off" | "error" | "error(msg)" | "delay(ms)" | "close"
-//   | "probability(p)" | "probability(p, seed)"
+//   | "probability(p)" | "probability(p, seed)" | "crash" | "crash(code)"
 struct FailPointSpec {
   Mode mode = Mode::kOff;
   std::string message;     // kError: custom status message (may be empty).
   int64_t delay_ms = 0;    // kDelay.
   double probability = 0;  // kProbability: chance in [0, 1] per evaluation.
   uint64_t seed = 0;       // kProbability: RNG seed (0 is a valid seed).
+  int exit_code = 137;     // kCrash: process exit code (default = SIGKILL's).
 
   // Canonical round-trippable spec string, e.g. "probability(0.1, 42)".
   std::string ToString() const;

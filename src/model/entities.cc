@@ -252,6 +252,7 @@ json::Json Job::ToJson() const {
   out.Set("progress_percent", static_cast<int64_t>(progress_percent));
   out.Set("attempt", static_cast<int64_t>(attempt));
   out.Set("failure_reason", failure_reason);
+  out.Set("terminal_key", terminal_key);
   out.Set("created_at", created_at);
   out.Set("started_at", started_at);
   out.Set("finished_at", finished_at);
@@ -273,6 +274,7 @@ StatusOr<Job> Job::FromJson(const json::Json& value) {
   job.progress_percent = static_cast<int>(value.GetIntOr("progress_percent", 0));
   job.attempt = static_cast<int>(value.GetIntOr("attempt", 1));
   job.failure_reason = value.GetStringOr("failure_reason", "");
+  job.terminal_key = value.GetStringOr("terminal_key", "");
   job.created_at = value.GetIntOr("created_at", 0);
   job.started_at = value.GetIntOr("started_at", 0);
   job.finished_at = value.GetIntOr("finished_at", 0);
@@ -286,6 +288,7 @@ json::Json Result::ToJson() const {
   out.Set("job_id", job_id);
   out.Set("data", data);
   out.Set("zip_base64", zip_base64);
+  out.Set("idempotency_key", idempotency_key);
   out.Set("uploaded_at", uploaded_at);
   return out;
 }
@@ -296,6 +299,7 @@ StatusOr<Result> Result::FromJson(const json::Json& value) {
   CHRONOS_ASSIGN_OR_RETURN(result.job_id, value.GetString("job_id"));
   result.data = value.at("data");
   result.zip_base64 = value.GetStringOr("zip_base64", "");
+  result.idempotency_key = value.GetStringOr("idempotency_key", "");
   result.uploaded_at = value.GetIntOr("uploaded_at", 0);
   return result;
 }

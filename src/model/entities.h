@@ -140,6 +140,10 @@ struct Job {
   int progress_percent = 0;
   int attempt = 1;
   std::string failure_reason;
+  // Idempotency key of the last applied terminal report ("<job_id>#<attempt>").
+  // Deliberately NOT cleared on reschedule: a late retry of the old attempt's
+  // terminal post must still be recognized as already applied.
+  std::string terminal_key;
   TimestampMs created_at = 0;
   TimestampMs started_at = 0;
   TimestampMs finished_at = 0;
@@ -155,6 +159,9 @@ struct Result {
   std::string job_id;
   json::Json data;        // The analyzable JSON document.
   std::string zip_base64; // Raw zip bundle, base64 for row storage.
+  // Per-attempt key sent by the agent; lets a retried upload (e.g. across a
+  // Control restart) be detected instead of inserted twice.
+  std::string idempotency_key;
   TimestampMs uploaded_at = 0;
 
   json::Json ToJson() const;

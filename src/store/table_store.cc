@@ -14,6 +14,11 @@ constexpr char kOpInsert[] = "insert";
 constexpr char kOpUpdate[] = "update";
 constexpr char kOpDelete[] = "delete";
 
+// Reserved top-level snapshot key holding checkpoint metadata (not a table):
+// "_meta": {"wal_seq": N} records the highest WAL sequence number the
+// snapshot covers, so replay can skip records already folded in.
+constexpr char kSnapshotMetaKey[] = "_meta";
+
 json::Json MakeMutation(const char* op, const std::string& table,
                         const std::string& id) {
   json::Json m = json::Json::MakeObject();
@@ -39,6 +44,15 @@ StatusOr<std::unique_ptr<TableStore>> TableStore::Open(
   std::unique_ptr<TableStore> table_store(new TableStore(dir, options));
   CHRONOS_RETURN_IF_ERROR(table_store->Load());
   CHRONOS_ASSIGN_OR_RETURN(table_store->wal_, Wal::Open(table_store->WalPath()));
+  {
+    // The WAL recovers its counter from its own records only; after a clean
+    // shutdown the log is empty, so without this floor a new incarnation
+    // would restart at seq 1 and the snapshot's covered-sequence stamp
+    // would silently mask every record it writes on the next replay.
+    MutexLock lock(table_store->mu_);
+    table_store->wal_->EnsureNextSeqAtLeast(table_store->loaded_covered_seq_ +
+                                            1);
+  }
   return table_store;
 }
 
@@ -47,6 +61,7 @@ Status TableStore::Load() {
   // the capability, so hold it for the whole load.
   MutexLock lock(mu_);
   // 1. Snapshot (if present).
+  uint64_t covered_seq = 0;
   if (file::Exists(SnapshotPath())) {
     CHRONOS_ASSIGN_OR_RETURN(std::string text, file::ReadFile(SnapshotPath()));
     CHRONOS_ASSIGN_OR_RETURN(json::Json snapshot, json::Parse(text));
@@ -54,6 +69,12 @@ Status TableStore::Load() {
       return Status::Corruption("snapshot is not an object");
     }
     for (const auto& [table_name, rows] : snapshot.as_object()) {
+      if (table_name == kSnapshotMetaKey) {
+        covered_seq =
+            static_cast<uint64_t>(rows.GetIntOr("wal_seq", 0));
+        loaded_covered_seq_ = covered_seq;
+        continue;
+      }
       Table table;
       for (const auto& [id, row] : rows.as_object()) {
         table[id] = row;
@@ -61,11 +82,16 @@ Status TableStore::Load() {
       tables_[table_name] = std::move(table);
     }
   }
-  // 2. WAL replay over the snapshot.
-  CHRONOS_ASSIGN_OR_RETURN(std::vector<std::string> records,
-                           Wal::Replay(WalPath()));
-  for (const std::string& record : records) {
-    auto mutation = json::Parse(record);
+  // 2. WAL replay over the snapshot. A crash between snapshot rename and WAL
+  // truncate leaves records the snapshot already contains; their sequence
+  // numbers are <= covered_seq, so they are skipped instead of re-applied
+  // (re-applying would resurrect rows deleted after the covered prefix and
+  // roll back row versions).
+  CHRONOS_ASSIGN_OR_RETURN(std::vector<WalRecord> records,
+                           Wal::ReplayRecords(WalPath()));
+  for (const WalRecord& record : records) {
+    if (record.seq <= covered_seq) continue;
+    auto mutation = json::Parse(record.payload);
     if (!mutation.ok()) {
       // A record passed its CRC but fails to parse: treat as corrupt tail.
       break;
@@ -111,11 +137,20 @@ Status TableStore::CheckpointLocked() {
     for (const auto& [id, row] : table) rows.Set(id, row);
     snapshot.Set(table_name, std::move(rows));
   }
+  json::Json meta = json::Json::MakeObject();
+  meta.Set("wal_seq", static_cast<int64_t>(wal_->last_seq()));
+  snapshot.Set(kSnapshotMetaKey, std::move(meta));
   std::string tmp = SnapshotPath() + ".tmp";
-  CHRONOS_RETURN_IF_ERROR(file::WriteFile(tmp, snapshot.Dump()));
+  CHRONOS_RETURN_IF_ERROR(file::WriteFileDurable(tmp, snapshot.Dump()));
   if (std::rename(tmp.c_str(), SnapshotPath().c_str()) != 0) {
     return Status::IoError("snapshot rename failed");
   }
+  // The rename is only durable once the directory entry is synced; until
+  // then a crash can serve the old snapshot with a truncated WAL.
+  CHRONOS_RETURN_IF_ERROR(file::SyncDir(dir_));
+  // Crash seam between the visible snapshot and the WAL truncate — the
+  // window the covered-sequence stamp exists for.
+  CHRONOS_RETURN_IF_ERROR(fault::Inject("store.checkpoint.after_rename"));
   return wal_->Truncate();
 }
 

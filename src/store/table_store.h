@@ -112,6 +112,11 @@ class TableStore {
   mutable Mutex mu_;
   std::unordered_map<std::string, Table> tables_ CHRONOS_GUARDED_BY(mu_);
   uint64_t applied_ CHRONOS_GUARDED_BY(mu_) = 0;
+  // Covered-sequence stamp read from the snapshot at Load() time. Open()
+  // feeds it to the WAL as a sequence floor: after a checkpoint truncated
+  // the log, a fresh incarnation must not reissue sequence numbers the
+  // snapshot already covers.
+  uint64_t loaded_covered_seq_ CHRONOS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace chronos::store

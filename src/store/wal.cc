@@ -13,6 +13,11 @@ namespace chronos::store {
 
 namespace {
 
+// Frame layout: [u32 len][u32 crc][u64 seq][payload]. The CRC covers the
+// encoded sequence number and the payload so a flipped bit in either ends
+// replay at the damage.
+constexpr size_t kHeaderSize = 16;
+
 void EncodeU32(char* out, uint32_t v) {
   out[0] = static_cast<char>(v & 0xFF);
   out[1] = static_cast<char>((v >> 8) & 0xFF);
@@ -27,6 +32,21 @@ uint32_t DecodeU32(const char* in) {
          static_cast<uint32_t>(static_cast<unsigned char>(in[3])) << 24;
 }
 
+void EncodeU64(char* out, uint64_t v) {
+  EncodeU32(out, static_cast<uint32_t>(v & 0xFFFFFFFFull));
+  EncodeU32(out + 4, static_cast<uint32_t>(v >> 32));
+}
+
+uint64_t DecodeU64(const char* in) {
+  return static_cast<uint64_t>(DecodeU32(in)) |
+         static_cast<uint64_t>(DecodeU32(in + 4)) << 32;
+}
+
+uint32_t FrameCrc(const char* seq_bytes, std::string_view payload) {
+  uint32_t crc = archive::Crc32(std::string_view(seq_bytes, 8));
+  return archive::Crc32(payload, crc);
+}
+
 }  // namespace
 
 Wal::~Wal() {
@@ -34,24 +54,34 @@ Wal::~Wal() {
 }
 
 StatusOr<std::unique_ptr<Wal>> Wal::Open(const std::string& path) {
+  // Recover the sequence counter before opening for append: new records must
+  // continue strictly after everything an earlier incarnation wrote, or a
+  // snapshot's covered-sequence stamp would mask them on replay.
+  uint64_t next_seq = 1;
+  if (file::Exists(path)) {
+    CHRONOS_ASSIGN_OR_RETURN(std::vector<WalRecord> records,
+                             ReplayRecords(path));
+    if (!records.empty()) next_seq = records.back().seq + 1;
+  }
   std::FILE* file = std::fopen(path.c_str(), "ab");
   if (file == nullptr) {
     return Status::IoError("cannot open WAL: " + path);
   }
   long pos = std::ftell(file);
   uint64_t size = pos < 0 ? 0 : static_cast<uint64_t>(pos);
-  return std::unique_ptr<Wal>(new Wal(file, path, size));
+  return std::unique_ptr<Wal>(new Wal(file, path, size, next_seq));
 }
 
 Status Wal::Append(std::string_view payload, bool sync) {
   if (payload.size() > 0xFFFFFFFFull) {
     return Status::InvalidArgument("WAL record too large");
   }
-  char header[8];
-  EncodeU32(header, static_cast<uint32_t>(payload.size()));
-  EncodeU32(header + 4, archive::Crc32(payload));
 
   MutexLock lock(mu_);
+  char header[kHeaderSize];
+  EncodeU32(header, static_cast<uint32_t>(payload.size()));
+  EncodeU64(header + 8, next_seq_);
+  EncodeU32(header + 4, FrameCrc(header + 8, payload));
   {
     // Fault injection (DESIGN.md §10). "wal.append" fails before any byte is
     // written; the crash-shape points write a deliberately incomplete frame
@@ -66,21 +96,24 @@ Status Wal::Append(std::string_view payload, bool sync) {
         fault::FailPointRegistry::Get()->Evaluate("wal.append.torn");
     if (torn.kind != fault::Action::Kind::kNone) {
       // Full header + half the payload: frame length promises more bytes
-      // than the file holds.
+      // than the file holds. The burnt sequence number is unrecoverable
+      // behind the tear, so skipping it keeps the log strictly increasing.
       size_t partial = payload.size() / 2;
       size_t wrote = std::fwrite(header, 1, sizeof(header), file_);
       wrote += std::fwrite(payload.data(), 1, partial, file_);
       std::fflush(file_);
       size_bytes_ += wrote;
+      ++next_seq_;
       return torn.status;
     }
     fault::Action short_write =
         fault::FailPointRegistry::Get()->Evaluate("wal.append.short");
     if (short_write.kind != fault::Action::Kind::kNone) {
-      // Only part of the 8-byte header: a tail too short to even frame.
+      // Only part of the frame header: a tail too short to even frame.
       size_t wrote = std::fwrite(header, 1, sizeof(header) / 2, file_);
       std::fflush(file_);
       size_bytes_ += wrote;
+      ++next_seq_;
       return short_write.status;
     }
   }
@@ -90,6 +123,7 @@ Status Wal::Append(std::string_view payload, bool sync) {
     return Status::IoError("WAL write failed: " + path_);
   }
   size_bytes_ += sizeof(header) + payload.size();
+  ++next_seq_;
   static obs::Counter* appends = obs::MetricsRegistry::Get()->GetCounter(
       "chronos_wal_appends_total", "Records appended to any WAL");
   static obs::Counter* bytes = obs::MetricsRegistry::Get()->GetCounter(
@@ -114,29 +148,55 @@ Status Wal::Sync() {
 
 Status Wal::Truncate() {
   MutexLock lock(mu_);
-  std::fclose(file_);
-  file_ = std::fopen(path_.c_str(), "wb");
-  if (file_ == nullptr) {
+  CHRONOS_RETURN_IF_ERROR(fault::Inject("wal.truncate"));
+  // In place, on the descriptor that stays open: there is no window where
+  // the log does not exist, and a crash leaves either the old intact file or
+  // an empty one. The stream was opened in append mode, so subsequent writes
+  // land at the (new) end regardless of the stdio position.
+  if (std::fflush(file_) != 0) {
+    return Status::IoError("WAL flush failed: " + path_);
+  }
+  if (::ftruncate(::fileno(file_), 0) != 0) {
     return Status::IoError("cannot truncate WAL: " + path_);
   }
+  if (::fsync(::fileno(file_)) != 0) {
+    return Status::IoError("WAL fsync failed: " + path_);
+  }
   size_bytes_ = 0;
+  // next_seq_ deliberately keeps climbing: sequence numbers are the link
+  // between snapshots and the log, so they must never restart.
   return Status::Ok();
 }
 
 StatusOr<std::vector<std::string>> Wal::Replay(const std::string& path) {
-  std::vector<std::string> records;
+  CHRONOS_ASSIGN_OR_RETURN(std::vector<WalRecord> records,
+                           ReplayRecords(path));
+  std::vector<std::string> payloads;
+  payloads.reserve(records.size());
+  for (WalRecord& record : records) {
+    payloads.push_back(std::move(record.payload));
+  }
+  return payloads;
+}
+
+StatusOr<std::vector<WalRecord>> Wal::ReplayRecords(const std::string& path) {
+  std::vector<WalRecord> records;
   if (!file::Exists(path)) return records;
   CHRONOS_ASSIGN_OR_RETURN(std::string data, file::ReadFile(path));
 
   size_t pos = 0;
-  while (pos + 8 <= data.size()) {
+  uint64_t prev_seq = 0;
+  while (pos + kHeaderSize <= data.size()) {
     uint32_t length = DecodeU32(data.data() + pos);
     uint32_t crc = DecodeU32(data.data() + pos + 4);
-    if (pos + 8 + length > data.size()) break;  // Torn tail.
-    std::string_view payload(data.data() + pos + 8, length);
-    if (archive::Crc32(payload) != crc) break;  // Corrupt tail.
-    records.emplace_back(payload);
-    pos += 8 + length;
+    uint64_t seq = DecodeU64(data.data() + pos + 8);
+    if (pos + kHeaderSize + length > data.size()) break;  // Torn tail.
+    std::string_view payload(data.data() + pos + kHeaderSize, length);
+    if (FrameCrc(data.data() + pos + 8, payload) != crc) break;  // Corrupt.
+    if (seq <= prev_seq) break;  // Sequence must be strictly increasing.
+    records.push_back(WalRecord{seq, std::string(payload)});
+    prev_seq = seq;
+    pos += kHeaderSize + length;
   }
   return records;
 }

@@ -14,12 +14,26 @@
 
 namespace chronos::store {
 
+// One replayed WAL record: a monotonically increasing sequence number plus
+// the opaque payload the caller appended.
+struct WalRecord {
+  uint64_t seq = 0;
+  std::string payload;
+};
+
 // Append-only write-ahead log. Each record is framed as
-//   [u32 payload_len][u32 crc32(payload)][payload]
-// (little endian). Append is atomic under an internal mutex; Sync flushes to
-// the OS and fsyncs. Replay tolerates a torn tail: the first record whose
-// frame is incomplete or whose CRC mismatches ends the replay (everything
-// before it is returned), matching the recovery contract of production WALs.
+//   [u32 payload_len][u32 crc32(seq || payload)][u64 seq][payload]
+// (little endian; the CRC covers the encoded sequence number and the
+// payload). Sequence numbers start at 1, never repeat, and — critically —
+// survive Truncate(): a snapshot stamped with the last sequence it covers
+// lets recovery skip records that are already folded into the snapshot,
+// which closes the crash window between snapshot rename and WAL truncate.
+//
+// Append is atomic under an internal mutex; Sync flushes to the OS and
+// fsyncs. Replay tolerates a torn tail: the first record whose frame is
+// incomplete, whose CRC mismatches, or whose sequence number is not strictly
+// increasing ends the replay (everything before it is returned), matching
+// the recovery contract of production WALs.
 class Wal {
  public:
   ~Wal();
@@ -27,7 +41,8 @@ class Wal {
   Wal(const Wal&) = delete;
   Wal& operator=(const Wal&) = delete;
 
-  // Opens (creating if needed) the log at `path` for appending.
+  // Opens (creating if needed) the log at `path` for appending. Replays any
+  // existing records to recover the next sequence number.
   static StatusOr<std::unique_ptr<Wal>> Open(const std::string& path);
 
   // Appends one record. If `sync`, fsyncs before returning.
@@ -41,22 +56,52 @@ class Wal {
     return size_bytes_;
   }
 
-  // Closes, removes and recreates the log (after a checkpoint).
+  // Sequence number of the last appended record (0 if none ever). Monotonic
+  // across Truncate(): a snapshot taken now covers every record <= this.
+  uint64_t last_seq() const {
+    MutexLock lock(mu_);
+    return next_seq_ - 1;
+  }
+
+  // Raises the sequence counter so the next append gets at least `floor`.
+  // Open() only recovers the counter from the log's own records, so after a
+  // checkpoint truncated the log a new incarnation would restart at 1 —
+  // below the snapshot's covered-sequence stamp, which would mask every new
+  // record on the next replay. The store calls this with covered_seq + 1.
+  void EnsureNextSeqAtLeast(uint64_t floor) {
+    MutexLock lock(mu_);
+    if (next_seq_ < floor) next_seq_ = floor;
+  }
+
+  // Empties the log in place (after a checkpoint) — ftruncate + fsync on the
+  // open descriptor, never close/remove/recreate, so a crash at any point
+  // leaves either the old intact log or an empty one, and the sequence
+  // counter keeps climbing.
   Status Truncate();
 
   const std::string& path() const { return path_; }
 
-  // Reads all intact records from a log file. Missing file -> empty list.
+  // Reads all intact record payloads from a log file, in order. Missing
+  // file -> empty list.
   static StatusOr<std::vector<std::string>> Replay(const std::string& path);
 
+  // Like Replay but keeps the sequence numbers, for callers that need to
+  // skip records already covered by a snapshot.
+  static StatusOr<std::vector<WalRecord>> ReplayRecords(
+      const std::string& path);
+
  private:
-  Wal(std::FILE* file, std::string path, uint64_t size)
-      : file_(file), path_(std::move(path)), size_bytes_(size) {}
+  Wal(std::FILE* file, std::string path, uint64_t size, uint64_t next_seq)
+      : file_(file),
+        path_(std::move(path)),
+        size_bytes_(size),
+        next_seq_(next_seq) {}
 
   mutable Mutex mu_;
   std::FILE* file_ CHRONOS_GUARDED_BY(mu_);
   std::string path_;
   uint64_t size_bytes_ CHRONOS_GUARDED_BY(mu_);
+  uint64_t next_seq_ CHRONOS_GUARDED_BY(mu_);
 };
 
 }  // namespace chronos::store

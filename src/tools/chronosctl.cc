@@ -29,6 +29,8 @@ constexpr char kUsage[] =
     "  evaluation watch EVAL_ID         poll until all jobs are terminal\n"
     "  jobs list --evaluation ID [--state S]\n"
     "  job show|abort|reschedule|log JOB_ID\n"
+    "  drain                            stop job dispatch; server begins its\n"
+    "                                   graceful shutdown (admin only)\n"
     "  failpoint list                   configured fault-injection points\n"
     "  failpoint set POINT SPEC         arm a failpoint (off|error[(msg)]|\n"
     "                                   delay(ms)|close|probability(p[, s]))\n"
@@ -379,6 +381,14 @@ int RunChronosctl(const std::vector<std::string>& args, std::ostream& out) {
       out << *response;
       return 0;
     }
+  }
+
+  if (command == "drain") {
+    auto response =
+        client.Post("/api/v1/admin/drain", json::Json::MakeObject());
+    if (!response.ok()) return Fail(out, response.status());
+    out << "draining\n";
+    return 0;
   }
 
   if (command == "failpoint") {

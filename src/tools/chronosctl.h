@@ -37,6 +37,7 @@ struct CommandLine {
 //   chronosctl ... jobs list --evaluation <id> [--state s]
 //   chronosctl ... job show <id> | job abort <id> | job reschedule <id>
 //   chronosctl ... job log <id>
+//   chronosctl ... drain
 //   chronosctl ... diagrams <evaluation-id> [--csv]
 //   chronosctl ... report <evaluation-id> --out <file.html>
 //   chronosctl ... export <project-id> --out <file.zip>

@@ -1,0 +1,188 @@
+// chronos_control_server: a standalone Chronos Control process with a
+// crash-consistent lifecycle. Boot order is: open MetaDb (WAL replay) →
+// startup reconciliation → serve → on SIGTERM/SIGINT or POST /admin/drain,
+// drain, stop the listener, write the clean-shutdown marker (final
+// checkpoint + fsync) and exit 0.
+//
+// This is one of the sanctioned raw-lifecycle files (see the raw-exit lint
+// rule): it may call exit-family functions directly because it IS the
+// process entry point.
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/file_util.h"
+#include "common/logging.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "control/control_service.h"
+#include "control/lifecycle.h"
+#include "control/rest_api.h"
+#include "fault/failpoint.h"
+#include "model/entities.h"
+#include "model/repository.h"
+#include "store/table_store.h"
+#include "tools/chronosctl.h"
+
+namespace chronos::tools {
+namespace {
+
+constexpr char kUsage[] =
+    "usage: chronos_control_server --data-dir DIR [options]\n"
+    "  --data-dir DIR            metadata database directory (required)\n"
+    "  --port N                  listen port (default 0 = ephemeral)\n"
+    "  --port-file FILE          write the bound port here once listening\n"
+    "  --bootstrap-admin U:P     create an admin user if the db has none\n"
+    "  --heartbeat-timeout-ms N  agent liveness timeout (default 30000)\n"
+    "  --max-attempts N          per-job attempt budget (default 3)\n"
+    "  --monitor-interval-ms N   heartbeat sweep interval (default 2000)\n"
+    "  --monitor-jitter F        sweep jitter fraction in [0,1) (default 0.1)\n"
+    "  --monitor-seed N          seed for the jittered sweep schedule\n"
+    "  --checkpoint-wal-bytes N  auto-checkpoint threshold (0 = never)\n"
+    "  --failpoints P=SPEC;...   arm failpoints at boot (';'-separated)\n";
+
+int64_t Int64Flag(const CommandLine& cmd, const std::string& name,
+                  int64_t fallback) {
+  int64_t value = 0;
+  if (strings::ParseInt64(cmd.Flag(name), &value)) return value;
+  return fallback;
+}
+
+// Arms boot-time failpoints from "point=spec;point=spec". ';' separates
+// entries because specs themselves may contain commas, e.g.
+// "store.commit=crash(137);wal.fsync=error(disk full)".
+Status ArmFailpoints(const std::string& config) {
+  for (const std::string& entry : strings::Split(config, ';')) {
+    if (entry.empty()) continue;
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("bad --failpoints entry: " + entry);
+    }
+    CHRONOS_RETURN_IF_ERROR(fault::FailPointRegistry::Get()->SetFromString(
+        entry.substr(0, eq), entry.substr(eq + 1)));
+  }
+  return Status::Ok();
+}
+
+int RunControlServer(const std::vector<std::string>& args) {
+  CommandLine cmd = CommandLine::Parse(args);
+  std::string data_dir = cmd.Flag("data-dir");
+  if (data_dir.empty()) {
+    std::cerr << kUsage;
+    return 2;
+  }
+
+  store::TableStoreOptions store_options;
+  store_options.checkpoint_wal_bytes = static_cast<uint64_t>(
+      Int64Flag(cmd, "checkpoint-wal-bytes",
+                static_cast<int64_t>(store_options.checkpoint_wal_bytes)));
+  auto db = model::MetaDb::Open(data_dir, store_options);
+  if (!db.ok()) {
+    std::cerr << "error: opening " << data_dir << ": "
+              << db.status().ToString() << "\n";
+    return 1;
+  }
+
+  control::ControlServiceOptions service_options;
+  service_options.heartbeat_timeout_ms =
+      Int64Flag(cmd, "heartbeat-timeout-ms",
+                service_options.heartbeat_timeout_ms);
+  service_options.max_attempts = static_cast<int>(
+      Int64Flag(cmd, "max-attempts", service_options.max_attempts));
+  control::ControlService service(db->get(), SystemClock::Get(),
+                                  service_options);
+
+  // Bootstrap the first admin so a fresh deployment is reachable.
+  std::string bootstrap = cmd.Flag("bootstrap-admin");
+  if (!bootstrap.empty() && (*db)->users().Count() == 0) {
+    size_t colon = bootstrap.find(':');
+    if (colon == std::string::npos) {
+      std::cerr << "error: --bootstrap-admin wants user:password\n";
+      return 2;
+    }
+    auto admin = service.CreateUser(bootstrap.substr(0, colon),
+                                    bootstrap.substr(colon + 1),
+                                    model::UserRole::kAdmin);
+    if (!admin.ok()) {
+      std::cerr << "error: bootstrap admin: " << admin.status().ToString()
+                << "\n";
+      return 1;
+    }
+  }
+
+  // Resolve whatever the previous process left half-done before serving.
+  control::ReconcileReport report = service.ReconcileOnStartup();
+  CHRONOS_LOG(kInfo, "control_server")
+      << "startup reconciliation: clean_shutdown="
+      << (report.clean_shutdown ? "true" : "false") << " actions="
+      << report.ToJson().Dump();
+
+  Status armed = ArmFailpoints(cmd.Flag("failpoints"));
+  if (!armed.ok()) {
+    std::cerr << "error: " << armed.ToString() << "\n";
+    return 2;
+  }
+
+  Status handlers = control::InstallShutdownHandlers();
+  if (!handlers.ok()) {
+    std::cerr << "error: " << handlers.ToString() << "\n";
+    return 1;
+  }
+  // POST /admin/drain ends in the same place as SIGTERM: the wait below.
+  service.SetDrainCallback(control::NotifyShutdown);
+
+  control::HeartbeatMonitorOptions monitor_options;
+  monitor_options.interval_ms =
+      Int64Flag(cmd, "monitor-interval-ms", 2000);
+  monitor_options.jitter = 0.1;
+  double jitter = 0.0;
+  if (strings::ParseDouble(cmd.Flag("monitor-jitter"), &jitter)) {
+    monitor_options.jitter = jitter;
+  }
+  monitor_options.seed =
+      static_cast<uint64_t>(Int64Flag(cmd, "monitor-seed", 0));
+
+  auto server = control::ControlServer::Start(
+      &service, static_cast<int>(Int64Flag(cmd, "port", 0)), monitor_options);
+  if (!server.ok()) {
+    std::cerr << "error: " << server.status().ToString() << "\n";
+    return 1;
+  }
+  CHRONOS_LOG(kInfo, "control_server")
+      << "serving on 127.0.0.1:" << (*server)->port();
+
+  if (cmd.HasFlag("port-file")) {
+    // Durable + atomic so a watching parent never reads a partial write.
+    Status wrote = file::WriteFileDurable(
+        cmd.Flag("port-file"), std::to_string((*server)->port()) + "\n");
+    if (!wrote.ok()) {
+      std::cerr << "error: " << wrote.ToString() << "\n";
+      return 1;
+    }
+  }
+
+  int signum = control::WaitForShutdown();
+  CHRONOS_LOG(kInfo, "control_server")
+      << "shutdown requested (signal " << signum << "), draining";
+
+  service.BeginDrain();  // Idempotent if the drain endpoint got here first.
+  (*server)->Stop();     // In-flight requests finish; monitor stops.
+  Status clean = service.MarkCleanShutdown();
+  if (!clean.ok()) {
+    std::cerr << "error: final checkpoint: " << clean.ToString() << "\n";
+    return 1;
+  }
+  CHRONOS_LOG(kInfo, "control_server") << "clean shutdown complete";
+  return 0;
+}
+
+}  // namespace
+}  // namespace chronos::tools
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return chronos::tools::RunControlServer(args);
+}

@@ -3,9 +3,11 @@
 #include "archive/zip.h"
 #include "common/file_util.h"
 #include "common/strings.h"
+#include "common/uuid.h"
 #include "control/archiver.h"
 #include "control/auth.h"
 #include "control/control_service.h"
+#include "control/heartbeat_monitor.h"
 
 namespace chronos::control {
 namespace {
@@ -650,6 +652,348 @@ TEST_F(ControlServiceTest, StateSurvivesServiceRestart) {
   clock_.AdvanceMs(5000);
   EXPECT_EQ(service_->CheckHeartbeats(), 1);
   EXPECT_EQ(service_->GetJob(job_id)->state, JobState::kScheduled);
+}
+
+// --- Idempotent terminal reports (crash-safe agent retries) ---
+
+TEST_F(ControlServiceTest, UploadResultIsIdempotentPerAttempt) {
+  MakeDemoEvaluation();
+  model::Deployment deployment = AddDeployment(system_id_);
+  auto job = service_->PollJob(deployment.id);
+  ASSERT_TRUE(job->has_value());
+  const std::string job_id = (*job)->id;
+  const std::string key = job_id + "#1";
+
+  json::Json data = json::Json::MakeObject();
+  data.Set("throughput", 7.0);
+  ASSERT_TRUE(service_->UploadResult(job_id, data, "", key).ok());
+  EXPECT_EQ(service_->GetJob(job_id)->state, JobState::kFinished);
+
+  // A retried delivery of the same report is acknowledged, not re-applied:
+  // still one result row, still exactly one finished transition.
+  ASSERT_TRUE(service_->UploadResult(job_id, data, "", key).ok());
+  EXPECT_EQ(db_->jobs().Get(job_id)->terminal_key, key);
+  EXPECT_EQ(db_->results().FindBy("job_id", json::Json(job_id)).size(), 1u);
+  int finished_events = 0;
+  for (const model::JobEvent& event : service_->JobEvents(job_id)) {
+    if (event.kind == "state" &&
+        event.message.find("-> finished") != std::string::npos) {
+      ++finished_events;
+    }
+  }
+  EXPECT_EQ(finished_events, 1);
+
+  // A keyless upload still hits the legacy state check.
+  EXPECT_TRUE(service_->UploadResult(job_id, data, "").IsFailedPrecondition());
+}
+
+TEST_F(ControlServiceTest, UploadReplayCompletesHalfAppliedTransition) {
+  MakeDemoEvaluation();
+  model::Deployment deployment = AddDeployment(system_id_);
+  auto job = service_->PollJob(deployment.id);
+  ASSERT_TRUE(job->has_value());
+  const std::string job_id = (*job)->id;
+  const std::string key = job_id + "#1";
+
+  // Simulate a crash between the result insert and the finished transition:
+  // the row exists but the job is still running.
+  model::Result half;
+  half.id = GenerateUuid();
+  half.job_id = job_id;
+  half.data = json::Json::MakeObject();
+  half.idempotency_key = key;
+  ASSERT_TRUE(db_->results().Insert(half).ok());
+  ASSERT_EQ(service_->GetJob(job_id)->state, JobState::kRunning);
+
+  // The agent's retry with the same key completes the transition instead of
+  // inserting a duplicate row.
+  ASSERT_TRUE(
+      service_->UploadResult(job_id, json::Json::MakeObject(), "", key).ok());
+  EXPECT_EQ(service_->GetJob(job_id)->state, JobState::kFinished);
+  EXPECT_EQ(db_->results().FindBy("job_id", json::Json(job_id)).size(), 1u);
+}
+
+TEST_F(ControlServiceTest, FailJobReplayDoesNotBurnNextAttempt) {
+  MakeDemoEvaluation();
+  model::Deployment deployment = AddDeployment(system_id_);
+  auto job = service_->PollJob(deployment.id);
+  ASSERT_TRUE(job->has_value());
+  const std::string job_id = (*job)->id;
+
+  // First delivery fails attempt 1; auto-reschedule makes attempt 2.
+  ASSERT_TRUE(service_->FailJob(job_id, "boom", job_id + "#1").ok());
+  auto rescheduled = service_->GetJob(job_id);
+  EXPECT_EQ(rescheduled->state, JobState::kScheduled);
+  EXPECT_EQ(rescheduled->attempt, 2);
+
+  // The retried delivery (e.g. after a Control restart ate the ack) must
+  // not fail the freshly scheduled attempt.
+  ASSERT_TRUE(service_->FailJob(job_id, "boom", job_id + "#1").ok());
+  auto after = service_->GetJob(job_id);
+  EXPECT_EQ(after->state, JobState::kScheduled);
+  EXPECT_EQ(after->attempt, 2);
+
+  // Even after the next claim, the stale key is still a no-op.
+  auto reclaimed = service_->PollJob(deployment.id);
+  ASSERT_TRUE(reclaimed->has_value());
+  ASSERT_EQ((*reclaimed)->id, job_id);
+  ASSERT_TRUE(service_->FailJob(job_id, "boom", job_id + "#1").ok());
+  EXPECT_EQ(service_->GetJob(job_id)->state, JobState::kRunning);
+}
+
+TEST_F(ControlServiceTest, FailJobAtExhaustedBudgetStaysFailed) {
+  MakeDemoEvaluation();
+  model::Deployment deployment = AddDeployment(system_id_);
+  auto job = service_->PollJob(deployment.id);
+  ASSERT_TRUE(job->has_value());
+  const std::string job_id = (*job)->id;
+  for (int attempt = 1; attempt < options_.max_attempts; ++attempt) {
+    ASSERT_TRUE(service_->FailJob(job_id, "boom").ok());
+    ASSERT_EQ(service_->GetJob(job_id)->state, JobState::kScheduled);
+    auto again = service_->PollJob(deployment.id);
+    ASSERT_TRUE(again->has_value());
+    ASSERT_EQ((*again)->id, job_id);
+  }
+  // Attempt == max_attempts: failure is final, no reschedule.
+  ASSERT_TRUE(service_->FailJob(job_id, "boom").ok());
+  auto final_state = service_->GetJob(job_id);
+  EXPECT_EQ(final_state->state, JobState::kFailed);
+  EXPECT_EQ(final_state->attempt, options_.max_attempts);
+}
+
+TEST_F(ControlServiceTest, StaleAttemptPostsAreRejectedWithoutMutation) {
+  MakeDemoEvaluation();
+  model::Deployment deployment = AddDeployment(system_id_);
+  auto job = service_->PollJob(deployment.id);
+  ASSERT_TRUE(job->has_value());
+  const std::string job_id = (*job)->id;
+
+  // Attempt 1 dies; the job is rescheduled and re-claimed as attempt 2.
+  clock_.AdvanceMs(2000);
+  ASSERT_EQ(service_->CheckHeartbeats(), 1);
+  auto reclaimed = service_->PollJob(deployment.id);
+  ASSERT_TRUE(reclaimed->has_value());
+  ASSERT_EQ((*reclaimed)->attempt, 2);
+
+  // Zombie posts from attempt 1 are told to stop (kAborted) and must not
+  // touch the current attempt's progress or heartbeat.
+  auto progress = service_->ReportProgress(job_id, 93, /*attempt=*/1);
+  ASSERT_TRUE(progress.ok());
+  EXPECT_EQ(*progress, JobState::kAborted);
+  EXPECT_EQ(service_->GetJob(job_id)->progress_percent, 0);
+  TimestampMs heartbeat_before = service_->GetJob(job_id)->last_heartbeat_at;
+  clock_.AdvanceMs(100);
+  auto beat = service_->Heartbeat(job_id, /*attempt=*/1);
+  ASSERT_TRUE(beat.ok());
+  EXPECT_EQ(*beat, JobState::kAborted);
+  EXPECT_EQ(service_->GetJob(job_id)->last_heartbeat_at, heartbeat_before);
+
+  // The live attempt's posts go through.
+  auto live = service_->ReportProgress(job_id, 55, /*attempt=*/2);
+  ASSERT_TRUE(live.ok());
+  EXPECT_EQ(*live, JobState::kRunning);
+  EXPECT_EQ(service_->GetJob(job_id)->progress_percent, 55);
+}
+
+// --- Graceful drain ---
+
+TEST_F(ControlServiceTest, DrainStopsDispatchAndFiresCallbackOnce) {
+  MakeDemoEvaluation();
+  model::Deployment deployment = AddDeployment(system_id_);
+  int callbacks = 0;
+  service_->SetDrainCallback([&callbacks] { ++callbacks; });
+
+  auto held = service_->PollJob(deployment.id);
+  ASSERT_TRUE(held->has_value());
+  EXPECT_FALSE(service_->draining());
+  service_->BeginDrain();
+  EXPECT_TRUE(service_->draining());
+  EXPECT_EQ(callbacks, 1);
+  service_->BeginDrain();  // Idempotent.
+  EXPECT_EQ(callbacks, 1);
+
+  // No new work is handed out, but the in-flight job can still finish.
+  auto denied = service_->PollJob(deployment.id);
+  ASSERT_TRUE(denied.ok());
+  EXPECT_FALSE(denied->has_value());
+  json::Json data = json::Json::MakeObject();
+  data.Set("throughput", 1.0);
+  ASSERT_TRUE(service_->UploadResult((*held)->id, data, "").ok());
+  EXPECT_EQ(service_->GetJob((*held)->id)->state, JobState::kFinished);
+}
+
+// --- Startup reconciliation ---
+
+TEST_F(ControlServiceTest, ReconcileGrantsGraceLeaseToOrphanedRunningJobs) {
+  MakeDemoEvaluation();
+  model::Deployment deployment = AddDeployment(system_id_);
+  auto job = service_->PollJob(deployment.id);
+  ASSERT_TRUE(job->has_value());
+  const std::string job_id = (*job)->id;
+
+  // "Crash": a fresh service over the same db, long after the heartbeat.
+  clock_.AdvanceMs(5000);
+  service_ = std::make_unique<ControlService>(db_.get(), &clock_, options_);
+  ReconcileReport report = service_->ReconcileOnStartup();
+  EXPECT_FALSE(report.clean_shutdown);
+  EXPECT_EQ(report.actions["grace_lease"], 1);
+  EXPECT_EQ(service_->reconcile_report().total(), 1);
+
+  // The lease shields the job for one full timeout window...
+  EXPECT_EQ(service_->CheckHeartbeats(), 0);
+  EXPECT_EQ(service_->GetJob(job_id)->state, JobState::kRunning);
+  // ...then the normal failure handling recycles it through the budget.
+  clock_.AdvanceMs(1500);
+  EXPECT_EQ(service_->CheckHeartbeats(), 1);
+  auto recycled = service_->GetJob(job_id);
+  EXPECT_EQ(recycled->state, JobState::kScheduled);
+  EXPECT_EQ(recycled->attempt, 2);
+}
+
+TEST_F(ControlServiceTest, ReconcileCompletesHalfAppliedUpload) {
+  MakeDemoEvaluation();
+  model::Deployment deployment = AddDeployment(system_id_);
+  auto job = service_->PollJob(deployment.id);
+  ASSERT_TRUE(job->has_value());
+  const std::string job_id = (*job)->id;
+
+  // Crash window: result row committed, finished transition lost.
+  model::Result half;
+  half.id = GenerateUuid();
+  half.job_id = job_id;
+  half.data = json::Json::MakeObject();
+  half.idempotency_key = job_id + "#1";
+  ASSERT_TRUE(db_->results().Insert(half).ok());
+
+  service_ = std::make_unique<ControlService>(db_.get(), &clock_, options_);
+  ReconcileReport report = service_->ReconcileOnStartup();
+  EXPECT_EQ(report.actions["complete_upload"], 1);
+  EXPECT_EQ(service_->GetJob(job_id)->state, JobState::kFinished);
+  EXPECT_EQ(db_->results().FindBy("job_id", json::Json(job_id)).size(), 1u);
+}
+
+TEST_F(ControlServiceTest, ReconcileScrubsResidueAndDropsOrphans) {
+  model::Evaluation evaluation = MakeDemoEvaluation();
+  model::Deployment deployment = AddDeployment(system_id_);
+  auto job = service_->PollJob(deployment.id);
+  ASSERT_TRUE(job->has_value());
+  const std::string job_id = (*job)->id;
+
+  // A scheduled job that kept executor residue (torn reschedule).
+  {
+    auto snapshot = db_->jobs().GetWithVersion(job_id);
+    ASSERT_TRUE(snapshot.ok());
+    auto [fresh, version] = *snapshot;
+    fresh.state = JobState::kScheduled;
+    ASSERT_TRUE(db_->jobs().UpdateIfVersion(fresh, version).ok());
+  }
+  // Orphan rows pointing at a job that does not exist.
+  model::Result orphan_result;
+  orphan_result.id = GenerateUuid();
+  orphan_result.job_id = "ghost-job";
+  ASSERT_TRUE(db_->results().Insert(orphan_result).ok());
+  model::JobEvent orphan_event;
+  orphan_event.id = GenerateUuid();
+  orphan_event.job_id = "ghost-job";
+  orphan_event.kind = "note";
+  ASSERT_TRUE(db_->job_events().Insert(orphan_event).ok());
+  // An evaluation shell with zero jobs (crash mid-expansion).
+  model::Evaluation empty;
+  empty.id = GenerateUuid();
+  empty.experiment_id = experiment_id_;
+  empty.name = "torn";
+  ASSERT_TRUE(db_->evaluations().Insert(empty).ok());
+
+  service_ = std::make_unique<ControlService>(db_.get(), &clock_, options_);
+  ReconcileReport report = service_->ReconcileOnStartup();
+  EXPECT_EQ(report.actions["sanitize_scheduled"], 1);
+  EXPECT_EQ(report.actions["drop_empty_evaluation"], 1);
+  EXPECT_EQ(report.actions["drop_orphan_result"], 1);
+  EXPECT_EQ(report.actions["drop_orphan_event"], 1);
+
+  auto scrubbed = service_->GetJob(job_id);
+  EXPECT_TRUE(scrubbed->deployment_id.empty());
+  EXPECT_EQ(scrubbed->last_heartbeat_at, 0);
+  EXPECT_FALSE(db_->evaluations().Exists(empty.id));
+  EXPECT_FALSE(db_->results().Exists(orphan_result.id));
+  EXPECT_FALSE(db_->job_events().Exists(orphan_event.id));
+  // The healthy evaluation was untouched.
+  EXPECT_TRUE(db_->evaluations().Exists(evaluation.id));
+  // The scrubbed job is dispatchable again.
+  auto redispatched = service_->PollJob(deployment.id);
+  ASSERT_TRUE(redispatched->has_value());
+  EXPECT_EQ((*redispatched)->id, job_id);
+}
+
+TEST_F(ControlServiceTest, CleanShutdownMarkerShortCircuitsReconcileOnce) {
+  MakeDemoEvaluation();
+  ASSERT_TRUE(service_->MarkCleanShutdown().ok());
+
+  // Boot 1: fast path, marker consumed.
+  service_ = std::make_unique<ControlService>(db_.get(), &clock_, options_);
+  ReconcileReport report = service_->ReconcileOnStartup();
+  EXPECT_TRUE(report.clean_shutdown);
+  EXPECT_EQ(report.total(), 0);
+  json::Json as_json = report.ToJson();
+  EXPECT_TRUE(as_json.GetBoolOr("clean_shutdown", false));
+  EXPECT_EQ(as_json.GetIntOr("total", -1), 0);
+
+  // Boot 2 without an intervening MarkCleanShutdown (i.e. after a crash):
+  // the one-shot marker no longer applies.
+  service_ = std::make_unique<ControlService>(db_.get(), &clock_, options_);
+  EXPECT_FALSE(service_->ReconcileOnStartup().clean_shutdown);
+}
+
+// --- Heartbeat monitor jitter ---
+
+TEST(HeartbeatMonitorJitterTest, ZeroJitterIsExactInterval) {
+  HeartbeatMonitorOptions options;
+  options.interval_ms = 250;
+  options.jitter = 0.0;
+  HeartbeatMonitor monitor(nullptr, options);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(monitor.NextIntervalMs(), 250);
+  }
+}
+
+TEST(HeartbeatMonitorJitterTest, JitterStaysInBoundsAndVaries) {
+  HeartbeatMonitorOptions options;
+  options.interval_ms = 1000;
+  options.jitter = 0.2;
+  options.seed = 42;
+  HeartbeatMonitor monitor(nullptr, options);
+  bool varied = false;
+  int64_t previous = -1;
+  for (int i = 0; i < 200; ++i) {
+    int64_t interval = monitor.NextIntervalMs();
+    EXPECT_GE(interval, 800);
+    EXPECT_LE(interval, 1200);
+    if (previous >= 0 && interval != previous) varied = true;
+    previous = interval;
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(HeartbeatMonitorJitterTest, ScheduleIsDeterministicPerSeed) {
+  HeartbeatMonitorOptions options;
+  options.interval_ms = 1000;
+  options.jitter = 0.3;
+  options.seed = 1337;
+  HeartbeatMonitor a(nullptr, options);
+  HeartbeatMonitor b(nullptr, options);
+  std::vector<int64_t> sequence_a, sequence_b;
+  for (int i = 0; i < 50; ++i) {
+    sequence_a.push_back(a.NextIntervalMs());
+    sequence_b.push_back(b.NextIntervalMs());
+  }
+  EXPECT_EQ(sequence_a, sequence_b);
+
+  // A different seed draws a different schedule.
+  options.seed = 1338;
+  HeartbeatMonitor c(nullptr, options);
+  std::vector<int64_t> sequence_c;
+  for (int i = 0; i < 50; ++i) sequence_c.push_back(c.NextIntervalMs());
+  EXPECT_NE(sequence_a, sequence_c);
 }
 
 }  // namespace

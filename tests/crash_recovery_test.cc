@@ -1,0 +1,398 @@
+// Kill-9 crash-recovery harness: forks the real chronos_control_server
+// binary, drives it with an in-process agent, _exit(137)s it at injected
+// seams (store commit, post-claim, checkpoint rename), restarts it on the
+// same data directory and asserts the crash-consistency invariants:
+//
+//   * no job is lost and none is duplicated,
+//   * every job reaches a terminal state after recovery,
+//   * each job's terminal transition is applied exactly once,
+//   * a SIGTERM shutdown exits 0 and the next cold start reconciles nothing.
+//
+// The workload shape varies with CHRONOS_CRASH_SEED (scripts/check.sh
+// --crash runs the suite over three fixed seeds) but each seed is fully
+// deterministic: the agent is single-threaded (keepalives disabled) and the
+// heartbeat monitor runs a seeded jitter schedule.
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "agent/agent.h"
+#include "common/file_util.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "json/json.h"
+#include "model/repository.h"
+#include "net/http.h"
+
+namespace chronos {
+namespace {
+
+using chronos::file::TempDir;
+using model::JobState;
+
+uint64_t CrashSeed() {
+  const char* env = std::getenv("CHRONOS_CRASH_SEED");
+  uint64_t seed = 0;
+  if (env != nullptr && strings::ParseUint64(env, &seed)) return seed;
+  return 7;
+}
+
+// A forked chronos_control_server child on a fixed data directory. The
+// bound (ephemeral) port is read back through --port-file.
+class ServerProcess {
+ public:
+  ~ServerProcess() {
+    if (pid_ > 0) {
+      ::kill(pid_, SIGKILL);
+      int status = 0;
+      ::waitpid(pid_, &status, 0);
+    }
+  }
+
+  // Starts the server and blocks until it is listening (or the child
+  // died). `extra` is appended to the base flag set.
+  void Start(const std::string& data_dir,
+             const std::vector<std::string>& extra) {
+    port_file_ = data_dir + "/port";
+    ::unlink(port_file_.c_str());
+    std::vector<std::string> args = {
+        "chronos_control_server", "--data-dir", data_dir,
+        "--port", "0", "--port-file", port_file_,
+        "--bootstrap-admin", "admin:secret",
+        "--monitor-interval-ms", "100",
+        "--monitor-jitter", "0.2",
+        "--monitor-seed", std::to_string(CrashSeed()),
+        "--heartbeat-timeout-ms", "1000"};
+    args.insert(args.end(), extra.begin(), extra.end());
+    pid_ = ::fork();
+    ASSERT_NE(pid_, -1);
+    if (pid_ == 0) {
+      std::vector<char*> argv;
+      for (std::string& arg : args) argv.push_back(arg.data());
+      argv.push_back(nullptr);
+      ::execv(CHRONOS_CONTROL_SERVER_BINARY, argv.data());
+      ::_exit(127);  // exec failed. chronos-lint: allow
+    }
+    // Wait for the port file, watching for an early child death.
+    for (int i = 0; i < 500; ++i) {
+      auto contents = file::ReadFile(port_file_);
+      if (contents.ok() && !contents->empty() &&
+          contents->back() == '\n') {
+        uint64_t port = 0;
+        ASSERT_TRUE(strings::ParseUint64(
+            strings::Trim(*contents), &port));
+        port_ = static_cast<int>(port);
+        return;
+      }
+      int status = 0;
+      ASSERT_EQ(::waitpid(pid_, &status, WNOHANG), 0)
+          << "server died during startup, status " << status;
+      SystemClock::Get()->SleepMs(20);
+    }
+    FAIL() << "server never wrote its port file";
+  }
+
+  int port() const { return port_; }
+  pid_t pid() const { return pid_; }
+
+  void Signal(int signum) { ::kill(pid_, signum); }
+
+  // Reaps the child within ~15s and returns its exit code (-1: timeout or
+  // killed by signal).
+  int WaitExit() {
+    for (int i = 0; i < 750; ++i) {
+      int status = 0;
+      pid_t reaped = ::waitpid(pid_, &status, WNOHANG);
+      if (reaped == pid_) {
+        pid_ = -1;
+        return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+      }
+      SystemClock::Get()->SleepMs(20);
+    }
+    return -1;
+  }
+
+ private:
+  pid_t pid_ = -1;
+  int port_ = 0;
+  std::string port_file_;
+};
+
+class CrashRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::Get()->set_stderr_enabled(false);
+    // Seed-varied workload: 2 swept modes x repetitions jobs.
+    repetitions_ = 1 + static_cast<int>(CrashSeed() % 3);
+    total_jobs_ = 2 * repetitions_;
+  }
+
+  // Logs in as the bootstrapped admin and returns a session-scoped client.
+  std::unique_ptr<net::HttpClient> AdminClient(int port) {
+    auto client = std::make_unique<net::HttpClient>("127.0.0.1", port);
+    auto login = client->Post("/api/v1/auth/login",
+                              R"({"username":"admin","password":"secret"})");
+    EXPECT_TRUE(login.ok()) << login.status();
+    EXPECT_EQ(login->status_code, 200) << login->body;
+    client->SetDefaultHeader(
+        "X-Session", json::Parse(login->body)->GetStringOr("token", ""));
+    return client;
+  }
+
+  // Builds project -> system -> deployment -> experiment -> evaluation over
+  // REST and remembers the ids the agent and assertions need.
+  void SetUpEvaluation(net::HttpClient* client) {
+    auto project = client->Post("/api/v1/projects", R"({"name":"crash"})");
+    ASSERT_EQ(project->status_code, 201) << project->body;
+    std::string project_id =
+        json::Parse(project->body)->GetStringOr("id", "");
+
+    json::Json system = json::Json::MakeObject();
+    system.Set("name", "crashdb");
+    json::Json mode = json::Json::MakeObject();
+    mode.Set("name", "mode");
+    mode.Set("type", "value");
+    json::Json parameters = json::Json::MakeArray();
+    parameters.Append(mode);
+    system.Set("parameters", parameters);
+    auto registered = client->Post("/api/v1/systems", system.Dump());
+    ASSERT_EQ(registered->status_code, 201) << registered->body;
+    std::string system_id =
+        json::Parse(registered->body)->GetStringOr("id", "");
+
+    json::Json deployment = json::Json::MakeObject();
+    deployment.Set("system_id", system_id);
+    deployment.Set("name", "crash-deploy");
+    auto deployed = client->Post("/api/v1/deployments", deployment.Dump());
+    ASSERT_EQ(deployed->status_code, 201) << deployed->body;
+    deployment_id_ = json::Parse(deployed->body)->GetStringOr("id", "");
+
+    json::Json setting = json::Json::MakeObject();
+    setting.Set("name", "mode");
+    json::Json sweep = json::Json::MakeArray();
+    sweep.Append(json::Json("fast"));
+    sweep.Append(json::Json("safe"));
+    setting.Set("sweep", sweep);
+    json::Json settings = json::Json::MakeArray();
+    settings.Append(setting);
+    json::Json experiment = json::Json::MakeObject();
+    experiment.Set("project_id", project_id);
+    experiment.Set("system_id", system_id);
+    experiment.Set("name", "crash-exp");
+    experiment.Set("settings", settings);
+    auto created = client->Post("/api/v1/experiments", experiment.Dump());
+    ASSERT_EQ(created->status_code, 201) << created->body;
+
+    json::Json evaluation = json::Json::MakeObject();
+    evaluation.Set("experiment_id",
+                   json::Parse(created->body)->GetStringOr("id", ""));
+    evaluation.Set("name", "crash-eval");
+    evaluation.Set("repetitions", static_cast<int64_t>(repetitions_));
+    auto made = client->Post("/api/v1/evaluations", evaluation.Dump());
+    ASSERT_EQ(made->status_code, 201) << made->body;
+    auto summary = json::Parse(made->body);
+    evaluation_id_ = summary->at("evaluation").GetStringOr("id", "");
+    ASSERT_EQ(summary->GetIntOr("total_jobs", 0), total_jobs_);
+  }
+
+  void ArmFailpoint(net::HttpClient* client, const std::string& point) {
+    json::Json body = json::Json::MakeObject();
+    body.Set("point", point);
+    body.Set("spec", "crash");
+    auto response = client->Post("/api/v1/admin/failpoints", body.Dump());
+    ASSERT_EQ(response->status_code, 200) << response->body;
+  }
+
+  // A strictly single-threaded agent (keepalives disabled) with a trivial
+  // handler; deterministic given the server's responses.
+  std::unique_ptr<agent::ChronosAgent> MakeAgent(int port) {
+    agent::AgentOptions options;
+    options.control_port = port;
+    options.username = "admin";
+    options.password = "secret";
+    options.deployment_id = deployment_id_;
+    options.poll_interval_ms = 20;
+    options.heartbeat_interval_ms = 0;
+    options.log_flush_interval_ms = 0;
+    auto chronos_agent = std::make_unique<agent::ChronosAgent>(options);
+    chronos_agent->SetHandler([](agent::JobContext* context) {
+      context->SetResultField("throughput", json::Json(1.0));
+      return Status::Ok();
+    });
+    return chronos_agent;
+  }
+
+  // Runs an agent against the (crashing) server until the server exits;
+  // the agent's own errors are expected and ignored.
+  void RunAgentThroughCrash(ServerProcess* server) {
+    auto chronos_agent = MakeAgent(server->port());
+    chronos_agent->Connect().IgnoreError();
+    chronos_agent->StartAsync();
+    EXPECT_EQ(server->WaitExit(), 137) << "server did not crash at the seam";
+    chronos_agent->Stop();
+  }
+
+  // Runs a fresh agent until every job of the evaluation is terminal (the
+  // recovery path may first wait out the reconciliation grace lease).
+  void RunAgentToCompletion(int port) {
+    auto chronos_agent = MakeAgent(port);
+    ASSERT_TRUE(chronos_agent->Connect().ok());
+    chronos_agent->StartAsync();
+    auto client = AdminClient(port);
+    bool done = false;
+    for (int i = 0; i < 600 && !done; ++i) {
+      auto response =
+          client->Get("/api/v1/evaluations/" + evaluation_id_);
+      if (response.ok() && response->status_code == 200) {
+        auto summary = json::Parse(response->body);
+        done = summary->at("state_counts").GetIntOr("finished", 0) ==
+               total_jobs_;
+      }
+      if (!done) SystemClock::Get()->SleepMs(50);
+    }
+    chronos_agent->Stop();
+    EXPECT_TRUE(done) << "jobs never all finished after recovery";
+  }
+
+  // SIGTERMs the server (graceful drain + final checkpoint) and then audits
+  // the database offline: nothing lost, nothing double-applied.
+  void ShutdownAndVerify(ServerProcess* server, const std::string& data_dir) {
+    server->Signal(SIGTERM);
+    EXPECT_EQ(server->WaitExit(), 0);
+    // The final checkpoint leaves an empty WAL behind.
+    auto wal = file::ReadFile(data_dir + "/wal.log");
+    ASSERT_TRUE(wal.ok());
+    EXPECT_TRUE(wal->empty());
+
+    auto db = model::MetaDb::Open(data_dir);
+    ASSERT_TRUE(db.ok()) << db.status();
+    std::vector<model::Job> jobs = (*db)->jobs().All();
+    ASSERT_EQ(jobs.size(), static_cast<size_t>(total_jobs_));
+    for (const model::Job& job : jobs) {
+      EXPECT_EQ(job.state, JobState::kFinished) << job.failure_reason;
+      // Exactly one result row — retried uploads must not duplicate it.
+      EXPECT_EQ((*db)->results().FindBy("job_id", json::Json(job.id)).size(),
+                1u)
+          << job.id;
+      // The terminal transition was applied exactly once.
+      int finished_transitions = 0;
+      for (const model::JobEvent& event :
+           (*db)->job_events().FindBy("job_id", json::Json(job.id))) {
+        if (event.kind == "state" &&
+            event.message.find("-> finished") != std::string::npos) {
+          ++finished_transitions;
+        }
+      }
+      EXPECT_EQ(finished_transitions, 1) << job.id;
+    }
+  }
+
+  // One full crash-recovery cycle: boot, build the workload, arm `seam` to
+  // crash, drive an agent into the wall, restart on the same data dir,
+  // finish the workload, shut down cleanly and audit.
+  void RunSeam(const std::string& seam,
+               const std::vector<std::string>& extra_flags) {
+    TempDir dir("crash-recovery");
+    ServerProcess server;
+    {
+      ServerProcess first;
+      first.Start(dir.path(), extra_flags);
+      if (HasFatalFailure()) return;
+      auto client = AdminClient(first.port());
+      SetUpEvaluation(client.get());
+      if (HasFatalFailure()) return;
+      ArmFailpoint(client.get(), seam);
+      if (HasFatalFailure()) return;
+      RunAgentThroughCrash(&first);
+    }
+    server.Start(dir.path(), extra_flags);
+    if (HasFatalFailure()) return;
+    RunAgentToCompletion(server.port());
+    ShutdownAndVerify(&server, dir.path());
+  }
+
+  int repetitions_ = 1;
+  int total_jobs_ = 2;
+  std::string deployment_id_, evaluation_id_;
+};
+
+// Crash inside the store commit path, before the WAL append: the claim that
+// was being written is simply absent after recovery.
+TEST_F(CrashRecoveryTest, KillAtStoreCommitSeam) {
+  RunSeam("store.commit", {});
+}
+
+// Crash after the claim transition committed but before the agent saw the
+// response: the job is durably running with no live agent. Reconciliation
+// grants a grace lease and the heartbeat monitor recycles it.
+TEST_F(CrashRecoveryTest, KillAfterClaimCommitted) {
+  RunSeam("control.claim.committed", {});
+}
+
+// Crash between the snapshot rename and the WAL truncate of an
+// auto-checkpoint (tiny threshold forces one on the first post-arm write):
+// recovery must not re-apply WAL records the snapshot already covers.
+TEST_F(CrashRecoveryTest, KillAtCheckpointRenameSeam) {
+  RunSeam("store.checkpoint.after_rename",
+          {"--checkpoint-wal-bytes", "256"});
+}
+
+// SIGTERM is a graceful drain: exit 0, final checkpoint, and the next cold
+// start's reconciliation takes the clean-shutdown fast path (zero actions).
+TEST_F(CrashRecoveryTest, SigtermDrainsAndColdStartReconcilesNothing) {
+  TempDir dir("crash-clean");
+  {
+    ServerProcess server;
+    server.Start(dir.path(), {});
+    if (HasFatalFailure()) return;
+    auto client = AdminClient(server.port());
+    SetUpEvaluation(client.get());
+    if (HasFatalFailure()) return;
+    RunAgentToCompletion(server.port());
+    server.Signal(SIGTERM);
+    EXPECT_EQ(server.WaitExit(), 0);
+  }
+  auto wal = file::ReadFile(dir.path() + "/wal.log");
+  ASSERT_TRUE(wal.ok());
+  EXPECT_TRUE(wal->empty());
+
+  ServerProcess restarted;
+  restarted.Start(dir.path(), {});
+  if (HasFatalFailure()) return;
+  net::HttpClient client("127.0.0.1", restarted.port());
+  auto response = client.Get("/api/v1/status");
+  ASSERT_TRUE(response.ok());
+  auto body = json::Parse(response->body);
+  ASSERT_TRUE(body.ok());
+  const json::Json& reconciliation = body->at("reconciliation");
+  EXPECT_TRUE(reconciliation.GetBoolOr("clean_shutdown", false))
+      << reconciliation.Dump();
+  EXPECT_EQ(reconciliation.GetIntOr("total", -1), 0);
+  restarted.Signal(SIGTERM);
+  EXPECT_EQ(restarted.WaitExit(), 0);
+}
+
+// The drain endpoint reaches the same clean shutdown as SIGTERM: the admin
+// posts /admin/drain, dispatch stops, and the process exits 0 on its own.
+TEST_F(CrashRecoveryTest, AdminDrainEndpointShutsDownCleanly) {
+  TempDir dir("crash-drain");
+  ServerProcess server;
+  server.Start(dir.path(), {});
+  if (HasFatalFailure()) return;
+  auto client = AdminClient(server.port());
+  auto drained = client->Post("/api/v1/admin/drain", "{}");
+  ASSERT_TRUE(drained.ok());
+  EXPECT_EQ(drained->status_code, 200) << drained->body;
+  EXPECT_EQ(server.WaitExit(), 0);
+  auto wal = file::ReadFile(dir.path() + "/wal.log");
+  ASSERT_TRUE(wal.ok());
+  EXPECT_TRUE(wal->empty());
+}
+
+}  // namespace
+}  // namespace chronos

@@ -48,6 +48,48 @@ TEST(JobStateTest, PaperTransitionTable) {
   }
 }
 
+TEST(JobStateTest, ExhaustiveTransitionMatrix) {
+  // Every one of the 25 (from, to) edges, legal and illegal, against the
+  // paper's lifecycle; CheckTransition must agree with IsValidTransition on
+  // all of them.
+  const std::vector<std::pair<JobState, JobState>> legal = {
+      {JobState::kScheduled, JobState::kRunning},
+      {JobState::kScheduled, JobState::kAborted},
+      {JobState::kRunning, JobState::kFinished},
+      {JobState::kRunning, JobState::kFailed},
+      {JobState::kRunning, JobState::kAborted},
+      {JobState::kFailed, JobState::kScheduled},
+  };
+  const JobState all[] = {JobState::kScheduled, JobState::kRunning,
+                          JobState::kFinished, JobState::kAborted,
+                          JobState::kFailed};
+  for (JobState from : all) {
+    for (JobState to : all) {
+      bool expected = false;
+      for (const auto& edge : legal) {
+        if (edge.first == from && edge.second == to) expected = true;
+      }
+      EXPECT_EQ(IsValidTransition(from, to), expected)
+          << JobStateName(from) << " -> " << JobStateName(to);
+      Status checked = CheckTransition(from, to);
+      EXPECT_EQ(checked.ok(), expected)
+          << JobStateName(from) << " -> " << JobStateName(to);
+      if (!expected) {
+        // Illegal edges fail with a precondition error naming both states.
+        EXPECT_TRUE(checked.IsFailedPrecondition());
+        EXPECT_NE(checked.message().find(JobStateName(from)),
+                  std::string::npos);
+        EXPECT_NE(checked.message().find(JobStateName(to)),
+                  std::string::npos);
+      }
+    }
+  }
+  // No state may transition to itself (retries must be explicit edges).
+  for (JobState state : all) {
+    EXPECT_FALSE(IsValidTransition(state, state)) << JobStateName(state);
+  }
+}
+
 TEST(JobStateTest, TerminalStates) {
   EXPECT_FALSE(IsTerminal(JobState::kScheduled));
   EXPECT_FALSE(IsTerminal(JobState::kRunning));

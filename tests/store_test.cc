@@ -4,6 +4,7 @@
 
 #include "common/file_util.h"
 #include "common/random.h"
+#include "fault/failpoint.h"
 #include "store/table_store.h"
 #include "store/wal.h"
 
@@ -99,9 +100,9 @@ TEST(WalTest, CorruptMidFileRecordEndsReplayAtCleanPrefix) {
   auto contents = file::ReadFile(path);
   ASSERT_TRUE(contents.ok());
   std::string data = *contents;
-  // Frame layout: [8B header]["first"][8B header]["second"]... The first
-  // byte of "second"'s payload sits at 8 + 5 + 8.
-  size_t second_payload = 8 + 5 + 8;
+  // Frame layout: [16B header]["first"][16B header]["second"]... The first
+  // byte of "second"'s payload sits at 16 + 5 + 16.
+  size_t second_payload = 16 + 5 + 16;
   ASSERT_LT(second_payload, data.size());
   data[second_payload] ^= 0xFF;
   ASSERT_TRUE(file::WriteFile(path, data).ok());
@@ -145,7 +146,8 @@ TEST(WalTest, ZeroLengthTailHeaderIsDropped) {
   std::string header;
   header += '\x05';  // length = 5, little endian...
   header += std::string(3, '\0');
-  header += std::string(4, '\xAB');  // ...and a CRC of nothing real.
+  header += std::string(4, '\xAB');   // ...a CRC of nothing real...
+  header += std::string(8, '\x02');  // ...and some sequence number.
   ASSERT_TRUE(file::WriteFile(path, *contents + header).ok());
 
   auto records = Wal::Replay(path);
@@ -179,6 +181,92 @@ TEST(WalTest, ReopenAppends) {
   }
   auto records = Wal::Replay(path);
   ASSERT_EQ(records->size(), 2u);
+}
+
+TEST(WalTest, SequenceNumbersStartAtOneAndIncrement) {
+  TempDir dir;
+  std::string path = dir.path() + "/wal.log";
+  {
+    auto wal = Wal::Open(path);
+    ASSERT_TRUE(wal.ok());
+    EXPECT_EQ((*wal)->last_seq(), 0u);
+    ASSERT_TRUE((*wal)->Append("a", true).ok());
+    ASSERT_TRUE((*wal)->Append("b", true).ok());
+    EXPECT_EQ((*wal)->last_seq(), 2u);
+  }
+  auto records = Wal::ReplayRecords(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].seq, 1u);
+  EXPECT_EQ((*records)[0].payload, "a");
+  EXPECT_EQ((*records)[1].seq, 2u);
+  EXPECT_EQ((*records)[1].payload, "b");
+}
+
+TEST(WalTest, SequenceNumbersSurviveTruncateAndReopen) {
+  TempDir dir;
+  std::string path = dir.path() + "/wal.log";
+  {
+    auto wal = Wal::Open(path);
+    ASSERT_TRUE((*wal)->Append("a", true).ok());
+    ASSERT_TRUE((*wal)->Append("b", true).ok());
+    ASSERT_TRUE((*wal)->Truncate().ok());
+    // The counter must not restart: a snapshot covering seq <= 2 would
+    // otherwise mask this record on replay.
+    ASSERT_TRUE((*wal)->Append("c", true).ok());
+    EXPECT_EQ((*wal)->last_seq(), 3u);
+  }
+  {
+    // Reopen recovers the counter from the surviving records.
+    auto wal = Wal::Open(path);
+    ASSERT_TRUE(wal.ok());
+    EXPECT_EQ((*wal)->last_seq(), 3u);
+    ASSERT_TRUE((*wal)->Append("d", true).ok());
+  }
+  auto records = Wal::ReplayRecords(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].seq, 3u);
+  EXPECT_EQ((*records)[1].seq, 4u);
+}
+
+TEST(WalTest, NonMonotonicSequenceEndsReplay) {
+  // Two logs spliced together (or any corruption that rewinds the sequence)
+  // must not replay past the rewind point.
+  TempDir dir;
+  std::string path_a = dir.path() + "/a.log";
+  std::string path_b = dir.path() + "/b.log";
+  {
+    auto wal = Wal::Open(path_a);
+    ASSERT_TRUE((*wal)->Append("a1", true).ok());
+    ASSERT_TRUE((*wal)->Append("a2", true).ok());
+  }
+  {
+    auto wal = Wal::Open(path_b);
+    ASSERT_TRUE((*wal)->Append("b1", true).ok());
+  }
+  auto a = file::ReadFile(path_a);
+  auto b = file::ReadFile(path_b);
+  std::string spliced = dir.path() + "/spliced.log";
+  ASSERT_TRUE(file::WriteFile(spliced, *a + *b).ok());
+
+  auto records = Wal::Replay(spliced);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);  // b1 (seq 1 again) must not replay.
+  EXPECT_EQ((*records)[1], "a2");
+}
+
+TEST(WalTest, TruncateKeepsFileAppendable) {
+  TempDir dir;
+  std::string path = dir.path() + "/wal.log";
+  auto wal = Wal::Open(path);
+  ASSERT_TRUE((*wal)->Append("before", true).ok());
+  ASSERT_TRUE((*wal)->Truncate().ok());
+  ASSERT_TRUE((*wal)->Append("after", true).ok());
+  auto records = Wal::Replay(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0], "after");
 }
 
 // --- TableStore CRUD ---
@@ -317,6 +405,23 @@ TEST_F(TableStoreTest, SurvivesCheckpointPlusWal) {
   EXPECT_EQ(ts_->Count("t"), 2u);
 }
 
+TEST_F(TableStoreTest, WritesAfterCheckpointedReopenSurviveCrashyReopen) {
+  // Incarnation 1: checkpoint empties the WAL and stamps covered_seq in the
+  // snapshot. Incarnation 2 opens an empty WAL — its sequence counter must
+  // resume above the stamp, or everything it writes is masked on replay.
+  ASSERT_TRUE(ts_->Insert("t", "1", Row("snapped")).ok());
+  ASSERT_TRUE(ts_->Checkpoint().ok());
+  Reopen();
+  ASSERT_TRUE(ts_->Insert("t", "2", Row("post-restart")).ok());
+  ASSERT_TRUE(ts_->Delete("t", "1").ok());
+  // Incarnation 3 reopens without a checkpoint in between (a crash): the
+  // WAL-only writes must replay, not be skipped as snapshot-covered.
+  Reopen();
+  EXPECT_TRUE(ts_->Get("t", "2").ok());
+  EXPECT_TRUE(ts_->Get("t", "1").status().IsNotFound());
+  EXPECT_EQ(ts_->Count("t"), 1u);
+}
+
 TEST_F(TableStoreTest, TornWalTailRecoversPrefix) {
   ASSERT_TRUE(ts_->Insert("t", "1", Row("committed")).ok());
   ASSERT_TRUE(ts_->Insert("t", "2", Row("torn")).ok());
@@ -373,6 +478,53 @@ TEST_F(TableStoreTest, AppliedMutationsCounterAdvances) {
   ASSERT_TRUE(ts_->Update("t", "1", Row("b")).ok());
   ASSERT_TRUE(ts_->Delete("t", "1").ok());
   EXPECT_EQ(ts_->applied_mutations(), before + 3);
+}
+
+TEST_F(TableStoreTest, CrashBetweenSnapshotRenameAndWalTruncateIsLossless) {
+  // The checkpoint crash window: the new snapshot has been renamed into
+  // place but the WAL has not been truncated yet. Every WAL record is
+  // already folded into the snapshot; replaying them over it used to
+  // resurrect deleted rows and roll back version counters. The snapshot's
+  // covered-sequence stamp must make recovery skip them.
+  ASSERT_TRUE(ts_->Insert("t", "keep", Row("a", 1)).ok());
+  ASSERT_TRUE(ts_->Insert("t", "gone", Row("b", 2)).ok());
+  ASSERT_TRUE(ts_->Update("t", "keep", Row("a2", 3)).ok());  // _version 2.
+  ASSERT_TRUE(ts_->Delete("t", "gone").ok());
+
+  // Arm the seam between rename and truncate: Checkpoint errors out with the
+  // snapshot durable and the stale WAL still on disk — byte-for-byte the
+  // state a crash at that instant leaves behind.
+  ASSERT_TRUE(fault::FailPointRegistry::Get()
+                  ->SetFromString("store.checkpoint.after_rename", "error")
+                  .ok());
+  EXPECT_FALSE(ts_->Checkpoint().ok());
+  fault::FailPointRegistry::Get()->ClearAll();
+  EXPECT_GT(ts_->wal_bytes(), 0u);  // The stale WAL really is still there.
+
+  Reopen();
+  EXPECT_TRUE(ts_->Get("t", "gone").status().IsNotFound());
+  auto row = ts_->Get("t", "keep");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->at("name").as_string(), "a2");
+  EXPECT_EQ(row->at("_version").as_int(), 2);
+
+  // New mutations after the interrupted checkpoint replay fine too.
+  ASSERT_TRUE(ts_->Update("t", "keep", Row("a3", 4)).ok());
+  Reopen();
+  row = ts_->Get("t", "keep");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->at("name").as_string(), "a3");
+  EXPECT_EQ(row->at("_version").as_int(), 3);
+}
+
+TEST_F(TableStoreTest, SnapshotMetaKeyIsNotATable) {
+  ASSERT_TRUE(ts_->Insert("t", "1", Row("a")).ok());
+  ASSERT_TRUE(ts_->Checkpoint().ok());
+  Reopen();
+  for (const std::string& name : ts_->TableNames()) {
+    EXPECT_NE(name, "_meta");
+  }
+  EXPECT_EQ(ts_->Count("_meta"), 0u);
 }
 
 // Property: state after crash+recover equals state before crash, for a
