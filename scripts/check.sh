@@ -5,6 +5,7 @@
 #   scripts/check.sh --quick     # lint + plain build + ctest only
 #   scripts/check.sh --chaos     # chaos leg only (fault tests under ASan)
 #   scripts/check.sh --crash     # crash leg only (kill-9 recovery, ASan)
+#   scripts/check.sh --trace     # trace leg only (e2e trace + Chrome export)
 #
 # Legs (each can be skipped by the environment lacking the tool):
 #   1. chronos_lint self-test + tree lint          (scripts/chronos_lint.py)
@@ -13,6 +14,7 @@
 #   4. TSan build + concurrency-focused tests      (build-tsan/)
 #   5. seeded chaos suite under ASan, 3 fixed seeds (build-asan/)
 #   5b. kill-9 crash-recovery suite under ASan, 3 fixed seeds (build-asan/)
+#   5c. trace e2e (forked server + agent) and Chrome-export validation
 #   6. clang thread-safety build, if clang++ found (build-clang/, compile only)
 #   7. clang-tidy over src/, if clang-tidy found
 #
@@ -26,12 +28,15 @@ cd "$(dirname "$0")/.."
 QUICK=0
 CHAOS_ONLY=0
 CRASH_ONLY=0
+TRACE_ONLY=0
 if [ "${1:-}" = "--quick" ]; then
   QUICK=1
 elif [ "${1:-}" = "--chaos" ]; then
   CHAOS_ONLY=1
 elif [ "${1:-}" = "--crash" ]; then
   CRASH_ONLY=1
+elif [ "${1:-}" = "--trace" ]; then
+  TRACE_ONLY=1
 fi
 
 JOBS="$(nproc)"
@@ -75,7 +80,7 @@ tsan_leg() {
                mokkadb_test obs_test common_test agent_test \
                fault_injection_test &&
     (cd build-tsan && ctest --output-on-failure -j "${JOBS}" \
-       -R 'Concurrency|Control|Store|Net|Mokka|Wire|Obs|Metrics|Thread|Latch|Queue|Logger|Mutex|CondVar|Agent|Wal|Table|Heartbeat|Engine|FaultInjection')
+       -R 'Concurrency|Control|Store|Net|Mokka|Wire|Obs|Metrics|Thread|Latch|Queue|Logger|Mutex|CondVar|Agent|Wal|Table|Heartbeat|Engine|FaultInjection|Span|Trace')
 }
 
 chaos_leg() {
@@ -105,6 +110,36 @@ crash_leg() {
          CHRONOS_CRASH_SEED="${seed}" ctest --output-on-failure \
            -R 'CrashRecovery') || return 1
     done
+}
+
+trace_leg() {
+  # The distributed-trace e2e suite (forked control server + in-process
+  # agent), plus an independent re-validation of the Chrome trace the test
+  # exported: a second parser asserting the event schema chrome://tracing
+  # and Perfetto require, so the export format can't silently drift.
+  local export_file="build/chrome-trace-smoke.json"
+  rm -f "${export_file}"
+  cmake -B build -S . >/dev/null &&
+    cmake --build build -j "${JOBS}" --target trace_e2e_test &&
+    (cd build && CHRONOS_TRACE_EXPORT_PATH="${PWD}/chrome-trace-smoke.json" \
+       ctest --output-on-failure -R 'TraceE2E') &&
+    python3 - "${export_file}" <<'PYEOF'
+import json
+import sys
+
+with open(sys.argv[1]) as handle:
+    trace = json.load(handle)
+assert trace.get("displayTimeUnit") == "ms", "missing displayTimeUnit"
+complete = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+assert complete, "no complete events in export"
+for event in complete:
+    for key in ("name", "cat", "ts", "dur", "pid", "tid", "args"):
+        assert key in event, "event missing %s: %r" % (key, event)
+    assert event["dur"] >= 0, "negative duration: %r" % event
+lanes = sorted({e["tid"] for e in complete})
+assert lanes == [1, 2], "expected control+agent lanes, got %r" % lanes
+print("chrome export OK: %d spans across lanes %r" % (len(complete), lanes))
+PYEOF
 }
 
 clang_build_leg() {
@@ -143,6 +178,17 @@ if [ "${CRASH_ONLY}" = "1" ]; then
   exit 0
 fi
 
+if [ "${TRACE_ONLY}" = "1" ]; then
+  run_leg "trace (e2e + chrome export)" trace_leg
+  note "summary"
+  if [ "${#FAILED[@]}" -gt 0 ]; then
+    echo "FAILED legs: ${FAILED[*]}"
+    exit 1
+  fi
+  echo "all legs passed"
+  exit 0
+fi
+
 run_leg "lint" lint_leg
 run_leg "build+ctest (plain, -Werror)" plain_leg
 
@@ -151,6 +197,7 @@ if [ "${QUICK}" = "0" ]; then
   run_leg "build+ctest (TSan, concurrency suites)" tsan_leg
   run_leg "chaos (fault suite, ASan, 3 seeds)" chaos_leg
   run_leg "crash (kill-9 recovery, ASan, 3 seeds)" crash_leg
+  run_leg "trace (e2e + chrome export)" trace_leg
   if command -v clang++ >/dev/null 2>&1; then
     run_leg "clang -Wthread-safety build" clang_build_leg
   else

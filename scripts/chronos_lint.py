@@ -25,6 +25,13 @@ Rules (each can be suppressed on a line with `// chronos-lint: allow`):
                    SimulatedClock keeps tests deterministic and wall-clock
                    free. clock.cc (the implementation) and src/tools/
                    (interactive CLIs) are exempt.
+  raw-steady-clock No std::chrono::steady_clock::now() timing in src/ —
+                   measure durations with an obs::Span (records, exports,
+                   and slow-logs in one place) or Clock::MonotonicNanos
+                   through an injected Clock*. Sanctioned files: the clock
+                   implementation itself, CondVar deadline arithmetic in
+                   mutex.h/threading.h/heartbeat_monitor.cc, and uuid.cc's
+                   seed.
 
 Usage:
   scripts/chronos_lint.py [--root DIR] [paths...]   lint tree or given files
@@ -146,6 +153,35 @@ def check_raw_sleep(path, rel, lines, errors):
                  "direct SystemClock sleep; take a Clock* (options/ctor) "
                  "and use RetryPolicy/Backoff from common/retry.h so "
                  "SimulatedClock tests stay deterministic"))
+
+
+# --- Rule: raw-steady-clock ------------------------------------------------
+
+RAW_STEADY_CLOCK_RE = re.compile(r"std::chrono::steady_clock::now\s*\(")
+# clock.cc implements MonotonicNanos; mutex.h / threading.h /
+# heartbeat_monitor.cc compute CondVar wait deadlines (absolute time points,
+# not measurements); uuid.cc seeds its RNG from the tick counter.
+RAW_STEADY_CLOCK_EXEMPT = (
+    "src/common/clock.cc",
+    "src/common/mutex.h",
+    "src/common/threading.h",
+    "src/common/uuid.cc",
+    "src/control/heartbeat_monitor.cc",
+)
+
+
+def check_raw_steady_clock(path, rel, lines, errors):
+    if rel in RAW_STEADY_CLOCK_EXEMPT:
+        return
+    for i, line in enumerate(lines, 1):
+        if SUPPRESS in line:
+            continue
+        if RAW_STEADY_CLOCK_RE.search(strip_comment(line)):
+            errors.append(
+                (rel, i, "raw-steady-clock",
+                 "raw steady_clock::now() timing; wrap the region in an "
+                 "obs::Span (src/obs/span.h) or read an injected Clock*'s "
+                 "MonotonicNanos so durations are traced and testable"))
 
 
 # --- Rule: raw-exit --------------------------------------------------------
@@ -385,6 +421,7 @@ def lint_file(root, path, status_functions):
     if rel.startswith("src/"):
         check_raw_mutex(path, rel, lines, errors)
         check_raw_sleep(path, rel, lines, errors)
+        check_raw_steady_clock(path, rel, lines, errors)
         check_raw_exit(path, rel, lines, errors)
     check_locked_io(path, rel, lines, errors)
     check_include_guard(path, rel, lines, errors)
@@ -474,6 +511,18 @@ void PollLoop() {
 }  // namespace chronos
 """
 
+BAD_STEADY_CLOCK = """\
+#include <chrono>
+namespace chronos {
+void Measure() {
+  auto start = std::chrono::steady_clock::now();
+  DoWork();
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  (void)elapsed;
+}
+}  // namespace chronos
+"""
+
 BAD_RAW_EXIT = """\
 #include <cstdlib>
 namespace chronos {
@@ -520,6 +569,9 @@ def self_test():
         ("src/x/dying.cc", BAD_RAW_EXIT, "raw-exit"),
         # The same call in a sanctioned lifecycle file is allowlisted.
         ("src/control/lifecycle.cc", BAD_RAW_EXIT, None),
+        ("src/x/timing.cc", BAD_STEADY_CLOCK, "raw-steady-clock"),
+        # The clock implementation itself may read the raw tick source.
+        ("src/common/clock.cc", BAD_STEADY_CLOCK, None),
         ("src/x/good.h", GOOD, None),
     ]
     failures = 0

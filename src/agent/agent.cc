@@ -1,5 +1,7 @@
 #include "agent/agent.h"
 
+#include <optional>
+
 #include "archive/zip.h"
 #include "common/logging.h"
 #include "common/retry.h"
@@ -7,6 +9,7 @@
 #include "fault/failpoint.h"
 #include "net/ftp.h"
 #include "obs/metrics_registry.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace chronos::agent {
@@ -35,12 +38,31 @@ StatusOr<json::Json> CheckedJson(const StatusOr<net::HttpResponse>& response) {
 
 }  // namespace
 
+uint64_t SpanShipper::Attach(json::Json* body) {
+  obs::SpanCollector* collector = obs::SpanCollector::Get();
+  if (!collector->enabled()) return 0;
+  std::vector<obs::SpanRecord> spans =
+      collector->SnapshotSince(acked_seq_.load());
+  if (spans.empty()) return 0;
+  uint64_t last = spans.back().seq;  // SnapshotSince sorts by seq.
+  body->Set("spans", obs::SpansToJson(spans));
+  return last;
+}
+
+void SpanShipper::Ack(uint64_t up_to_seq) {
+  uint64_t current = acked_seq_.load();
+  while (up_to_seq > current &&
+         !acked_seq_.compare_exchange_weak(current, up_to_seq)) {
+  }
+}
+
 JobContext::JobContext(net::HttpClient* http, std::string api_base,
-                       model::Job job, Clock* clock)
+                       model::Job job, Clock* clock, SpanShipper* shipper)
     : http_(http),
       api_base_(std::move(api_base)),
       job_(std::move(job)),
       clock_(clock),
+      shipper_(shipper),
       metrics_(clock),
       result_fields_(json::Json::MakeObject()) {}
 
@@ -133,10 +155,16 @@ Status JobContext::SendHeartbeat() {
   static obs::Counter* heartbeats = obs::MetricsRegistry::Get()->GetCounter(
       "chronos_agent_heartbeats_total", "Job heartbeats sent to Control");
   heartbeats->Increment();
+  obs::Span span("agent.heartbeat");
+  span.SetAttribute("job_id", job_.id);
   json::Json body = json::Json::MakeObject();
   body.Set("attempt", static_cast<int64_t>(job_.attempt));
+  // Heartbeats double as the span shipping channel while a job runs: spans
+  // finished since the last acknowledged post ride along here.
+  uint64_t pending = shipper_ != nullptr ? shipper_->Attach(&body) : 0;
   auto response = CheckedJson(http_->Post(
       api_base_ + "/agent/jobs/" + job_.id + "/heartbeat", body.Dump()));
+  if (response.ok() && pending > 0) shipper_->Ack(pending);
   if (response.ok() &&
       response->GetStringOr("state", "running") != "running") {
     aborted_.store(true);
@@ -233,25 +261,41 @@ StatusOr<bool> ChronosAgent::RunOnce() {
   polls->Increment();
   // One trace per poll cycle: every request this agent sends until the next
   // poll (poll, heartbeats, log batches, result upload) carries these ids, and
-  // Control adopts them at ingress so its log records correlate with ours.
-  obs::TraceContext trace = obs::TraceContext::Generate();
-  obs::TraceScope trace_scope(trace);
-  http_->SetDefaultHeader(obs::kTraceHeader, trace.ToHeader());
+  // Control adopts them at ingress so its log records correlate with ours and
+  // its server spans parent under this root.
+  obs::Span cycle_span("agent.poll");
+  cycle_span.SetAttribute("deployment_id", options_.deployment_id);
+  std::optional<obs::TraceScope> fallback_scope;
+  if (!cycle_span.context().valid()) {
+    // Collector disabled: keep log correlation alive without recording.
+    fallback_scope.emplace(obs::TraceContext::Generate());
+  }
+  http_->SetDefaultHeader(obs::kTraceHeader, obs::CurrentTrace().ToHeader());
   json::Json poll_body = json::Json::MakeObject();
   poll_body.Set("deployment_id", options_.deployment_id);
+  // The poll flushes whatever the previous cycle left unshipped (its root
+  // span, the result-upload tail) so Control's timeline converges one poll
+  // behind at worst.
+  uint64_t pending = shipper_.Attach(&poll_body);
   CHRONOS_ASSIGN_OR_RETURN(
       json::Json response,
       CheckedJson(PostWithRetry(ApiBase() + "/agent/poll", poll_body.Dump())));
+  if (pending > 0) shipper_.Ack(pending);
   if (response.at("job").is_null()) return false;
   CHRONOS_ASSIGN_OR_RETURN(model::Job job,
                            model::Job::FromJson(response.at("job")));
+  cycle_span.SetAttribute("job_id", job.id);
   CHRONOS_RETURN_IF_ERROR(ExecuteJob(std::move(job)));
   return true;
 }
 
 Status ChronosAgent::ExecuteJob(model::Job job) {
   std::string job_id = job.id;
-  JobContext context(http_.get(), ApiBase(), std::move(job), clock());
+  obs::Span span("agent.execute");
+  span.SetAttribute("job_id", job_id);
+  span.SetAttribute("attempt", std::to_string(job.attempt));
+  JobContext context(http_.get(), ApiBase(), std::move(job), clock(),
+                     &shipper_);
   CHRONOS_LOG(kInfo, "agent") << "starting job " << job_id;
   context.Log("agent picked up job (attempt " +
               std::to_string(context.job().attempt) + ")");
@@ -303,6 +347,7 @@ Status ChronosAgent::ExecuteJob(model::Job job) {
 
   if (context.IsAborted()) {
     CHRONOS_LOG(kInfo, "agent") << "job " << job_id << " aborted by server";
+    span.SetError("aborted by server");
     return Status::Ok();  // Terminal state already set server-side.
   }
   if (!handler_status.ok()) {
@@ -314,16 +359,26 @@ Status ChronosAgent::ExecuteJob(model::Job job) {
     // is recognized instead of failing the next attempt.
     fail_body.Set("idempotency_key",
                   job_id + "#" + std::to_string(context.job().attempt));
-    return CheckedJson(PostWithRetry(
-                           ApiBase() + "/agent/jobs/" + job_id + "/fail",
-                           fail_body.Dump()))
-        .status();
+    // End before the post so the execute span ships with the failure it
+    // explains rather than one cycle later.
+    span.SetError(handler_status.ToString());
+    span.End();
+    uint64_t pending = shipper_.Attach(&fail_body);
+    Status fail_status =
+        CheckedJson(PostWithRetry(
+                        ApiBase() + "/agent/jobs/" + job_id + "/fail",
+                        fail_body.Dump()))
+            .status();
+    if (fail_status.ok() && pending > 0) shipper_.Ack(pending);
+    return fail_status;
   }
   return UploadResult(&context);
 }
 
 Status ChronosAgent::UploadResult(JobContext* context) {
   const std::string& job_id = context->job().id;
+  obs::Span span("agent.upload_result");
+  span.SetAttribute("job_id", job_id);
   json::Json data = context->BuildResultJson();
 
   // Assemble the zip bundle: handler files + the shipped log.
@@ -364,11 +419,18 @@ Status ChronosAgent::UploadResult(JobContext* context) {
   body.Set("zip_base64", zip_base64);
   body.Set("idempotency_key",
            job_id + "#" + std::to_string(context->job().attempt));
+  // End before the post: the span covers bundle assembly + FTP offload (the
+  // HTTP hop gets Control's server span) and ships inside the very result
+  // body it describes.
+  span.SetAttribute("bundle_bytes", std::to_string(bundle.size()));
+  span.End();
+  uint64_t pending = shipper_.Attach(&body);
   Status status =
       CheckedJson(PostWithRetry(ApiBase() + "/agent/jobs/" + job_id +
                                     "/result",
                                 body.Dump()))
           .status();
+  if (status.ok() && pending > 0) shipper_.Ack(pending);
   if (status.ok()) {
     static obs::Counter* uploads = obs::MetricsRegistry::Get()->GetCounter(
         "chronos_agent_uploads_total", "Result bundles uploaded to Control");

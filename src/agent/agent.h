@@ -48,13 +48,35 @@ struct AgentOptions {
   std::string ftp_password;
 };
 
+// Ships spans recorded in this process to Chronos Control by piggybacking
+// a "spans" array on agent POST bodies (poll/heartbeat/result/fail), so one
+// trace timeline stitches both processes without a dedicated span endpoint.
+// The cursor tracks the highest collector sequence number Control has
+// acknowledged; a failed post leaves the cursor alone and the next post
+// re-ships the tail (at-least-once — Control's ImportSpans deduplicates).
+class SpanShipper {
+ public:
+  // Attaches every span recorded after the acknowledged cursor to `body`
+  // as "spans". Returns the highest sequence attached (0 = nothing new).
+  uint64_t Attach(json::Json* body);
+
+  // Advances the acknowledged cursor after a successful post. Never moves
+  // backwards; safe to call from the keepalive and main threads at once.
+  void Ack(uint64_t up_to_seq);
+
+  uint64_t acked() const { return acked_seq_.load(); }
+
+ private:
+  std::atomic<uint64_t> acked_seq_{0};
+};
+
 // Handed to the evaluation handler while a job runs. Provides progress
 // updates, log shipping, the built-in metrics collector, abort detection,
 // and the result document under construction.
 class JobContext {
  public:
   JobContext(net::HttpClient* http, std::string api_base, model::Job job,
-             Clock* clock);
+             Clock* clock, SpanShipper* shipper = nullptr);
   ~JobContext();
 
   JobContext(const JobContext&) = delete;
@@ -105,6 +127,7 @@ class JobContext {
   std::string api_base_;
   model::Job job_;
   Clock* clock_;
+  SpanShipper* shipper_;  // May be null (tests constructing a bare context).
   analysis::MetricsCollector metrics_;
   std::atomic<bool> aborted_{false};
 
@@ -150,6 +173,7 @@ class ChronosAgent {
 
   int jobs_executed() const { return jobs_executed_.load(); }
   const std::string& session_token() const { return token_; }
+  SpanShipper* span_shipper() { return &shipper_; }
 
  private:
   std::string ApiBase() const;
@@ -164,6 +188,7 @@ class ChronosAgent {
 
   AgentOptions options_;
   EvaluationHandler handler_;
+  SpanShipper shipper_;
   std::unique_ptr<net::HttpClient> http_;
   std::string token_;
   std::atomic<bool> stop_requested_{false};

@@ -1,6 +1,17 @@
 #include "common/threading.h"
 
+#include "common/logging.h"
+
 namespace chronos {
+
+std::function<void()> WrapWithCurrentTrace(std::function<void()> task) {
+  TraceIds ids = CurrentTraceIds();
+  return [ids = std::move(ids), task = std::move(task)] {
+    TraceIds previous = SwapCurrentTraceIds(ids);
+    task();
+    SwapCurrentTraceIds(std::move(previous));
+  };
+}
 
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads < 1) num_threads = 1;
@@ -17,7 +28,10 @@ ThreadPool::ThreadPool(int num_threads) {
 ThreadPool::~ThreadPool() { Shutdown(); }
 
 bool ThreadPool::Submit(std::function<void()> task) {
-  return queue_.Push(std::move(task));
+  // The submitter's trace context rides along, so spans/logs from pooled
+  // work parent under the submitting operation instead of starting orphan
+  // traces.
+  return queue_.Push(WrapWithCurrentTrace(std::move(task)));
 }
 
 void ThreadPool::Shutdown() {

@@ -73,8 +73,15 @@ class BlockingQueue {
   bool closed_ CHRONOS_GUARDED_BY(mu_) = false;
 };
 
+// Wraps `task` so it runs under the caller's trace context (captured now,
+// installed around the call, previous context restored after). ThreadPool
+// applies this to every submission; use it directly when handing closures
+// across threads via a bare BlockingQueue or std::thread.
+std::function<void()> WrapWithCurrentTrace(std::function<void()> task);
+
 // Fixed-size worker pool executing submitted closures FIFO. Shutdown waits
-// for queued work to drain.
+// for queued work to drain. Tasks run under the submitter's trace context
+// (see WrapWithCurrentTrace).
 class ThreadPool {
  public:
   explicit ThreadPool(int num_threads);

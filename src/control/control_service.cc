@@ -8,6 +8,7 @@
 #include "common/uuid.h"
 #include "fault/failpoint.h"
 #include "obs/metrics_registry.h"
+#include "obs/span.h"
 
 namespace chronos::control {
 
@@ -537,6 +538,8 @@ Status ControlService::RescheduleJob(const std::string& job_id) {
 
 StatusOr<std::optional<Job>> ControlService::PollJob(
     const std::string& deployment_id) {
+  obs::Span span("control.claim");
+  span.SetAttribute("deployment_id", deployment_id);
   // Draining: stop handing out new work, but answer the poll normally so
   // agents idle instead of erroring out.
   if (draining_.load(std::memory_order_relaxed)) return std::optional<Job>();
@@ -567,18 +570,23 @@ StatusOr<std::optional<Job>> ControlService::PollJob(
             });
 
   TimestampMs now = clock_->NowMs();
+  // The claiming poll's trace id (the agent's cycle root, installed at HTTP
+  // ingress) is stamped onto the job so GET /jobs/{id}/trace can find it.
+  const std::string claim_trace_id = CurrentTraceIds().trace_id;
   for (Job& candidate : candidates) {
     Status status = TransitionJob(
         candidate.id, JobState::kRunning, [&](Job* job) {
           job->deployment_id = deployment_id;
           job->started_at = now;
           job->last_heartbeat_at = now;
+          job->trace_id = claim_trace_id;
         });
     if (status.ok()) {
       // Crash seam: the claim is durable but the agent never hears about
       // it. Recovery must re-run the job via the heartbeat timeout, not
       // lose it or hand it out twice.
       CHRONOS_RETURN_IF_ERROR(fault::Inject("control.claim.committed"));
+      span.SetAttribute("job_id", candidate.id);
       return std::optional<Job>(*GetJob(candidate.id));
     }
     // Another agent won this job (or it was aborted); try the next.
@@ -630,10 +638,33 @@ Status ControlService::AppendLog(const std::string& job_id,
   return Status::Ok();
 }
 
+size_t ControlService::ImportSpans(const json::Json& spans) {
+  if (!spans.is_array()) return 0;
+  static obs::Counter* imported_total =
+      obs::MetricsRegistry::Get()->GetCounter(
+          "chronos_spans_imported_total",
+          "Agent-side spans ingested from piggybacked posts");
+  obs::SpanCollector* collector = obs::SpanCollector::Get();
+  size_t imported = 0;
+  for (const json::Json& value : spans.as_array()) {
+    auto record = obs::SpanFromJson(value);
+    if (!record.ok()) continue;  // Garbage from a peer is dropped, not fatal.
+    // Shipping is at-least-once (the agent's cursor only advances on a
+    // successful post), so replays are expected; keep the first copy.
+    if (collector->Contains(record->trace_id, record->span_id)) continue;
+    collector->Record(*std::move(record));
+    ++imported;
+  }
+  imported_total->Increment(imported);
+  return imported;
+}
+
 Status ControlService::UploadResult(const std::string& job_id,
                                     json::Json data,
                                     const std::string& zip_base64,
                                     const std::string& idempotency_key) {
+  obs::Span span("control.upload_result");
+  span.SetAttribute("job_id", job_id);
   CHRONOS_ASSIGN_OR_RETURN(Job job, GetJob(job_id));
   if (!idempotency_key.empty()) {
     // Replay detection. The result row is inserted before the finished
@@ -683,6 +714,9 @@ Status ControlService::UploadResult(const std::string& job_id,
 Status ControlService::FailJob(const std::string& job_id,
                                const std::string& reason,
                                const std::string& idempotency_key) {
+  obs::Span span("control.fail_job");
+  span.SetAttribute("job_id", job_id);
+  span.SetAttribute("reason", reason);
   if (!idempotency_key.empty()) {
     CHRONOS_ASSIGN_OR_RETURN(Job job, GetJob(job_id));
     if (job.terminal_key == idempotency_key) {
@@ -764,6 +798,7 @@ int ControlService::CheckHeartbeats() {
 // --- Lifecycle (crash consistency & graceful drain) ---
 
 ReconcileReport ControlService::ReconcileOnStartup() {
+  obs::Span span("control.reconcile");
   ReconcileReport report;
   store::TableStore* store = db_->table_store();
   auto marker = store->Get(kControlMetaTable, kLifecycleRowId);

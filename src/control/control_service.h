@@ -150,6 +150,12 @@ class ControlService {
   Status AppendLog(const std::string& job_id,
                    const std::vector<std::string>& lines);
 
+  // Ingests a "spans" array an agent piggybacked on a poll/heartbeat/result
+  // post into the process-wide SpanCollector, deduplicating replays (the
+  // agent ships at-least-once). Returns the number of new spans kept.
+  // Malformed entries are skipped.
+  size_t ImportSpans(const json::Json& spans);
+
   // Terminal reports. `idempotency_key` ("<job_id>#<attempt>", empty = no
   // replay protection) makes retries safe: a second delivery of the same
   // terminal report — including across a Control restart — is recognized and

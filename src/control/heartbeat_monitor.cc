@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "obs/metrics_registry.h"
+#include "obs/span.h"
 
 namespace chronos::control {
 
@@ -67,7 +68,14 @@ void HeartbeatMonitor::Loop() {
       MutexLock lock(mu_);
       if (stop_requested_) return;
     }
-    int failed = service_->CheckHeartbeats();
+    int failed;
+    {
+      // Each sweep is its own trace root (the monitor thread has no ambient
+      // context); a FailJob inside nests under it.
+      obs::Span span("control.heartbeat_round");
+      failed = service_->CheckHeartbeats();
+      span.SetAttribute("jobs_failed", std::to_string(failed));
+    }
     jobs_failed_.fetch_add(failed);
     sweeps_.fetch_add(1);
     sweep_counter->Increment();

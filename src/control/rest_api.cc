@@ -6,6 +6,7 @@
 #include "control/web_ui.h"
 #include "fault/failpoint.h"
 #include "obs/metrics_registry.h"
+#include "obs/span.h"
 
 namespace chronos::control {
 
@@ -47,6 +48,33 @@ HttpResponse RequireAdmin(const model::User& user) {
 
 // Prometheus text exposition of the process-wide registry. Unauthenticated
 // like /status: scrapers and operators need it without a session.
+// Renders a trace's spans, either as the native span-list JSON or — with
+// ?format=chrome — as a Chrome trace_event file loadable in chrome://tracing
+// or https://ui.perfetto.dev.
+HttpResponse TraceResponse(const HttpRequest& request,
+                           const std::string& trace_id,
+                           const std::string& job_id) {
+  std::vector<obs::SpanRecord> spans =
+      obs::SpanCollector::Get()->ForTrace(trace_id);
+  if (spans.empty()) {
+    return HttpResponse::Error(404,
+                               "no spans recorded for trace " + trace_id);
+  }
+  auto params = request.QueryParams();
+  if (params.count("format") > 0 && params.at("format") == "chrome") {
+    HttpResponse response;
+    response.status_code = 200;
+    response.headers.Set("Content-Type", "application/json");
+    response.body = obs::RenderChromeTrace(spans);
+    return response;
+  }
+  json::Json out = json::Json::MakeObject();
+  out.Set("trace_id", trace_id);
+  if (!job_id.empty()) out.Set("job_id", job_id);
+  out.Set("spans", obs::SpansToJson(spans));
+  return HttpResponse::Json(out);
+}
+
 HttpResponse MetricsExposition(const HttpRequest&) {
   HttpResponse response;
   response.status_code = 200;
@@ -81,6 +109,15 @@ void MountVersion(net::Router* router, ControlService* service,
     // reconciliation had to repair (empty actions after a clean shutdown).
     body.Set("draining", service->draining());
     body.Set("reconciliation", service->reconcile_report().ToJson());
+    // Span collector health: volume since boot plus distinct traces
+    // currently resident in the ring.
+    obs::SpanCollector* collector = obs::SpanCollector::Get();
+    json::Json spans = json::Json::MakeObject();
+    spans.Set("recorded", static_cast<int64_t>(collector->recorded()));
+    spans.Set("dropped", static_cast<int64_t>(collector->dropped()));
+    spans.Set("active_traces",
+              static_cast<int64_t>(collector->active_traces()));
+    body.Set("spans", std::move(spans));
     return HttpResponse::Json(body);
   });
 
@@ -577,6 +614,31 @@ void MountVersion(net::Router* router, ControlService* service,
                 return HttpResponse::Json(result->ToJson());
               }));
 
+  // --- Traces ---
+
+  // The trace stitched for one job: its trace_id is stamped at claim time
+  // and agent-side spans arrive piggybacked on agent posts, so this shows
+  // both halves of the distributed timeline.
+  router->Get(base + "/jobs/{id}/trace",
+              WithAuth(service, [service](const HttpRequest& request,
+                                          const model::User&) {
+                const std::string& job_id = request.path_params.at("id");
+                auto job = service->GetJob(job_id);
+                if (!job.ok()) return HttpResponse::FromStatus(job.status());
+                if (job->trace_id.empty()) {
+                  return HttpResponse::Error(
+                      404, "job " + job_id + " has no recorded trace");
+                }
+                return TraceResponse(request, job->trace_id, job_id);
+              }));
+
+  router->Get(base + "/traces/{trace_id}",
+              WithAuth(service, [](const HttpRequest& request,
+                                   const model::User&) {
+                return TraceResponse(
+                    request, request.path_params.at("trace_id"), "");
+              }));
+
   // --- Agent endpoints ---
 
   router->Post(
@@ -585,6 +647,8 @@ void MountVersion(net::Router* router, ControlService* service,
                                            const model::User&) {
         auto body = request.JsonBody();
         if (!body.ok()) return HttpResponse::FromStatus(body.status());
+        // Agents piggyback locally recorded spans on their posts.
+        if (body->Has("spans")) service->ImportSpans(body->at("spans"));
         auto job = service->PollJob(body->GetStringOr("deployment_id", ""));
         if (!job.ok()) return HttpResponse::FromStatus(job.status());
         json::Json out = json::Json::MakeObject();
@@ -625,6 +689,9 @@ void MountVersion(net::Router* router, ControlService* service,
                                            const model::User&) {
                  // Body is optional for backward compatibility.
                  auto body = request.JsonBody();
+                 if (body.ok() && body->Has("spans")) {
+                   service->ImportSpans(body->at("spans"));
+                 }
                  int attempt = body.ok()
                                    ? static_cast<int>(
                                          body->GetIntOr("attempt", 0))
@@ -661,6 +728,7 @@ void MountVersion(net::Router* router, ControlService* service,
                                   const model::User&) {
         auto body = request.JsonBody();
         if (!body.ok()) return HttpResponse::FromStatus(body.status());
+        if (body->Has("spans")) service->ImportSpans(body->at("spans"));
         Status status = service->UploadResult(
             request.path_params.at("id"), body->at("data"),
             body->GetStringOr("zip_base64", ""),
@@ -675,6 +743,7 @@ void MountVersion(net::Router* router, ControlService* service,
                                   const model::User&) {
         auto body = request.JsonBody();
         if (!body.ok()) return HttpResponse::FromStatus(body.status());
+        if (body->Has("spans")) service->ImportSpans(body->at("spans"));
         Status status = service->FailJob(
             request.path_params.at("id"), body->GetStringOr("reason", ""),
             body->GetStringOr("idempotency_key", ""));

@@ -253,6 +253,7 @@ json::Json Job::ToJson() const {
   out.Set("attempt", static_cast<int64_t>(attempt));
   out.Set("failure_reason", failure_reason);
   out.Set("terminal_key", terminal_key);
+  out.Set("trace_id", trace_id);
   out.Set("created_at", created_at);
   out.Set("started_at", started_at);
   out.Set("finished_at", finished_at);
@@ -275,6 +276,7 @@ StatusOr<Job> Job::FromJson(const json::Json& value) {
   job.attempt = static_cast<int>(value.GetIntOr("attempt", 1));
   job.failure_reason = value.GetStringOr("failure_reason", "");
   job.terminal_key = value.GetStringOr("terminal_key", "");
+  job.trace_id = value.GetStringOr("trace_id", "");
   job.created_at = value.GetIntOr("created_at", 0);
   job.started_at = value.GetIntOr("started_at", 0);
   job.finished_at = value.GetIntOr("finished_at", 0);

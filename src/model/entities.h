@@ -144,6 +144,11 @@ struct Job {
   // Deliberately NOT cleared on reschedule: a late retry of the old attempt's
   // terminal post must still be recognized as already applied.
   std::string terminal_key;
+  // Trace id of the poll cycle that last claimed this job (stamped by
+  // ControlService::PollJob); GET /jobs/{id}/trace resolves through it.
+  // Kept across reschedules until the next claim overwrites it, so the last
+  // attempt stays debuggable post-mortem.
+  std::string trace_id;
   TimestampMs created_at = 0;
   TimestampMs started_at = 0;
   TimestampMs finished_at = 0;

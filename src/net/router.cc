@@ -1,8 +1,11 @@
 #include "net/router.h"
 
+#include <optional>
+
 #include "common/clock.h"
 #include "common/strings.h"
 #include "obs/metrics_registry.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace chronos::net {
@@ -75,11 +78,21 @@ int Router::Specificity(const Route& route) {
 HttpResponse Router::Dispatch(const HttpRequest& request) const {
   uint64_t start_nanos = SystemClock::Get()->MonotonicNanos();
 
-  // Adopt the caller's propagated trace (a child span of it) or start a
-  // fresh one at ingress; handler log lines on this thread carry the ids.
-  obs::TraceContext trace =
-      obs::TraceContext::FromHeaderOrNew(request.headers.Get(obs::kTraceHeader));
-  obs::TraceScope trace_scope(trace);
+  // Server span per request. The caller's propagated context is installed
+  // first so the span parents directly under the REMOTE span id — that exact
+  // edge is what stitches a shipped agent trace to the Control half. With
+  // span collection disabled the fallback scope keeps plain id propagation
+  // (log stamping, header echo) alive.
+  std::optional<obs::TraceScope> remote_scope;
+  if (std::optional<obs::TraceContext> remote = obs::TraceContext::FromHeader(
+          request.headers.Get(obs::kTraceHeader))) {
+    remote_scope.emplace(*remote);
+  }
+  obs::Span span("http " + MethodLabel(request.method));
+  std::optional<obs::TraceScope> fallback_scope;
+  if (!span.context().valid() && !remote_scope.has_value()) {
+    fallback_scope.emplace(obs::TraceContext::Generate());
+  }
 
   std::vector<std::string> path_segments = SplitPath(request.path);
   const Route* best = nullptr;
@@ -112,6 +125,19 @@ HttpResponse Router::Dispatch(const HttpRequest& request) const {
     response = best->handler(enriched);
   }
 
+  // Name the span after the matched route (bounded label for the slow-span
+  // counter), record the outcome, and end it before the response leaves.
+  span.SetName("http " + MethodLabel(request.method) + " " + route_label);
+  span.SetAttribute("path", request.path);
+  span.SetAttribute("status_code", std::to_string(response.status_code));
+  if (response.status_code >= 500) {
+    span.SetError("HTTP " + std::to_string(response.status_code));
+  }
+  // Echo the context so clients can correlate without sniffing their own
+  // header (captured before End() restores the previous scope).
+  const obs::TraceContext echo = obs::CurrentTrace();
+  span.End();
+
   uint64_t elapsed_us =
       (SystemClock::Get()->MonotonicNanos() - start_nanos) / 1000;
   auto* registry = obs::MetricsRegistry::Get();
@@ -132,9 +158,7 @@ HttpResponse Router::Dispatch(const HttpRequest& request) const {
                      {{"route", route_label}})
       ->Observe(elapsed_us);
 
-  // Echo the context so clients can correlate without sniffing their own
-  // header.
-  response.headers.Set(obs::kTraceHeader, trace.ToHeader());
+  if (echo.valid()) response.headers.Set(obs::kTraceHeader, echo.ToHeader());
   return response;
 }
 

@@ -1,0 +1,346 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+
+#include "obs/metrics_registry.h"
+
+namespace chronos::obs {
+
+namespace {
+
+// Lifetime counters for the process-wide collector's health; shared by test
+// instances too (their exact accounting is asserted via the per-collector
+// atomics instead).
+Counter* RecordedTotal() {
+  static Counter* counter = MetricsRegistry::Get()->GetCounter(
+      "chronos_spans_recorded_total", "Finished spans recorded");
+  return counter;
+}
+
+Counter* DroppedTotal() {
+  static Counter* counter = MetricsRegistry::Get()->GetCounter(
+      "chronos_spans_dropped_total",
+      "Spans evicted from the collector ring before being read");
+  return counter;
+}
+
+bool StartSeqLess(const SpanRecord& a, const SpanRecord& b) {
+  if (a.start_nanos != b.start_nanos) return a.start_nanos < b.start_nanos;
+  return a.seq < b.seq;
+}
+
+std::string FormatMillis(uint64_t nanos) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3fms",
+                static_cast<double>(nanos) / 1e6);
+  return buffer;
+}
+
+}  // namespace
+
+SpanCollector::SpanCollector(size_t capacity, size_t shards, Clock* clock)
+    : per_shard_capacity_(std::max<size_t>(1, capacity / std::max<size_t>(
+                                                            1, shards))),
+      clock_(clock ? clock : SystemClock::Get()) {
+  shards_.reserve(std::max<size_t>(1, shards));
+  for (size_t i = 0; i < std::max<size_t>(1, shards); ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+SpanCollector* SpanCollector::Get() {
+  static SpanCollector* collector = new SpanCollector();  // Leaked singleton.
+  return collector;
+}
+
+SpanCollector::Shard& SpanCollector::ShardFor(
+    const std::string& trace_id) const {
+  return *shards_[std::hash<std::string>{}(trace_id) % shards_.size()];
+}
+
+uint64_t SpanCollector::Record(SpanRecord record) {
+  const uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  record.seq = seq;
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  RecordedTotal()->Increment();
+  Shard& shard = ShardFor(record.trace_id);
+  uint64_t evicted = 0;
+  {
+    MutexLock lock(shard.mu);
+    shard.live[record.trace_id]++;
+    shard.ring.push_back(std::move(record));
+    while (shard.ring.size() > per_shard_capacity_) {
+      auto it = shard.live.find(shard.ring.front().trace_id);
+      if (it != shard.live.end() && --it->second == 0) shard.live.erase(it);
+      shard.ring.pop_front();
+      ++evicted;
+    }
+  }
+  if (evicted > 0) {
+    dropped_.fetch_add(evicted, std::memory_order_relaxed);
+    DroppedTotal()->Increment(evicted);
+  }
+  return seq;
+}
+
+std::vector<SpanRecord> SpanCollector::ForTrace(
+    const std::string& trace_id) const {
+  std::vector<SpanRecord> spans;
+  const Shard& shard = ShardFor(trace_id);
+  {
+    MutexLock lock(shard.mu);
+    if (shard.live.count(trace_id) == 0) return spans;
+    for (const SpanRecord& span : shard.ring) {
+      if (span.trace_id == trace_id) spans.push_back(span);
+    }
+  }
+  std::sort(spans.begin(), spans.end(), StartSeqLess);
+  return spans;
+}
+
+std::vector<SpanRecord> SpanCollector::SnapshotSince(uint64_t after_seq) const {
+  std::vector<SpanRecord> spans;
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    for (const SpanRecord& span : shard->ring) {
+      if (span.seq > after_seq) spans.push_back(span);
+    }
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.seq < b.seq;
+            });
+  return spans;
+}
+
+bool SpanCollector::Contains(const std::string& trace_id,
+                             const std::string& span_id) const {
+  const Shard& shard = ShardFor(trace_id);
+  MutexLock lock(shard.mu);
+  if (shard.live.count(trace_id) == 0) return false;
+  for (const SpanRecord& span : shard.ring) {
+    if (span.span_id == span_id && span.trace_id == trace_id) return true;
+  }
+  return false;
+}
+
+size_t SpanCollector::active_traces() const {
+  size_t traces = 0;
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    traces += shard->live.size();
+  }
+  return traces;
+}
+
+void SpanCollector::Clear() {
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    shard->ring.clear();
+    shard->live.clear();
+  }
+}
+
+Span::Span(std::string name, SpanCollector* collector)
+    : collector_(collector ? collector : SpanCollector::Get()) {
+  if (!collector_->enabled()) return;  // Disarmed: two relaxed loads, done.
+  armed_ = true;
+  const TraceIds& current = CurrentTraceIds();
+  if (!current.trace_id.empty()) {
+    context_.trace_id = current.trace_id;
+    context_.span_id = RandomHexId(TraceContext::kSpanIdLength);
+    record_.parent_span_id = current.span_id;
+  } else {
+    context_ = TraceContext::Generate();
+  }
+  record_.trace_id = context_.trace_id;
+  record_.span_id = context_.span_id;
+  record_.name = std::move(name);
+  previous_ = SwapCurrentTraceIds({context_.trace_id, context_.span_id});
+  record_.start_nanos = collector_->clock()->MonotonicNanos();
+}
+
+Span::~Span() { End(); }
+
+void Span::SetName(std::string name) {
+  if (armed_ && !ended_) record_.name = std::move(name);
+}
+
+void Span::SetAttribute(const std::string& key, std::string value) {
+  if (armed_ && !ended_) record_.attributes.emplace_back(key,
+                                                         std::move(value));
+}
+
+void Span::SetStatus(const Status& status) {
+  if (armed_ && !ended_ && !status.ok()) record_.status = status.ToString();
+}
+
+void Span::SetError(std::string message) {
+  if (armed_ && !ended_) record_.status = std::move(message);
+}
+
+void Span::End() {
+  if (!armed_ || ended_) return;
+  ended_ = true;
+  record_.end_nanos = collector_->clock()->MonotonicNanos();
+  SwapCurrentTraceIds(std::move(previous_));
+  collector_->Record(record_);
+  const int64_t threshold_ms = collector_->slow_span_threshold_ms();
+  if (threshold_ms > 0 &&
+      record_.duration_nanos() >= static_cast<uint64_t>(threshold_ms) *
+                                      1000000ull) {
+    MetricsRegistry::Get()
+        ->GetCounter("chronos_slow_spans_total",
+                     "Spans exceeding the slow-span threshold, by span name",
+                     {{"span", record_.name}})
+        ->Increment();
+    std::string attributes;
+    for (const auto& [key, value] : record_.attributes) {
+      attributes += " " + key + "=" + value;
+    }
+    // Logged here — after the collector released its shard lock — so the
+    // WARN path never does I/O inside the collector.
+    CHRONOS_LOG(kWarning, "obs.span")
+        << "slow span " << record_.name << " took "
+        << FormatMillis(record_.duration_nanos()) << " (threshold "
+        << threshold_ms << "ms) trace=" << record_.trace_id
+        << " span=" << record_.span_id << attributes;
+  }
+}
+
+json::Json SpanToJson(const SpanRecord& span) {
+  json::Json out = json::Json::MakeObject();
+  out.Set("trace_id", span.trace_id);
+  out.Set("span_id", span.span_id);
+  out.Set("parent_span_id", span.parent_span_id);
+  out.Set("name", span.name);
+  out.Set("start_nanos", static_cast<int64_t>(span.start_nanos));
+  out.Set("end_nanos", static_cast<int64_t>(span.end_nanos));
+  out.Set("status", span.status);
+  json::Json attributes = json::Json::MakeObject();
+  for (const auto& [key, value] : span.attributes) {
+    attributes.Set(key, value);
+  }
+  out.Set("attributes", std::move(attributes));
+  return out;
+}
+
+StatusOr<SpanRecord> SpanFromJson(const json::Json& value) {
+  if (!value.is_object()) {
+    return Status::InvalidArgument("span must be an object");
+  }
+  SpanRecord span;
+  span.trace_id = value.GetStringOr("trace_id", "");
+  span.span_id = value.GetStringOr("span_id", "");
+  span.parent_span_id = value.GetStringOr("parent_span_id", "");
+  span.name = value.GetStringOr("name", "");
+  span.start_nanos = static_cast<uint64_t>(value.GetIntOr("start_nanos", 0));
+  span.end_nanos = static_cast<uint64_t>(value.GetIntOr("end_nanos", 0));
+  span.status = value.GetStringOr("status", "ok");
+  if (span.trace_id.empty() || span.span_id.empty() || span.name.empty()) {
+    return Status::InvalidArgument("span missing trace_id/span_id/name");
+  }
+  if (value.Has("attributes") && value.at("attributes").is_object()) {
+    for (const auto& [key, attr] : value.at("attributes").as_object()) {
+      span.attributes.emplace_back(
+          key, attr.is_string() ? attr.as_string() : attr.Dump());
+    }
+  }
+  return span;
+}
+
+json::Json SpansToJson(const std::vector<SpanRecord>& spans) {
+  json::Json out = json::Json::MakeArray();
+  for (const SpanRecord& span : spans) out.Append(SpanToJson(span));
+  return out;
+}
+
+std::string RenderChromeTrace(const std::vector<SpanRecord>& spans) {
+  json::Json events = json::Json::MakeArray();
+  // Named lanes: Control-process spans on tid 1, agent-side spans (shipped
+  // over the wire) on tid 2, so the two halves of a stitched trace sit in
+  // separate rows of the same timeline.
+  const std::pair<int64_t, const char*> lanes[] = {{1, "control"},
+                                                   {2, "agent"}};
+  for (const auto& [tid, lane] : lanes) {
+    json::Json meta = json::Json::MakeObject();
+    meta.Set("name", "thread_name");
+    meta.Set("ph", "M");
+    meta.Set("pid", static_cast<int64_t>(1));
+    meta.Set("tid", tid);
+    json::Json args = json::Json::MakeObject();
+    args.Set("name", lane);
+    meta.Set("args", std::move(args));
+    events.Append(std::move(meta));
+  }
+  for (const SpanRecord& span : spans) {
+    json::Json event = json::Json::MakeObject();
+    event.Set("name", span.name);
+    event.Set("cat", "chronos");
+    event.Set("ph", "X");
+    event.Set("ts", static_cast<int64_t>(span.start_nanos / 1000));
+    event.Set("dur", static_cast<int64_t>(span.duration_nanos() / 1000));
+    event.Set("pid", static_cast<int64_t>(1));
+    event.Set("tid", static_cast<int64_t>(
+                         span.name.rfind("agent.", 0) == 0 ? 2 : 1));
+    json::Json args = json::Json::MakeObject();
+    args.Set("trace_id", span.trace_id);
+    args.Set("span_id", span.span_id);
+    args.Set("parent_span_id", span.parent_span_id);
+    args.Set("status", span.status);
+    for (const auto& [key, value] : span.attributes) args.Set(key, value);
+    event.Set("args", std::move(args));
+    events.Append(std::move(event));
+  }
+  json::Json out = json::Json::MakeObject();
+  out.Set("traceEvents", std::move(events));
+  out.Set("displayTimeUnit", "ms");
+  return out.Dump();
+}
+
+std::string RenderSpanTree(const std::vector<SpanRecord>& spans) {
+  std::vector<SpanRecord> ordered = spans;
+  std::sort(ordered.begin(), ordered.end(), StartSeqLess);
+  std::unordered_map<std::string, std::vector<size_t>> children;
+  std::unordered_map<std::string, size_t> by_id;
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    by_id[ordered[i].span_id] = i;
+  }
+  std::vector<size_t> roots;
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    const std::string& parent = ordered[i].parent_span_id;
+    if (!parent.empty() && by_id.count(parent) > 0) {
+      children[parent].push_back(i);
+    } else {
+      // Unknown parent: shipping is at-least-once and eventually consistent,
+      // so render what we have as a root instead of hiding it.
+      roots.push_back(i);
+    }
+  }
+  std::string out;
+  std::function<void(size_t, int)> render = [&](size_t index, int depth) {
+    const SpanRecord& span = ordered[index];
+    out.append(static_cast<size_t>(depth) * 2, ' ');
+    out += span.name;
+    out += "  ";
+    out += FormatMillis(span.duration_nanos());
+    if (span.status != "ok") {
+      out += "  status=";
+      out += span.status;
+    }
+    for (const auto& [key, value] : span.attributes) {
+      out += "  ";
+      out += key;
+      out += "=";
+      out += value;
+    }
+    out += "\n";
+    for (size_t child : children[span.span_id]) render(child, depth + 1);
+  };
+  for (size_t root : roots) render(root, 0);
+  return out;
+}
+
+}  // namespace chronos::obs

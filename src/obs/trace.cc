@@ -3,13 +3,14 @@
 #include <algorithm>
 
 #include "common/uuid.h"
+#include "obs/metrics_registry.h"
 
 namespace chronos::obs {
 
 namespace {
 
-constexpr size_t kTraceIdLen = 32;
-constexpr size_t kSpanIdLen = 16;
+constexpr size_t kTraceIdLen = TraceContext::kTraceIdLength;
+constexpr size_t kSpanIdLen = TraceContext::kSpanIdLength;
 
 bool IsLowerHex(std::string_view s) {
   return std::all_of(s.begin(), s.end(), [](char c) {
@@ -17,8 +18,10 @@ bool IsLowerHex(std::string_view s) {
   });
 }
 
+}  // namespace
+
 // GenerateUuid gives 32 hex chars once the hyphens are stripped.
-std::string RandomHex(size_t length) {
+std::string RandomHexId(size_t length) {
   std::string hex;
   while (hex.size() < length) {
     for (char c : GenerateUuid()) {
@@ -29,19 +32,17 @@ std::string RandomHex(size_t length) {
   return hex;
 }
 
-}  // namespace
-
 TraceContext TraceContext::Generate() {
   TraceContext context;
-  context.trace_id = RandomHex(kTraceIdLen);
-  context.span_id = RandomHex(kSpanIdLen);
+  context.trace_id = RandomHexId(kTraceIdLen);
+  context.span_id = RandomHexId(kSpanIdLen);
   return context;
 }
 
 TraceContext TraceContext::Child() const {
   TraceContext child;
   child.trace_id = trace_id;
-  child.span_id = RandomHex(kSpanIdLen);
+  child.span_id = RandomHexId(kSpanIdLen);
   return child;
 }
 
@@ -61,10 +62,22 @@ StatusOr<TraceContext> TraceContext::Parse(std::string_view header) {
   return context;
 }
 
+std::optional<TraceContext> TraceContext::FromHeader(std::string_view header) {
+  if (header.empty()) return std::nullopt;
+  auto parsed = Parse(header);
+  if (parsed.ok()) return *parsed;
+  // A present-but-garbage header means a peer is mis-propagating; surface it
+  // instead of silently starting fresh traces.
+  static Counter* malformed = MetricsRegistry::Get()->GetCounter(
+      "chronos_trace_header_malformed_total",
+      "X-Chronos-Trace headers discarded as unparseable");
+  malformed->Increment();
+  return std::nullopt;
+}
+
 TraceContext TraceContext::FromHeaderOrNew(std::string_view header) {
-  if (!header.empty()) {
-    auto parsed = Parse(header);
-    if (parsed.ok()) return parsed->Child();
+  if (std::optional<TraceContext> remote = FromHeader(header)) {
+    return remote->Child();
   }
   return Generate();
 }

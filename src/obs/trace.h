@@ -1,6 +1,7 @@
 #ifndef CHRONOS_OBS_TRACE_H_
 #define CHRONOS_OBS_TRACE_H_
 
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -18,6 +19,9 @@ inline constexpr char kTraceHeader[] = "X-Chronos-Trace";
 // belonging to one logical operation (e.g. an agent's job execution); each
 // hop gets its own span_id.
 struct TraceContext {
+  static constexpr size_t kTraceIdLength = 32;
+  static constexpr size_t kSpanIdLength = 16;
+
   std::string trace_id;  // 32 lowercase hex chars.
   std::string span_id;   // 16 lowercase hex chars.
 
@@ -35,10 +39,20 @@ struct TraceContext {
   // Strict parse of a header value; rejects malformed ids.
   static StatusOr<TraceContext> Parse(std::string_view header);
 
+  // The REMOTE context a non-empty header carries, verbatim (the caller's
+  // own span id — its Child()/a server Span parents under it). nullopt for
+  // an absent header; a present-but-garbage header is also nullopt AND
+  // counted in chronos_trace_header_malformed_total.
+  static std::optional<TraceContext> FromHeader(std::string_view header);
+
   // Adopts a propagated context (as a child span) or starts a fresh trace
-  // when the header is absent/garbage — the HTTP-ingress policy.
+  // when the header is absent/garbage — the HTTP-ingress policy. Malformed
+  // headers are counted via FromHeader.
   static TraceContext FromHeaderOrNew(std::string_view header);
 };
+
+// Random lowercase-hex id of the given length (span/trace id alphabet).
+std::string RandomHexId(size_t length);
 
 // RAII: installs `context` as the calling thread's current trace so every
 // LogRecord emitted on this thread carries its ids; restores the previous

@@ -5,6 +5,7 @@
 
 #include "common/file_util.h"
 #include "fault/failpoint.h"
+#include "obs/span.h"
 
 namespace chronos::store {
 
@@ -130,6 +131,11 @@ Status TableStore::MaybeCheckpointLocked() {
 }
 
 Status TableStore::CheckpointLocked() {
+  // Unlike the commit spans this one ends while mu_ is still held (callers
+  // own the lock); a slow-checkpoint WARN under the lock is rare and
+  // accepted — see DESIGN.md §12.
+  obs::Span span("store.checkpoint");
+  span.SetAttribute("wal_bytes", std::to_string(wal_->size_bytes()));
   // Snapshot under the already-held mutex (callers hold mu_).
   json::Json snapshot = json::Json::MakeObject();
   for (const auto& [table_name, table] : tables_) {
@@ -157,6 +163,11 @@ Status TableStore::CheckpointLocked() {
 Status TableStore::Insert(const std::string& table, const std::string& id,
                           json::Json row) {
   if (!row.is_object()) return Status::InvalidArgument("row must be an object");
+  // Span before lock: destruction order releases mu_ first, so a slow-span
+  // WARN never logs under the store mutex.
+  obs::Span span("store.commit");
+  span.SetAttribute("op", "insert");
+  span.SetAttribute("table", table);
   MutexLock lock(mu_);
   auto table_it = tables_.find(table);
   if (table_it != tables_.end() && table_it->second.count(id) > 0) {
@@ -172,6 +183,9 @@ Status TableStore::Insert(const std::string& table, const std::string& id,
 Status TableStore::Update(const std::string& table, const std::string& id,
                           json::Json row, int64_t expected_version) {
   if (!row.is_object()) return Status::InvalidArgument("row must be an object");
+  obs::Span span("store.commit");
+  span.SetAttribute("op", "update");
+  span.SetAttribute("table", table);
   MutexLock lock(mu_);
   auto table_it = tables_.find(table);
   if (table_it == tables_.end() || table_it->second.count(id) == 0) {
@@ -194,6 +208,9 @@ Status TableStore::Update(const std::string& table, const std::string& id,
 Status TableStore::Upsert(const std::string& table, const std::string& id,
                           json::Json row) {
   if (!row.is_object()) return Status::InvalidArgument("row must be an object");
+  obs::Span span("store.commit");
+  span.SetAttribute("op", "upsert");
+  span.SetAttribute("table", table);
   MutexLock lock(mu_);
   int64_t version = 0;
   auto table_it = tables_.find(table);
@@ -211,6 +228,9 @@ Status TableStore::Upsert(const std::string& table, const std::string& id,
 }
 
 Status TableStore::Delete(const std::string& table, const std::string& id) {
+  obs::Span span("store.commit");
+  span.SetAttribute("op", "delete");
+  span.SetAttribute("table", table);
   MutexLock lock(mu_);
   auto table_it = tables_.find(table);
   if (table_it == tables_.end() || table_it->second.count(id) == 0) {

@@ -8,6 +8,7 @@
 #include "common/file_util.h"
 #include "fault/failpoint.h"
 #include "obs/metrics_registry.h"
+#include "obs/span.h"
 
 namespace chronos::store {
 
@@ -77,6 +78,10 @@ Status Wal::Append(std::string_view payload, bool sync) {
     return Status::InvalidArgument("WAL record too large");
   }
 
+  // Span before lock so it ends (and may WARN-log) after mu_ is released.
+  obs::Span span("wal.append");
+  span.SetAttribute("bytes", std::to_string(payload.size()));
+  span.SetAttribute("sync", sync ? "true" : "false");
   MutexLock lock(mu_);
   char header[kHeaderSize];
   EncodeU32(header, static_cast<uint32_t>(payload.size()));
@@ -131,6 +136,7 @@ Status Wal::Append(std::string_view payload, bool sync) {
   appends->Increment();
   bytes->Increment(sizeof(header) + payload.size());
   if (sync) {
+    obs::Span fsync_span("wal.fsync");
     CHRONOS_RETURN_IF_ERROR(fault::Inject("wal.fsync"));
     if (std::fflush(file_) != 0) return Status::IoError("WAL flush failed");
     if (::fsync(::fileno(file_)) != 0) return Status::IoError("WAL fsync failed");
@@ -139,6 +145,7 @@ Status Wal::Append(std::string_view payload, bool sync) {
 }
 
 Status Wal::Sync() {
+  obs::Span span("wal.fsync");
   MutexLock lock(mu_);
   CHRONOS_RETURN_IF_ERROR(fault::Inject("wal.fsync"));
   if (std::fflush(file_) != 0) return Status::IoError("WAL flush failed");

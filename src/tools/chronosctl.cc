@@ -7,6 +7,7 @@
 #include "json/json.h"
 #include "model/entities.h"
 #include "net/http.h"
+#include "obs/span.h"
 
 namespace chronos::tools {
 
@@ -29,6 +30,8 @@ constexpr char kUsage[] =
     "  evaluation watch EVAL_ID         poll until all jobs are terminal\n"
     "  jobs list --evaluation ID [--state S]\n"
     "  job show|abort|reschedule|log JOB_ID\n"
+    "  trace JOB_ID                     span timeline of the job's trace\n"
+    "                                   (Control + Agent spans, one tree)\n"
     "  drain                            stop job dispatch; server begins its\n"
     "                                   graceful shutdown (admin only)\n"
     "  failpoint list                   configured fault-injection points\n"
@@ -381,6 +384,25 @@ int RunChronosctl(const std::vector<std::string>& args, std::ostream& out) {
       out << *response;
       return 0;
     }
+  }
+
+  if (command == "trace") {
+    if (cmd.positional.size() < 2) {
+      out << "usage: trace <job-id>\n";
+      return 2;
+    }
+    auto response =
+        client.Get("/api/v1/jobs/" + cmd.positional[1] + "/trace");
+    if (!response.ok()) return Fail(out, response.status());
+    std::vector<obs::SpanRecord> spans;
+    for (const json::Json& span_json : response->at("spans").as_array()) {
+      auto record = obs::SpanFromJson(span_json);
+      if (record.ok()) spans.push_back(std::move(record).value());
+    }
+    out << "trace " << response->GetStringOr("trace_id", "") << "  ("
+        << spans.size() << " spans)\n";
+    out << obs::RenderSpanTree(spans);
+    return 0;
   }
 
   if (command == "drain") {

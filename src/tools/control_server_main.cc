@@ -24,6 +24,7 @@
 #include "fault/failpoint.h"
 #include "model/entities.h"
 #include "model/repository.h"
+#include "obs/span.h"
 #include "store/table_store.h"
 #include "tools/chronosctl.h"
 
@@ -42,7 +43,9 @@ constexpr char kUsage[] =
     "  --monitor-jitter F        sweep jitter fraction in [0,1) (default 0.1)\n"
     "  --monitor-seed N          seed for the jittered sweep schedule\n"
     "  --checkpoint-wal-bytes N  auto-checkpoint threshold (0 = never)\n"
-    "  --failpoints P=SPEC;...   arm failpoints at boot (';'-separated)\n";
+    "  --failpoints P=SPEC;...   arm failpoints at boot (';'-separated)\n"
+    "  --slow-span-ms N          WARN-log spans slower than N ms and count\n"
+    "                            them in chronos_slow_spans_total (0 = off)\n";
 
 int64_t Int64Flag(const CommandLine& cmd, const std::string& name,
                   int64_t fallback) {
@@ -74,6 +77,10 @@ int RunControlServer(const std::vector<std::string>& args) {
     std::cerr << kUsage;
     return 2;
   }
+
+  // Before any instrumented work (reconciliation spans below honor it).
+  obs::SpanCollector::Get()->set_slow_span_threshold_ms(
+      Int64Flag(cmd, "slow-span-ms", 0));
 
   store::TableStoreOptions store_options;
   store_options.checkpoint_wal_bytes = static_cast<uint64_t>(

@@ -1,10 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/logging.h"
+#include "common/threading.h"
+#include "json/json.h"
 #include "obs/metrics_registry.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace chronos::obs {
@@ -244,6 +250,355 @@ TEST(TraceTest, ScopeIsPerThread) {
   thread.join();
   EXPECT_EQ(other_thread_trace, "");
   EXPECT_EQ(CurrentTrace().trace_id, trace.trace_id);
+}
+
+TEST(TraceTest, MalformedHeadersAreRejectedAndCounted) {
+  Counter* malformed = MetricsRegistry::Get()->GetCounter(
+      "chronos_trace_header_malformed_total",
+      "X-Chronos-Trace headers discarded as unparseable");
+  // Fixed ids so case-damage below is guaranteed to touch a hex letter.
+  const std::string valid =
+      "0123456789abcdef0123456789abcdef-0123456789abcdef";
+  ASSERT_TRUE(TraceContext::Parse(valid).ok());
+
+  // Absent and valid headers never count as malformed.
+  uint64_t before = malformed->value();
+  EXPECT_FALSE(TraceContext::FromHeader("").has_value());
+  auto remote = TraceContext::FromHeader(valid);
+  ASSERT_TRUE(remote.has_value());
+  // FromHeader returns the remote context VERBATIM (exact parenting at
+  // ingress); Child() is the caller's choice.
+  EXPECT_EQ(remote->ToHeader(), valid);
+  EXPECT_EQ(malformed->value(), before);
+
+  // Property sweep: truncations at various lengths, uppercase hex, alphabet
+  // damage, separator damage, overlong input. Every one must be rejected,
+  // counted exactly once, and degrade FromHeaderOrNew to a fresh trace.
+  std::vector<std::string> garbage;
+  for (size_t len = 1; len < valid.size(); len += 7) {
+    garbage.push_back(valid.substr(0, len));
+  }
+  std::string upper = valid;
+  for (char& c : upper) c = static_cast<char>(toupper(c));
+  garbage.push_back(upper);
+  garbage.push_back(valid + "00");
+  std::string bad_separator = valid;
+  bad_separator[TraceContext::kTraceIdLength] = '_';
+  garbage.push_back(bad_separator);
+  std::string bad_alphabet = valid;
+  bad_alphabet[3] = 'g';
+  garbage.push_back(bad_alphabet);
+  garbage.push_back("-");
+  garbage.push_back(std::string(valid.size(), 'z'));
+  for (const std::string& header : garbage) {
+    uint64_t count = malformed->value();
+    EXPECT_FALSE(TraceContext::FromHeader(header).has_value())
+        << "accepted garbage: " << header;
+    EXPECT_EQ(malformed->value(), count + 1) << "not counted: " << header;
+    EXPECT_TRUE(TraceContext::FromHeaderOrNew(header).valid());
+  }
+}
+
+// --- Span / SpanCollector ---
+
+TEST(SpanTest, NestedSpansParentAndRestoreScope) {
+  SpanCollector collector(/*capacity=*/64, /*shards=*/4);
+  std::string trace_id;
+  std::string outer_span_id;
+  {
+    Span outer("outer", &collector);
+    ASSERT_TRUE(outer.context().valid());
+    trace_id = outer.context().trace_id;
+    outer_span_id = outer.context().span_id;
+    EXPECT_EQ(CurrentTrace().trace_id, trace_id);
+    {
+      Span inner("inner", &collector);
+      EXPECT_EQ(inner.context().trace_id, trace_id);
+      EXPECT_NE(inner.context().span_id, outer_span_id);
+      EXPECT_EQ(CurrentTrace().span_id, inner.context().span_id);
+    }
+    // Inner End() restored the outer context.
+    EXPECT_EQ(CurrentTrace().span_id, outer_span_id);
+  }
+  EXPECT_FALSE(CurrentTrace().valid());
+
+  std::vector<SpanRecord> spans = collector.ForTrace(trace_id);
+  ASSERT_EQ(spans.size(), 2u);
+  const SpanRecord& outer = spans[0].name == "outer" ? spans[0] : spans[1];
+  const SpanRecord& inner = spans[0].name == "inner" ? spans[0] : spans[1];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_TRUE(outer.parent_span_id.empty());
+  EXPECT_EQ(inner.parent_span_id, outer.span_id);
+  for (const SpanRecord& span : spans) {
+    EXPECT_GE(span.end_nanos, span.start_nanos);
+  }
+  EXPECT_EQ(collector.recorded(), 2u);
+  EXPECT_EQ(collector.dropped(), 0u);
+}
+
+TEST(SpanTest, DisabledCollectorIsInert) {
+  SpanCollector collector(/*capacity=*/64, /*shards=*/4);
+  collector.set_enabled(false);
+  {
+    Span span("noop", &collector);
+    EXPECT_FALSE(span.context().valid());
+    // No scope installed either: log correlation falls back to the caller.
+    EXPECT_FALSE(CurrentTrace().valid());
+    span.SetAttribute("k", "v");  // Must be a no-op, not a crash.
+  }
+  EXPECT_EQ(collector.recorded(), 0u);
+  EXPECT_TRUE(collector.Snapshot().empty());
+}
+
+TEST(SpanTest, StatusAndAttributesLandInTheRecord) {
+  SpanCollector collector(/*capacity=*/64, /*shards=*/4);
+  std::string trace_id;
+  {
+    Span span("op", &collector);
+    trace_id = span.context().trace_id;
+    span.SetAttribute("job_id", "j1");
+    span.SetStatus(Status::Ok());  // Ok must not overwrite anything.
+    span.SetError("boom");
+  }
+  std::vector<SpanRecord> spans = collector.ForTrace(trace_id);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].status, "boom");
+  ASSERT_EQ(spans[0].attributes.size(), 1u);
+  EXPECT_EQ(spans[0].attributes[0].first, "job_id");
+  EXPECT_EQ(spans[0].attributes[0].second, "j1");
+}
+
+TEST(SpanCollectorTest, EvictsOldestFirstAndCountsDrops) {
+  SpanCollector collector(/*capacity=*/4, /*shards=*/1);
+  for (int i = 0; i < 6; ++i) {
+    SpanRecord record;
+    record.trace_id = "feed";
+    record.span_id = "span" + std::to_string(i);
+    record.name = "op" + std::to_string(i);
+    record.start_nanos = static_cast<uint64_t>(i);
+    record.end_nanos = static_cast<uint64_t>(i) + 1;
+    collector.Record(std::move(record));
+  }
+  EXPECT_EQ(collector.recorded(), 6u);
+  EXPECT_EQ(collector.dropped(), 2u);
+  std::vector<SpanRecord> spans = collector.ForTrace("feed");
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans.front().name, "op2");  // The two oldest were evicted.
+  EXPECT_EQ(spans.back().name, "op5");
+  EXPECT_FALSE(collector.Contains("feed", "span0"));
+  EXPECT_TRUE(collector.Contains("feed", "span5"));
+  EXPECT_EQ(collector.active_traces(), 1u);
+}
+
+TEST(SpanCollectorTest, SnapshotSinceIsAShippingCursor) {
+  SpanCollector collector(/*capacity=*/64, /*shards=*/4);
+  auto make = [](const std::string& trace, const std::string& span) {
+    SpanRecord record;
+    record.trace_id = trace;
+    record.span_id = span;
+    record.name = span;
+    return record;
+  };
+  uint64_t first = collector.Record(make("aaaa", "s1"));
+  uint64_t second = collector.Record(make("bbbb", "s2"));
+  EXPECT_LT(first, second);
+  std::vector<SpanRecord> tail = collector.SnapshotSince(first);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].span_id, "s2");
+  EXPECT_EQ(collector.Snapshot().size(), 2u);
+  EXPECT_EQ(collector.active_traces(), 2u);
+  EXPECT_GE(collector.last_seq(), second);
+  collector.Clear();
+  EXPECT_TRUE(collector.Snapshot().empty());
+  EXPECT_EQ(collector.active_traces(), 0u);
+  EXPECT_EQ(collector.recorded(), 2u);  // Lifetime counters survive Clear.
+}
+
+TEST(SpanTest, SlowSpansWarnWithAttributesAndCount) {
+  SimulatedClock clock;
+  SpanCollector collector(/*capacity=*/64, /*shards=*/4, &clock);
+  collector.set_slow_span_threshold_ms(10);
+  Counter* slow = MetricsRegistry::Get()->GetCounter(
+      "chronos_slow_spans_total",
+      "Spans exceeding the slow-span threshold, by span name",
+      {{"span", "slow.op"}});
+  uint64_t before = slow->value();
+  CaptureLogSink capture;
+  {
+    Span fast("fast.op", &collector);
+    clock.AdvanceMs(5);  // Under threshold: no WARN, no count.
+  }
+  {
+    Span span("slow.op", &collector);
+    span.SetAttribute("job_id", "j1");
+    clock.AdvanceMs(50);
+  }
+  EXPECT_EQ(slow->value(), before + 1);
+  bool warned = false;
+  for (const LogRecord& record : capture.Drain()) {
+    if (record.level != LogLevel::kWarning) continue;
+    if (record.message.find("slow span slow.op") == std::string::npos) {
+      continue;
+    }
+    warned = true;
+    EXPECT_NE(record.message.find("job_id=j1"), std::string::npos);
+    EXPECT_NE(record.message.find("threshold 10ms"), std::string::npos);
+    EXPECT_EQ(record.message.find("fast.op"), std::string::npos);
+  }
+  EXPECT_TRUE(warned);
+}
+
+TEST(SpanCollectorTest, ConcurrentRecordAndSnapshotAreSafe) {
+  SpanCollector collector(/*capacity=*/512, /*shards=*/8);
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 200;
+  std::atomic<bool> stop{false};
+  std::thread reader([&collector, &stop] {
+    while (!stop.load()) {
+      collector.Snapshot();
+      collector.ForTrace("absent");
+      collector.active_traces();
+    }
+  });
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&collector] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        Span span("stress.op", &collector);
+        span.SetAttribute("i", std::to_string(i));
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  stop.store(true);
+  reader.join();
+  // Exactly one record per span; everything not retained was counted as
+  // dropped — no double counting, no losses.
+  EXPECT_EQ(collector.recorded(),
+            static_cast<uint64_t>(kThreads) * kSpansPerThread);
+  EXPECT_EQ(collector.recorded(),
+            collector.dropped() + collector.Snapshot().size());
+}
+
+TEST(ThreadPoolTraceTest, SubmitPropagatesSubmittersContext) {
+  ThreadPool pool(2);
+  TraceContext trace = TraceContext::Generate();
+  TraceIds observed;
+  CountDownLatch ran(1);
+  {
+    TraceScope scope(trace);
+    ASSERT_TRUE(pool.Submit([&observed, &ran] {
+      observed = CurrentTraceIds();
+      ran.CountDown();
+    }));
+  }
+  ran.Wait();
+  EXPECT_EQ(observed.trace_id, trace.trace_id);
+  EXPECT_EQ(observed.span_id, trace.span_id);
+  // A submission without an active scope runs traceless — the worker's
+  // context is restored between tasks, not leaked.
+  TraceIds later;
+  CountDownLatch ran_later(1);
+  ASSERT_TRUE(pool.Submit([&later, &ran_later] {
+    later = CurrentTraceIds();
+    ran_later.CountDown();
+  }));
+  ran_later.Wait();
+  EXPECT_TRUE(later.trace_id.empty());
+  pool.Shutdown();
+}
+
+// --- Serialization & rendering ---
+
+TEST(SpanSerializationTest, JsonRoundTripPreservesEverything) {
+  SpanRecord record;
+  record.trace_id = "0123456789abcdef0123456789abcdef";
+  record.span_id = "0123456789abcdef";
+  record.parent_span_id = "fedcba9876543210";
+  record.name = "control.claim";
+  record.start_nanos = 1000;
+  record.end_nanos = 4500;
+  record.status = "deadline exceeded";
+  record.attributes = {{"job_id", "j1"}, {"deployment_id", "d1"}};
+  auto round = SpanFromJson(SpanToJson(record));
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round->trace_id, record.trace_id);
+  EXPECT_EQ(round->span_id, record.span_id);
+  EXPECT_EQ(round->parent_span_id, record.parent_span_id);
+  EXPECT_EQ(round->name, record.name);
+  EXPECT_EQ(round->start_nanos, record.start_nanos);
+  EXPECT_EQ(round->end_nanos, record.end_nanos);
+  EXPECT_EQ(round->status, record.status);
+  EXPECT_EQ(round->attributes.size(), record.attributes.size());
+
+  // Malformed inputs fail closed rather than fabricating spans.
+  EXPECT_FALSE(SpanFromJson(json::Json::MakeArray()).ok());
+  EXPECT_FALSE(SpanFromJson(json::Json::MakeObject()).ok());
+}
+
+TEST(SpanRenderTest, ChromeTraceHasLanesAndCompleteEvents) {
+  SpanCollector collector(/*capacity=*/64, /*shards=*/4);
+  std::string trace_id;
+  {
+    Span control("control.claim", &collector);
+    trace_id = control.context().trace_id;
+    Span agent("agent.execute", &collector);
+    agent.End();
+  }
+  std::vector<SpanRecord> spans = collector.ForTrace(trace_id);
+  ASSERT_EQ(spans.size(), 2u);
+  auto parsed = json::Parse(RenderChromeTrace(spans));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->GetStringOr("displayTimeUnit", ""), "ms");
+  const json::Json& events = parsed->at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  size_t complete_events = 0;
+  for (const json::Json& event : events.as_array()) {
+    if (event.GetStringOr("ph", "") == "M") continue;  // Lane metadata.
+    ++complete_events;
+    EXPECT_EQ(event.GetStringOr("ph", ""), "X");
+    EXPECT_EQ(event.GetStringOr("cat", ""), "chronos");
+    for (const char* key : {"name", "ts", "dur", "pid", "tid", "args"}) {
+      EXPECT_TRUE(event.Has(key)) << "missing key " << key;
+    }
+    EXPECT_EQ(event.GetIntOr("tid", 0),
+              event.GetStringOr("name", "") == "agent.execute" ? 2 : 1);
+    EXPECT_EQ(event.at("args").GetStringOr("trace_id", ""), trace_id);
+  }
+  EXPECT_EQ(complete_events, 2u);
+}
+
+TEST(SpanRenderTest, TreeIndentsChildrenAndKeepsOrphans) {
+  SpanRecord root;
+  root.trace_id = "t";
+  root.span_id = "aaaa";
+  root.name = "agent.poll";
+  root.start_nanos = 0;
+  root.end_nanos = 5000000;
+  SpanRecord child;
+  child.trace_id = "t";
+  child.span_id = "bbbb";
+  child.parent_span_id = "aaaa";
+  child.name = "control.claim";
+  child.start_nanos = 1000;
+  child.end_nanos = 2000000;
+  child.status = "boom";
+  SpanRecord orphan;
+  orphan.trace_id = "t";
+  orphan.span_id = "cccc";
+  orphan.parent_span_id = "gone";  // Parent not shipped (yet).
+  orphan.name = "wal.append";
+  orphan.start_nanos = 500;
+  orphan.end_nanos = 600;
+
+  std::string tree = RenderSpanTree({root, child, orphan});
+  EXPECT_NE(tree.find("agent.poll  5.000ms"), std::string::npos);
+  EXPECT_NE(tree.find("\n  control.claim"), std::string::npos);  // Indented.
+  EXPECT_NE(tree.find("status=boom"), std::string::npos);
+  // The orphan renders at root level instead of disappearing.
+  EXPECT_NE(tree.find("\nwal.append"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,352 @@
+// End-to-end distributed-trace test: forks the real chronos_control_server
+// binary, runs a single-threaded in-process agent against it, and asserts
+// that one job's trace — fetched back over REST — stitches BOTH processes:
+// the agent's poll/execute/upload spans (piggybacked on its posts) and the
+// Control-side claim/upload/store spans, with sane parenting, non-negative
+// durations, a valid Chrome trace_event export, and a multi-level
+// `chronosctl trace` tree.
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "agent/agent.h"
+#include "common/file_util.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "control/control_service.h"
+#include "json/json.h"
+#include "model/repository.h"
+#include "net/http.h"
+#include "obs/span.h"
+#include "tools/chronosctl.h"
+
+namespace chronos {
+namespace {
+
+using chronos::file::TempDir;
+
+// A forked chronos_control_server child on a fixed data directory. The
+// bound (ephemeral) port is read back through --port-file.
+class ServerProcess {
+ public:
+  ~ServerProcess() {
+    if (pid_ > 0) {
+      ::kill(pid_, SIGKILL);
+      int status = 0;
+      ::waitpid(pid_, &status, 0);
+    }
+  }
+
+  void Start(const std::string& data_dir) {
+    port_file_ = data_dir + "/port";
+    std::vector<std::string> args = {
+        "chronos_control_server", "--data-dir", data_dir,
+        "--port", "0", "--port-file", port_file_,
+        "--bootstrap-admin", "admin:secret",
+        "--monitor-interval-ms", "100",
+        "--heartbeat-timeout-ms", "5000"};
+    pid_ = ::fork();
+    ASSERT_NE(pid_, -1);
+    if (pid_ == 0) {
+      std::vector<char*> argv;
+      for (std::string& arg : args) argv.push_back(arg.data());
+      argv.push_back(nullptr);
+      ::execv(CHRONOS_CONTROL_SERVER_BINARY, argv.data());
+      ::_exit(127);  // exec failed. chronos-lint: allow
+    }
+    for (int i = 0; i < 500; ++i) {
+      auto contents = file::ReadFile(port_file_);
+      if (contents.ok() && !contents->empty() && contents->back() == '\n') {
+        uint64_t port = 0;
+        ASSERT_TRUE(strings::ParseUint64(strings::Trim(*contents), &port));
+        port_ = static_cast<int>(port);
+        return;
+      }
+      int status = 0;
+      ASSERT_EQ(::waitpid(pid_, &status, WNOHANG), 0)
+          << "server died during startup, status " << status;
+      SystemClock::Get()->SleepMs(20);
+    }
+    FAIL() << "server never wrote its port file";
+  }
+
+  int port() const { return port_; }
+
+ private:
+  pid_t pid_ = -1;
+  int port_ = 0;
+  std::string port_file_;
+};
+
+class TraceE2ETest : public ::testing::Test {
+ protected:
+  void SetUp() override { Logger::Get()->set_stderr_enabled(false); }
+
+  std::unique_ptr<net::HttpClient> AdminClient(int port) {
+    auto client = std::make_unique<net::HttpClient>("127.0.0.1", port);
+    auto login = client->Post("/api/v1/auth/login",
+                              R"({"username":"admin","password":"secret"})");
+    EXPECT_TRUE(login.ok()) << login.status();
+    EXPECT_EQ(login->status_code, 200) << login->body;
+    token_ = json::Parse(login->body)->GetStringOr("token", "");
+    client->SetDefaultHeader("X-Session", token_);
+    return client;
+  }
+
+  // project -> system -> deployment -> experiment -> evaluation (2 jobs).
+  void SetUpEvaluation(net::HttpClient* client) {
+    auto project = client->Post("/api/v1/projects", R"({"name":"trace"})");
+    ASSERT_EQ(project->status_code, 201) << project->body;
+    std::string project_id =
+        json::Parse(project->body)->GetStringOr("id", "");
+
+    json::Json system = json::Json::MakeObject();
+    system.Set("name", "tracedb");
+    json::Json mode = json::Json::MakeObject();
+    mode.Set("name", "mode");
+    mode.Set("type", "value");
+    json::Json parameters = json::Json::MakeArray();
+    parameters.Append(mode);
+    system.Set("parameters", parameters);
+    auto registered = client->Post("/api/v1/systems", system.Dump());
+    ASSERT_EQ(registered->status_code, 201) << registered->body;
+    std::string system_id =
+        json::Parse(registered->body)->GetStringOr("id", "");
+
+    json::Json deployment = json::Json::MakeObject();
+    deployment.Set("system_id", system_id);
+    deployment.Set("name", "trace-deploy");
+    auto deployed = client->Post("/api/v1/deployments", deployment.Dump());
+    ASSERT_EQ(deployed->status_code, 201) << deployed->body;
+    deployment_id_ = json::Parse(deployed->body)->GetStringOr("id", "");
+
+    json::Json setting = json::Json::MakeObject();
+    setting.Set("name", "mode");
+    json::Json sweep = json::Json::MakeArray();
+    sweep.Append(json::Json("fast"));
+    sweep.Append(json::Json("safe"));
+    setting.Set("sweep", sweep);
+    json::Json settings = json::Json::MakeArray();
+    settings.Append(setting);
+    json::Json experiment = json::Json::MakeObject();
+    experiment.Set("project_id", project_id);
+    experiment.Set("system_id", system_id);
+    experiment.Set("name", "trace-exp");
+    experiment.Set("settings", settings);
+    auto created = client->Post("/api/v1/experiments", experiment.Dump());
+    ASSERT_EQ(created->status_code, 201) << created->body;
+
+    json::Json evaluation = json::Json::MakeObject();
+    evaluation.Set("experiment_id",
+                   json::Parse(created->body)->GetStringOr("id", ""));
+    evaluation.Set("name", "trace-eval");
+    evaluation.Set("repetitions", static_cast<int64_t>(1));
+    auto made = client->Post("/api/v1/evaluations", evaluation.Dump());
+    ASSERT_EQ(made->status_code, 201) << made->body;
+    auto summary = json::Parse(made->body);
+    evaluation_id_ = summary->at("evaluation").GetStringOr("id", "");
+    ASSERT_EQ(summary->GetIntOr("total_jobs", 0), 2);
+  }
+
+  // Strictly single-threaded agent (keepalives disabled): every span the
+  // agent records is on the poll thread, so trace parenting is
+  // deterministic.
+  std::unique_ptr<agent::ChronosAgent> MakeAgent(int port) {
+    agent::AgentOptions options;
+    options.control_port = port;
+    options.username = "admin";
+    options.password = "secret";
+    options.deployment_id = deployment_id_;
+    options.poll_interval_ms = 20;
+    options.heartbeat_interval_ms = 0;
+    options.log_flush_interval_ms = 0;
+    auto chronos_agent = std::make_unique<agent::ChronosAgent>(options);
+    chronos_agent->SetHandler([](agent::JobContext* context) {
+      context->SetResultField("throughput", json::Json(1.0));
+      return Status::Ok();
+    });
+    return chronos_agent;
+  }
+
+  // Runs an agent until both jobs finish, then lets it poll a little
+  // longer: spans that end after a post (agent.poll, agent.execute) ship
+  // piggybacked on the NEXT poll, so the tail needs a few extra cycles.
+  void RunWorkload(int port, net::HttpClient* client) {
+    auto chronos_agent = MakeAgent(port);
+    ASSERT_TRUE(chronos_agent->Connect().ok());
+    chronos_agent->StartAsync();
+    bool done = false;
+    for (int i = 0; i < 600 && !done; ++i) {
+      auto response = client->Get("/api/v1/evaluations/" + evaluation_id_);
+      if (response.ok() && response->status_code == 200) {
+        auto summary = json::Parse(response->body);
+        done = summary->at("state_counts").GetIntOr("finished", 0) == 2;
+      }
+      if (!done) SystemClock::Get()->SleepMs(50);
+    }
+    ASSERT_TRUE(done) << "jobs never finished";
+    SystemClock::Get()->SleepMs(300);  // Flush tail spans on idle polls.
+    chronos_agent->Stop();
+  }
+
+  std::string FirstJobId(net::HttpClient* client) {
+    auto response =
+        client->Get("/api/v1/evaluations/" + evaluation_id_ + "/jobs");
+    EXPECT_EQ(response->status_code, 200) << response->body;
+    auto jobs = json::Parse(response->body);
+    EXPECT_TRUE(jobs->is_array() && !jobs->as_array().empty());
+    return jobs->as_array().front().GetStringOr("id", "");
+  }
+
+  std::string token_;
+  std::string deployment_id_, evaluation_id_;
+};
+
+TEST_F(TraceE2ETest, JobTraceStitchesAgentAndControlSpans) {
+  TempDir dir("trace-e2e");
+  ServerProcess server;
+  server.Start(dir.path());
+  if (HasFatalFailure()) return;
+  auto client = AdminClient(server.port());
+  SetUpEvaluation(client.get());
+  if (HasFatalFailure()) return;
+  RunWorkload(server.port(), client.get());
+  if (HasFatalFailure()) return;
+  std::string job_id = FirstJobId(client.get());
+  ASSERT_FALSE(job_id.empty());
+
+  // --- The job's trace stitches both processes into one tree. ---
+  auto response = client->Get("/api/v1/jobs/" + job_id + "/trace");
+  ASSERT_EQ(response->status_code, 200) << response->body;
+  auto body = json::Parse(response->body);
+  ASSERT_TRUE(body.ok());
+  std::string trace_id = body->GetStringOr("trace_id", "");
+  EXPECT_EQ(trace_id.size(), obs::TraceContext::kTraceIdLength);
+  EXPECT_EQ(body->GetStringOr("job_id", ""), job_id);
+
+  std::vector<obs::SpanRecord> spans;
+  for (const json::Json& span_json : body->at("spans").as_array()) {
+    auto record = obs::SpanFromJson(span_json);
+    ASSERT_TRUE(record.ok()) << span_json.Dump();
+    spans.push_back(*std::move(record));
+  }
+  std::set<std::string> names;
+  std::set<std::string> span_ids;
+  for (const obs::SpanRecord& span : spans) {
+    EXPECT_EQ(span.trace_id, trace_id);
+    EXPECT_GE(span.end_nanos, span.start_nanos) << span.name;
+    span_ids.insert(span.span_id);
+    names.insert(span.name);
+  }
+  // Agent-side spans were shipped across the process boundary; Control
+  // recorded its own. One trace covers the whole claim->execute->upload arc.
+  for (const char* name : {"agent.poll", "agent.execute",
+                           "agent.upload_result", "control.claim",
+                           "control.upload_result", "store.commit"}) {
+    EXPECT_EQ(names.count(name), 1u) << "missing span " << name;
+  }
+  // Sane parenting: every parent is either absent (a root) or itself a
+  // recorded span of this trace — the stitched tree has no dangling edges.
+  for (const obs::SpanRecord& span : spans) {
+    if (span.parent_span_id.empty()) continue;
+    EXPECT_EQ(span_ids.count(span.parent_span_id), 1u)
+        << span.name << " orphaned under " << span.parent_span_id;
+  }
+
+  // --- Chrome export: lanes + complete events with the schema chrome://
+  // tracing expects. ---
+  auto chrome = client->Get("/api/v1/jobs/" + job_id +
+                            "/trace?format=chrome");
+  ASSERT_EQ(chrome->status_code, 200) << chrome->body;
+  auto exported = json::Parse(chrome->body);
+  ASSERT_TRUE(exported.ok());
+  std::set<int64_t> lanes;
+  for (const json::Json& event : exported->at("traceEvents").as_array()) {
+    if (event.GetStringOr("ph", "") == "M") continue;
+    EXPECT_EQ(event.GetStringOr("ph", ""), "X");
+    for (const char* key : {"name", "ts", "dur", "pid", "tid", "args"}) {
+      EXPECT_TRUE(event.Has(key)) << "missing key " << key;
+    }
+    EXPECT_GE(event.GetIntOr("dur", -1), 0);
+    lanes.insert(event.GetIntOr("tid", 0));
+  }
+  // Both the control lane (tid 1) and the agent lane (tid 2) are populated.
+  EXPECT_EQ(lanes.count(1), 1u);
+  EXPECT_EQ(lanes.count(2), 1u);
+
+  // scripts/check.sh --trace re-validates the export with an independent
+  // JSON parser; hand it the raw bytes when asked.
+  const char* export_path = std::getenv("CHRONOS_TRACE_EXPORT_PATH");
+  if (export_path != nullptr) {
+    ASSERT_TRUE(file::WriteFile(export_path, chrome->body).ok());
+  }
+
+  // --- The trace is also addressable by trace id directly. ---
+  auto by_trace = client->Get("/api/v1/traces/" + trace_id);
+  ASSERT_EQ(by_trace->status_code, 200) << by_trace->body;
+  EXPECT_EQ(json::Parse(by_trace->body)->at("spans").as_array().size(),
+            spans.size());
+
+  // --- /status reports collector health. ---
+  auto status = client->Get("/api/v1/status");
+  ASSERT_EQ(status->status_code, 200);
+  auto health = json::Parse(status->body);
+  EXPECT_GT(health->at("spans").GetIntOr("recorded", 0), 0);
+  EXPECT_GE(health->at("spans").GetIntOr("active_traces", 0), 1);
+
+  // --- chronosctl renders a multi-level tree over both processes. ---
+  std::ostringstream out;
+  int code = tools::RunChronosctl(
+      {"--server", "127.0.0.1:" + std::to_string(server.port()),
+       "--token", token_, "trace", job_id},
+      out);
+  std::string tree = out.str();
+  EXPECT_EQ(code, 0) << tree;
+  EXPECT_NE(tree.find("trace " + trace_id), std::string::npos) << tree;
+  EXPECT_NE(tree.find("agent.poll"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("control.claim"), std::string::npos) << tree;
+  // Multi-level: at least depth 1 and depth 2 indentation both occur.
+  EXPECT_NE(tree.find("\n  "), std::string::npos) << tree;
+  EXPECT_NE(tree.find("\n    "), std::string::npos) << tree;
+
+  // A job that never ran has no trace; the endpoint 404s rather than
+  // serving an empty tree.
+  auto missing = client->Get("/api/v1/jobs/does-not-exist/trace");
+  EXPECT_EQ(missing->status_code, 404);
+}
+
+// Span shipping is at-least-once (the agent's cursor only advances on a
+// successful post), so Control must dedupe replayed spans on import.
+TEST_F(TraceE2ETest, ImportSpansDedupesReplays) {
+  TempDir dir("trace-import");
+  auto db = model::MetaDb::Open(dir.path());
+  ASSERT_TRUE(db.ok()) << db.status();
+  control::ControlServiceOptions options;
+  control::ControlService service(db->get(), SystemClock::Get(), options);
+
+  obs::SpanRecord record;
+  record.trace_id = "feedfacefeedfacefeedfacefeedface";
+  record.span_id = "feedfacefeedface";
+  record.name = "agent.execute";
+  record.start_nanos = 10;
+  record.end_nanos = 20;
+  json::Json spans = json::Json::MakeArray();
+  spans.Append(obs::SpanToJson(record));
+  spans.Append(json::Json("garbage"));  // Peer garbage is skipped, not fatal.
+
+  EXPECT_EQ(service.ImportSpans(spans), 1u);
+  EXPECT_TRUE(
+      obs::SpanCollector::Get()->Contains(record.trace_id, record.span_id));
+  // The replayed batch imports nothing: the first copy wins.
+  EXPECT_EQ(service.ImportSpans(spans), 0u);
+}
+
+}  // namespace
+}  // namespace chronos
